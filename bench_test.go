@@ -1,0 +1,121 @@
+package pinpoint_test
+
+// One benchmark per table and figure of the paper's evaluation (DESIGN.md
+// §4 maps each to its harness). Each bench regenerates the artifact at Full
+// scale and reports the headline numbers via b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// both times the regeneration and prints the measured values next to the
+// paper's. Case-study runs are memoized across benches of the same figure
+// family (F6–F8 share one DDoS run, F9–F12 one leak run, F5/T1 one
+// campaign run), mirroring how the paper derives several figures from one
+// dataset.
+
+import (
+	"testing"
+
+	"pinpoint/internal/experiments"
+)
+
+func runExperiment(b *testing.B, id string, metrics ...string) {
+	b.Helper()
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	var last *experiments.Report
+	for i := 0; i < b.N; i++ {
+		r, err := e.Run(experiments.Full)
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		last = r
+	}
+	if last == nil {
+		return
+	}
+	for _, m := range metrics {
+		if v, ok := last.Metrics[m]; ok {
+			b.ReportMetric(v, m)
+		}
+	}
+	if failed := last.Failed(); len(failed) > 0 {
+		for _, c := range failed {
+			b.Logf("claim failed: %s — measured %s (paper %s)", c.Name, c.Measured, c.Paper)
+		}
+		b.Errorf("%s: %d paper claims failed", id, len(failed))
+	}
+}
+
+func BenchmarkFig02MedianStability(b *testing.B) {
+	runExperiment(b, "F2", "raw_stddev_ms", "median_band", "alarms")
+}
+
+func BenchmarkFig03Normality(b *testing.B) {
+	runExperiment(b, "F3", "ppcc_median", "ppcc_mean", "outliers")
+}
+
+func BenchmarkFig04ForwardingExample(b *testing.B) {
+	runExperiment(b, "F4", "rho")
+}
+
+func BenchmarkFig05aMagnitudeCCDF(b *testing.B) {
+	runExperiment(b, "F5", "delay_below_1", "delay_max")
+}
+
+func BenchmarkFig05bForwardingCDF(b *testing.B) {
+	runExperiment(b, "F5", "fwd_min", "fwd_below_-10")
+}
+
+func BenchmarkFig06KrootMagnitude(b *testing.B) {
+	runExperiment(b, "F6", "peak_attack1", "peak_attack2", "peak_outside")
+}
+
+func BenchmarkFig07PerLinkDelays(b *testing.B) {
+	runExperiment(b, "F7", "both_a1", "both_a2", "spared_alarms", "upstream_a1")
+}
+
+func BenchmarkFig08AlarmGraph(b *testing.B) {
+	runExperiment(b, "F8", "component_nodes", "component_edges", "root_alarms")
+}
+
+func BenchmarkFig09LeakDelayMagnitude(b *testing.B) {
+	runExperiment(b, "F9", "victim0_in_peak", "victim1_in_peak")
+}
+
+func BenchmarkFig10LeakForwardingMagnitude(b *testing.B) {
+	runExperiment(b, "F10", "victim0_in_min", "victim1_in_min")
+}
+
+func BenchmarkFig11LeakLinks(b *testing.B) {
+	runExperiment(b, "F11", "linkA_alarms", "linkA_shift_ms", "linkB_gap_bins", "linkB_late_alarms")
+}
+
+func BenchmarkFig12LeakGraph(b *testing.B) {
+	runExperiment(b, "F12", "nodes", "edges", "flagged")
+}
+
+func BenchmarkFig13IXPOutage(b *testing.B) {
+	runExperiment(b, "F13", "fwd_min_in", "delay_max_in", "lan_pairs")
+}
+
+func BenchmarkTab01AggregateStats(b *testing.B) {
+	runExperiment(b, "T1", "links_seen", "alarm_fraction", "routers_modeled", "avg_next_hops")
+}
+
+func BenchmarkTab02DetectionLimits(b *testing.B) {
+	runExperiment(b, "T2", "builtin_shortest_min", "anchoring_shortest_min")
+}
+
+func BenchmarkAbl01MedianVsMean(b *testing.B) {
+	runExperiment(b, "A1", "median_alarms", "mean_alarms")
+}
+
+func BenchmarkAbl02DiversityFilter(b *testing.B) {
+	runExperiment(b, "A2", "filtered_alarms", "unfiltered_alarms")
+}
+
+func BenchmarkAbl03ASCancellation(b *testing.B) {
+	runExperiment(b, "A3", "net", "gross")
+}

@@ -1,0 +1,92 @@
+// Command atlasgen generates a synthetic Atlas-like traceroute dataset for
+// one of the built-in scenarios (the quiet baseline or one of the paper's
+// three case studies) and writes it as JSON Lines plus a metadata sidecar
+// (probe→AS and prefix→AS mappings needed for offline analysis).
+//
+// Usage:
+//
+//	atlasgen -case ddos -scale quick -out ddos.jsonl -meta ddos.meta.json
+//
+// The output is consumed by cmd/pinpoint.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"pinpoint/internal/atlas"
+	"pinpoint/internal/experiments"
+	"pinpoint/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("atlasgen: ")
+
+	caseName := flag.String("case", "quiet", "scenario: quiet, ddos, leak or ixp")
+	scaleName := flag.String("scale", "quick", "workload scale: quick or full")
+	out := flag.String("out", "-", "results JSONL output path (- for stdout)")
+	metaPath := flag.String("meta", "", "metadata JSON output path (default <out>.meta.json)")
+	flag.Parse()
+
+	scale := experiments.Quick
+	if *scaleName == "full" {
+		scale = experiments.Full
+	} else if *scaleName != "quick" {
+		log.Fatalf("unknown scale %q", *scaleName)
+	}
+
+	c, err := experiments.NewCase(*caseName, scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if *metaPath == "" && *out != "-" {
+		*metaPath = *out + ".meta.json"
+	}
+
+	tw := trace.NewWriter(w)
+	n := 0
+	err = c.Platform.Run(c.Start, c.End, func(r trace.Result) error {
+		n++
+		return tw.Write(r)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tw.Flush(); err != nil {
+		log.Fatal(err)
+	}
+
+	if *metaPath != "" {
+		f, err := os.Create(*metaPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := atlas.WriteMetadata(f, c.Platform.Metadata()); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Fprintf(os.Stderr, "atlasgen: %s (%s): %d traceroutes, %s .. %s\n",
+		c.Name, c.Description, n, c.Start.Format("2006-01-02 15:04"), c.End.Format("2006-01-02 15:04"))
+	for _, win := range c.EventWindows {
+		fmt.Fprintf(os.Stderr, "atlasgen: injected event %s .. %s\n",
+			win[0].Format("2006-01-02 15:04"), win[1].Format("15:04"))
+	}
+}

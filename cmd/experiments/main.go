@@ -1,0 +1,83 @@
+// Command experiments regenerates the paper's tables and figures (see
+// DESIGN.md §4 for the index) and prints each report with its
+// paper-vs-measured claim checks. The output of `-scale full` is the source
+// of EXPERIMENTS.md.
+//
+// Usage:
+//
+//	experiments                 # all experiments, quick scale
+//	experiments -scale full     # benchmark scale
+//	experiments -run F6,F7,F8   # one figure family
+//	experiments -dot out/       # also write alarm-graph DOT files
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"pinpoint/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+
+	scaleName := flag.String("scale", "quick", "workload scale: quick or full")
+	runList := flag.String("run", "all", "comma-separated experiment ids (e.g. F2,F6) or all")
+	dotDir := flag.String("dot", "", "directory for alarm-graph DOT output (F8, F12)")
+	flag.Parse()
+
+	scale := experiments.Quick
+	if *scaleName == "full" {
+		scale = experiments.Full
+	} else if *scaleName != "quick" {
+		log.Fatalf("unknown scale %q", *scaleName)
+	}
+
+	want := map[string]bool{}
+	all := *runList == "all" || *runList == ""
+	if !all {
+		for _, id := range strings.Split(*runList, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+
+	failures := 0
+	ran := 0
+	for _, e := range experiments.Registry {
+		if !all && !want[e.ID] {
+			continue
+		}
+		ran++
+		rep, err := e.Run(scale)
+		if err != nil {
+			log.Fatalf("%s: %v", e.ID, err)
+		}
+		fmt.Println(rep.Render())
+		failures += len(rep.Failed())
+	}
+	if ran == 0 {
+		log.Fatalf("no experiments matched %q", *runList)
+	}
+
+	if *dotDir != "" {
+		if err := os.MkdirAll(*dotDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		if err := experiments.WriteCaseGraphs(scale, func(name string) (*os.File, error) {
+			return os.Create(filepath.Join(*dotDir, name))
+		}); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("DOT graphs written to %s\n", *dotDir)
+	}
+
+	if failures > 0 {
+		log.Fatalf("%d paper claims failed", failures)
+	}
+	fmt.Printf("all paper claims hold (%d experiments, %s scale)\n", ran, scale)
+}

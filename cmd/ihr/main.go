@@ -1,0 +1,230 @@
+// Command ihr is the Internet Health Report of §8: it runs a measurement
+// scenario through the streaming analysis pipeline and serves the computed
+// results (alarms, per-AS magnitudes, events) over an HTTP JSON API — the
+// reproduction of the paper's public API and website.
+//
+// Usage:
+//
+//	ihr -case ddos -scale quick -addr :8080
+//
+// Endpoints:
+//
+//	GET /api/status            analysis progress
+//	GET /api/alarms/delay      delay-change alarms
+//	GET /api/alarms/forwarding forwarding anomalies
+//	GET /api/events            major per-AS events
+//	GET /api/magnitude?asn=N   hourly magnitude series for one AS
+//	GET /                      human-readable summary
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"pinpoint/internal/core"
+	"pinpoint/internal/delay"
+	"pinpoint/internal/experiments"
+	"pinpoint/internal/forwarding"
+	"pinpoint/internal/ipmap"
+	"pinpoint/internal/trace"
+)
+
+type server struct {
+	mu       sync.RWMutex
+	analyzer *core.Analyzer
+	c        *experiments.Case
+	done     bool
+	results  int
+
+	delayAlarms []delayAlarmJSON
+	fwdAlarms   []fwdAlarmJSON
+}
+
+type delayAlarmJSON struct {
+	Bin       time.Time `json:"bin"`
+	Link      string    `json:"link"`
+	MedianMS  float64   `json:"median_ms"`
+	RefMS     float64   `json:"reference_ms"`
+	ShiftMS   float64   `json:"shift_ms"`
+	Deviation float64   `json:"deviation"`
+	Probes    int       `json:"probes"`
+	ASes      int       `json:"ases"`
+}
+
+type fwdAlarmJSON struct {
+	Bin    time.Time `json:"bin"`
+	Router string    `json:"router"`
+	Dst    string    `json:"dst"`
+	Rho    float64   `json:"rho"`
+	TopHop string    `json:"top_hop"`
+	TopR   float64   `json:"top_responsibility"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ihr: ")
+
+	caseName := flag.String("case", "ddos", "scenario: quiet, ddos, leak or ixp")
+	scaleName := flag.String("scale", "quick", "workload scale: quick or full")
+	addr := flag.String("addr", ":8080", "HTTP listen address")
+	flag.Parse()
+
+	scale := experiments.Quick
+	if *scaleName == "full" {
+		scale = experiments.Full
+	}
+	c, err := experiments.NewCase(*caseName, scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	s := &server{c: c}
+	cfg := core.Config{RetainAlarms: true}
+	a := core.New(cfg, c.Platform.ProbeASN, c.Net.Prefixes())
+	a.OnDelayAlarm = func(al delay.Alarm) {
+		s.mu.Lock()
+		s.delayAlarms = append(s.delayAlarms, delayAlarmJSON{
+			Bin: al.Bin, Link: al.Link.String(),
+			MedianMS: al.Observed.Median, RefMS: al.Reference.Median,
+			ShiftMS: al.DiffMS, Deviation: al.Deviation,
+			Probes: al.Probes, ASes: al.ASes,
+		})
+		s.mu.Unlock()
+	}
+	a.OnForwardingAlarm = func(al forwarding.Alarm) {
+		top, _ := al.MaxResponsibility()
+		s.mu.Lock()
+		s.fwdAlarms = append(s.fwdAlarms, fwdAlarmJSON{
+			Bin: al.Bin, Router: al.Router.String(), Dst: al.Dst.String(),
+			Rho: al.Rho, TopHop: top.Hop.String(), TopR: top.Responsibility,
+		})
+		s.mu.Unlock()
+	}
+	s.analyzer = a
+
+	go func() {
+		err := c.Platform.Run(c.Start, c.End, func(r trace.Result) error {
+			s.mu.Lock()
+			s.results++
+			s.mu.Unlock()
+			// Observe mutates the analyzer; hooks fire inside, taking the
+			// lock themselves, so hold no lock here.
+			a.Observe(r)
+			return nil
+		})
+		a.Flush()
+		s.mu.Lock()
+		s.done = true
+		s.mu.Unlock()
+		if err != nil {
+			log.Printf("analysis run failed: %v", err)
+			return
+		}
+		log.Printf("analysis complete: %d results", s.results)
+	}()
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/status", s.handleStatus)
+	mux.HandleFunc("/api/alarms/delay", s.handleDelayAlarms)
+	mux.HandleFunc("/api/alarms/forwarding", s.handleFwdAlarms)
+	mux.HandleFunc("/api/events", s.handleEvents)
+	mux.HandleFunc("/api/magnitude", s.handleMagnitude)
+	mux.HandleFunc("/", s.handleIndex)
+
+	log.Printf("case %s (%s); serving on %s", c.Name, c.Description, *addr)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	writeJSON(w, map[string]interface{}{
+		"case":        s.c.Name,
+		"description": s.c.Description,
+		"start":       s.c.Start,
+		"end":         s.c.End,
+		"results":     s.results,
+		"done":        s.done,
+		"delayAlarms": len(s.delayAlarms),
+		"fwdAlarms":   len(s.fwdAlarms),
+	})
+}
+
+func (s *server) handleDelayAlarms(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	writeJSON(w, s.delayAlarms)
+}
+
+func (s *server) handleFwdAlarms(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	writeJSON(w, s.fwdAlarms)
+}
+
+func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	type eventJSON struct {
+		ASN       string    `json:"asn"`
+		Bin       time.Time `json:"bin"`
+		Type      string    `json:"type"`
+		Magnitude float64   `json:"magnitude"`
+	}
+	var out []eventJSON
+	for _, e := range s.analyzer.Aggregator().Events(s.c.Start, s.c.End) {
+		out = append(out, eventJSON{
+			ASN: e.ASN.String(), Bin: e.Bin, Type: e.Type.String(), Magnitude: e.Magnitude,
+		})
+	}
+	writeJSON(w, out)
+}
+
+func (s *server) handleMagnitude(w http.ResponseWriter, r *http.Request) {
+	asnStr := r.URL.Query().Get("asn")
+	asn, err := strconv.ParseUint(asnStr, 10, 32)
+	if err != nil {
+		http.Error(w, "missing or invalid asn parameter", http.StatusBadRequest)
+		return
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	agg := s.analyzer.Aggregator()
+	type point struct {
+		T time.Time `json:"t"`
+		V float64   `json:"v"`
+	}
+	resp := map[string][]point{}
+	for _, p := range agg.DelayMagnitude(ipmap.ASN(asn), s.c.Start, s.c.End) {
+		resp["delay"] = append(resp["delay"], point{p.T, p.V})
+	}
+	for _, p := range agg.ForwardingMagnitude(ipmap.ASN(asn), s.c.Start, s.c.End) {
+		resp["forwarding"] = append(resp["forwarding"], point{p.T, p.V})
+	}
+	writeJSON(w, resp)
+}
+
+func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "Internet Health Report — %s\n%s\n\n", s.c.Name, s.c.Description)
+	fmt.Fprintf(w, "results processed: %d (done=%v)\n", s.results, s.done)
+	fmt.Fprintf(w, "delay alarms: %d, forwarding alarms: %d\n\n", len(s.delayAlarms), len(s.fwdAlarms))
+	fmt.Fprintln(w, "API: /api/status /api/alarms/delay /api/alarms/forwarding /api/events /api/magnitude?asn=N")
+}

@@ -1,0 +1,169 @@
+// Command pinpoint analyzes a traceroute dataset offline: it runs the full
+// detection pipeline (differential-RTT delay changes, forwarding anomalies,
+// per-AS aggregation) over a JSONL stream and prints alarms, per-AS
+// magnitudes, and major events.
+//
+// Usage:
+//
+//	pinpoint -in ddos.jsonl -meta ddos.jsonl.meta.json
+//	atlasgen -case leak | pinpoint -meta leak.meta.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/netip"
+	"os"
+	"sort"
+	"time"
+
+	"pinpoint/internal/atlas"
+	"pinpoint/internal/core"
+	"pinpoint/internal/report"
+	"pinpoint/internal/timeseries"
+	"pinpoint/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pinpoint: ")
+
+	in := flag.String("in", "-", "results JSONL input path (- for stdin)")
+	metaPath := flag.String("meta", "", "metadata JSON path (required)")
+	threshold := flag.Float64("threshold", 10, "event magnitude threshold")
+	window := flag.Duration("window", 7*24*time.Hour, "magnitude sliding window")
+	verbose := flag.Bool("v", false, "print every alarm")
+	topAS := flag.Int("top", 10, "number of ASes to summarize")
+	dotPath := flag.String("dot", "", "write the alarm graph (all components) as Graphviz DOT to this path")
+	dotAround := flag.String("dot-around", "", "restrict the DOT graph to the component containing this IP")
+	flag.Parse()
+
+	if *metaPath == "" {
+		log.Fatal("-meta is required (probe and prefix mappings)")
+	}
+	mf, err := os.Open(*metaPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	meta, err := atlas.ReadMetadata(mf)
+	mf.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	table, err := meta.Table()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var r io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+
+	cfg := core.Config{RetainAlarms: true}
+	cfg.Events.Threshold = *threshold
+	cfg.Events.Window = *window
+	a := core.New(cfg, meta.ProbeASN(), table)
+
+	tr := trace.NewReader(r)
+	var first, last time.Time
+	for {
+		res, err := tr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		if first.IsZero() {
+			first = res.Time
+		}
+		last = res.Time
+		a.Observe(res)
+	}
+	a.Flush()
+
+	fmt.Printf("processed %d results, %s .. %s\n", a.Results(),
+		first.Format("2006-01-02 15:04"), last.Format("2006-01-02 15:04"))
+	fmt.Printf("links with samples: %d; router IPs modeled: %d\n",
+		a.DelayDetector().LinksSeen(), a.ForwardingDetector().RoutersSeen())
+	fmt.Printf("delay alarms: %d; forwarding alarms: %d\n\n",
+		len(a.DelayAlarms()), len(a.ForwardingAlarms()))
+
+	if *verbose {
+		for _, al := range a.DelayAlarms() {
+			fmt.Printf("DELAY %s %s shift=%.1fms dev=%.1f (probes=%d ases=%d)\n",
+				al.Bin.Format("01-02 15:04"), al.Link, al.DiffMS, al.Deviation, al.Probes, al.ASes)
+		}
+		for _, al := range a.ForwardingAlarms() {
+			top, _ := al.MaxResponsibility()
+			fmt.Printf("FWD   %s router=%s dst=%s ρ=%.2f top=%s r=%.2f\n",
+				al.Bin.Format("01-02 15:04"), al.Router, al.Dst, al.Rho, top.Hop, top.Responsibility)
+		}
+		fmt.Println()
+	}
+
+	// Per-AS summary sorted by total delay severity.
+	agg := a.Aggregator()
+	type asScore struct {
+		asn   string
+		score float64
+	}
+	var scores []asScore
+	for _, asn := range agg.ASes() {
+		total := 0.0
+		if s := agg.DelaySeries(asn); s != nil {
+			for _, p := range s.Points() {
+				total += p.V
+			}
+		}
+		scores = append(scores, asScore{asn: asn.String(), score: total})
+	}
+	sort.Slice(scores, func(i, j int) bool { return scores[i].score > scores[j].score })
+	rows := [][]string{{"AS", "total delay severity"}}
+	for i, s := range scores {
+		if i >= *topAS {
+			break
+		}
+		rows = append(rows, []string{s.asn, fmt.Sprintf("%.1f", s.score)})
+	}
+	fmt.Print(report.Table(rows))
+
+	evs := agg.Events(timeseries.Bin(first, time.Hour).Add(*window/7), last.Add(time.Hour))
+	fmt.Printf("\nmajor events (|magnitude| ≥ %.0f):\n", *threshold)
+	if len(evs) == 0 {
+		fmt.Println("  none")
+	}
+	for _, e := range evs {
+		fmt.Printf("  %s\n", e)
+	}
+
+	if *dotPath != "" {
+		g := a.Graph(first, last.Add(time.Hour))
+		var around netip.Addr
+		if *dotAround != "" {
+			around, err = netip.ParseAddr(*dotAround)
+			if err != nil {
+				log.Fatalf("-dot-around: %v", err)
+			}
+		}
+		f, err := os.Create(*dotPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := g.WriteDOT(f, around, nil); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nalarm graph written to %s\n", *dotPath)
+	}
+}

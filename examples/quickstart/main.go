@@ -1,0 +1,98 @@
+// Quickstart: build a small simulated Internet, inject one congestion
+// event, run Atlas-like measurements through the detection pipeline, and
+// print what the detectors found and where.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"pinpoint"
+	"pinpoint/internal/atlas"
+	"pinpoint/internal/netsim"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. A small Internet: 2 tier-1s, 4 transit ASes, 12 probe-hosting
+	//    stubs, one anycast root service with 3 instances.
+	topo, err := netsim.Generate(netsim.TopoConfig{
+		Seed: 7, Tier1: 2, Transit: 4, Stub: 12,
+		Roots: 1, RootInstances: 3, Anchors: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Inject 2 hours of congestion on the last-hop link of the first
+	//    root instance, starting 36 hours in.
+	start := time.Date(2015, 6, 1, 0, 0, 0, 0, time.UTC)
+	evStart := start.Add(36 * time.Hour)
+	evEnd := evStart.Add(2 * time.Hour)
+	root := topo.Roots[0]
+	scenario := netsim.NewScenario(netsim.Event{
+		Name: "congestion", Kind: netsim.EventCongestion,
+		From: root.Sites[0], To: root.Instances[0], Both: true,
+		ExtraDelayMS: 80, Loss: 0.02,
+		Start: evStart, End: evEnd,
+	})
+	net, err := topo.Build(scenario)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. The measurement platform: one probe per stub AS, builtin
+	//    traceroutes to the root every 30 minutes (the paper's cadence).
+	platform := atlas.NewPlatform(net, 7, netsim.TracerouteOpts{})
+	platform.AddProbes(topo.ProbeSites())
+	platform.AddBuiltin(root.Addr)
+
+	// 4. The analysis pipeline with the paper's default parameters.
+	analyzer := pinpoint.New(pinpoint.Config{RetainAlarms: true},
+		platform.ProbeASN, net.Prefixes())
+
+	end := start.Add(48 * time.Hour)
+	err = platform.Run(start, end, func(r pinpoint.Result) error {
+		analyzer.Observe(r)
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	analyzer.Flush()
+
+	// 5. Report. Delay alarms pinpoint the congested link by IP pair.
+	fmt.Printf("processed %d traceroutes over %s\n", analyzer.Results(), end.Sub(start))
+	fmt.Printf("congestion injected %s .. %s on link %s > %s\n\n",
+		evStart.Format("Jan 2 15:04"), evEnd.Format("15:04"),
+		net.Router(root.Sites[0]).Addr, root.Addr)
+
+	for _, al := range analyzer.DelayAlarms() {
+		marker := " "
+		if !al.Bin.Before(evStart) && al.Bin.Before(evEnd) {
+			marker = "*" // inside the injected window
+		}
+		fmt.Printf("%s %s  %-35s shift %6.1f ms  deviation %7.1f  (%d probes, %d ASes)\n",
+			marker, al.Bin.Format("Jan 2 15:04"), al.Link, al.DiffMS, al.Deviation,
+			al.Probes, al.ASes)
+	}
+
+	// 6. AS-level view: the root operator's AS should peak in the window.
+	mags := analyzer.Aggregator().DelayMagnitude(root.ASN, start.Add(24*time.Hour), end)
+	var peak float64
+	var peakT time.Time
+	for _, p := range mags {
+		if p.V > peak {
+			peak, peakT = p.V, p.T
+		}
+	}
+	fmt.Printf("\n%s delay-change magnitude peaks at %s (%.0f)\n",
+		root.ASN, peakT.Format("Jan 2 15:04"), peak)
+	if !peakT.Before(evStart) && peakT.Before(evEnd) {
+		fmt.Println("→ the event was pinpointed in time and space.")
+	}
+}

@@ -1,0 +1,63 @@
+// Streaming analysis (the paper's §8 deployment shape): results flow
+// through a channel into the analyzer, and alarms surface through hooks as
+// soon as their bin closes — no buffering of the whole dataset. This is the
+// pattern cmd/ihr builds its HTTP API on.
+//
+//	go run ./examples/streaming_ihr
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"pinpoint"
+	"pinpoint/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	c, err := experiments.NewCase("ddos", experiments.Quick)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("streaming case %q: %s\n\n", c.Name, c.Description)
+
+	analyzer := pinpoint.New(pinpoint.Config{}, c.Platform.ProbeASN, c.Net.Prefixes())
+
+	// Hooks fire in near real time, as each analysis bin completes.
+	delayCount, fwdCount := 0, 0
+	analyzer.OnDelayAlarm = func(al pinpoint.DelayAlarm) {
+		delayCount++
+		if delayCount <= 8 {
+			fmt.Printf("live delay alarm   %s %s shift=%.1fms\n",
+				al.Bin.Format("Jan 2 15:04"), al.Link, al.DiffMS)
+		}
+	}
+	analyzer.OnForwardingAlarm = func(al pinpoint.ForwardingAlarm) {
+		fwdCount++
+		if fwdCount <= 8 {
+			top, _ := al.MaxResponsibility()
+			fmt.Printf("live fwd alarm     %s router=%s ρ=%.2f top-hop=%s\n",
+				al.Bin.Format("Jan 2 15:04"), al.Router, al.Rho, top.Hop)
+		}
+	}
+
+	ctx := context.Background()
+	results, errc := c.Platform.Stream(ctx, c.Start, c.End)
+	if err := analyzer.RunStream(ctx, results); err != nil {
+		log.Fatal(err)
+	}
+	if err := <-errc; err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nstream complete: %d results, %d delay alarms, %d forwarding alarms\n",
+		analyzer.Results(), delayCount, fwdCount)
+	evs := analyzer.Aggregator().Events(c.Start, c.End)
+	fmt.Printf("major events: %d\n", len(evs))
+	for _, e := range evs {
+		fmt.Printf("  %s\n", e)
+	}
+}

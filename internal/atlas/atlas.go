@@ -1,0 +1,318 @@
+// Package atlas simulates the RIPE Atlas measurement platform of §2:
+// probes hosted in stub networks continuously run Paris traceroutes toward
+// builtin targets (the anycast DNS root servers, every 30 minutes) and
+// anchoring targets (anchors, every 15 minutes), producing a stream of
+// results in time order.
+//
+// The platform replaces the paper's 2.8-billion-traceroute dataset; scale is
+// a config knob, the result schema and cadences are the paper's.
+package atlas
+
+import (
+	"context"
+	"fmt"
+	"math/rand/v2"
+	"net/netip"
+	"sort"
+	"time"
+
+	"pinpoint/internal/ipmap"
+	"pinpoint/internal/netsim"
+	"pinpoint/internal/trace"
+)
+
+// Builtin and anchoring measurement cadences from §2.
+const (
+	BuiltinInterval   = 30 * time.Minute
+	AnchoringInterval = 15 * time.Minute
+)
+
+// Probe is one vantage point, attached to a router of the simulated network.
+type Probe struct {
+	ID     int
+	Router netsim.RouterID
+	ASN    ipmap.ASN
+	Anchor bool // anchors are "super probes" (§2)
+
+	// ConnectedFrom/ConnectedTo bound the probe's availability: outside
+	// the window it schedules no measurements. Zero values mean always
+	// connected. The paper's dataset has the same churn: 11,538 probes
+	// connected at some point during the eight months, ~10,000 at any
+	// instant.
+	ConnectedFrom, ConnectedTo time.Time
+}
+
+// connectedAt reports whether the probe is online at t.
+func (p Probe) connectedAt(t time.Time) bool {
+	if !p.ConnectedFrom.IsZero() && t.Before(p.ConnectedFrom) {
+		return false
+	}
+	if !p.ConnectedTo.IsZero() && !t.Before(p.ConnectedTo) {
+		return false
+	}
+	return true
+}
+
+// Kind distinguishes the two repetitive measurement classes of §2.
+type Kind int
+
+// Measurement kinds.
+const (
+	Builtin Kind = iota
+	Anchoring
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if k == Builtin {
+		return "builtin"
+	}
+	return "anchoring"
+}
+
+// Measurement is one repetitive traceroute measurement toward a target.
+type Measurement struct {
+	ID       int
+	Kind     Kind
+	Target   netip.Addr
+	Interval time.Duration
+	Probes   []int // participating probe IDs
+}
+
+// Platform schedules measurements over a simulated network.
+type Platform struct {
+	net    *netsim.Net
+	seed   uint64
+	opts   netsim.TracerouteOpts
+	probes map[int]Probe
+	order  []int // probe IDs in insertion order
+	msms   []Measurement
+	nextID int
+}
+
+// NewPlatform returns an empty platform over the given network. The seed
+// determines all measurement noise; equal seeds give bit-identical streams.
+func NewPlatform(n *netsim.Net, seed uint64, opts netsim.TracerouteOpts) *Platform {
+	return &Platform{
+		net:    n,
+		seed:   seed,
+		opts:   opts.Defaults(),
+		probes: make(map[int]Probe),
+		nextID: 5000, // Atlas-like measurement IDs start at 5000
+	}
+}
+
+// Net returns the underlying network.
+func (p *Platform) Net() *netsim.Net { return p.net }
+
+// AddProbe attaches a probe to a router, deriving its ASN from the router's
+// operator AS. Probe IDs are assigned sequentially from 1.
+func (p *Platform) AddProbe(router netsim.RouterID, anchor bool) Probe {
+	id := len(p.probes) + 1
+	pr := Probe{ID: id, Router: router, ASN: p.net.Router(router).AS, Anchor: anchor}
+	p.probes[id] = pr
+	p.order = append(p.order, id)
+	return pr
+}
+
+// AddProbes attaches one probe per router.
+func (p *Platform) AddProbes(routers []netsim.RouterID) []Probe {
+	out := make([]Probe, 0, len(routers))
+	for _, r := range routers {
+		out = append(out, p.AddProbe(r, false))
+	}
+	return out
+}
+
+// Probes returns all probes in insertion order.
+func (p *Platform) Probes() []Probe {
+	out := make([]Probe, 0, len(p.order))
+	for _, id := range p.order {
+		out = append(out, p.probes[id])
+	}
+	return out
+}
+
+// Probe returns the probe with the given id.
+func (p *Platform) Probe(id int) (Probe, bool) {
+	pr, ok := p.probes[id]
+	return pr, ok
+}
+
+// SetProbeWindow bounds a probe's connectivity to [from, to); measurements
+// outside the window are not scheduled. It returns false for unknown probes.
+func (p *Platform) SetProbeWindow(id int, from, to time.Time) bool {
+	pr, ok := p.probes[id]
+	if !ok {
+		return false
+	}
+	pr.ConnectedFrom, pr.ConnectedTo = from, to
+	p.probes[id] = pr
+	return true
+}
+
+// ProbeASN resolves a probe id to its AS number; the delay analyzer's
+// probe-diversity filter (§4.3) keys on this.
+func (p *Platform) ProbeASN(id int) (ipmap.ASN, bool) {
+	pr, ok := p.probes[id]
+	if !ok {
+		return 0, false
+	}
+	return pr.ASN, true
+}
+
+// AddBuiltin registers a builtin measurement: every probe traceroutes the
+// target every 30 minutes (cf. the root-server measurements of §2).
+func (p *Platform) AddBuiltin(target netip.Addr) Measurement {
+	return p.addMeasurement(Builtin, target, BuiltinInterval, p.order)
+}
+
+// AddAnchoring registers an anchoring measurement from the given probes
+// every 15 minutes.
+func (p *Platform) AddAnchoring(target netip.Addr, probeIDs []int) Measurement {
+	return p.addMeasurement(Anchoring, target, AnchoringInterval, probeIDs)
+}
+
+// AddCustom registers a measurement with an arbitrary cadence.
+func (p *Platform) AddCustom(target netip.Addr, interval time.Duration, probeIDs []int) Measurement {
+	return p.addMeasurement(Builtin, target, interval, probeIDs)
+}
+
+func (p *Platform) addMeasurement(kind Kind, target netip.Addr, interval time.Duration, probeIDs []int) Measurement {
+	m := Measurement{
+		ID:       p.nextID,
+		Kind:     kind,
+		Target:   target,
+		Interval: interval,
+		Probes:   append([]int(nil), probeIDs...),
+	}
+	p.nextID++
+	p.msms = append(p.msms, m)
+	return m
+}
+
+// Measurements returns the registered measurements.
+func (p *Platform) Measurements() []Measurement { return p.msms }
+
+// hash mixes identifiers into a stable 64-bit value for seeding per-task
+// PRNGs and offsets.
+func (p *Platform) hash(vals ...uint64) uint64 {
+	h := p.seed
+	for _, v := range vals {
+		h ^= v + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)
+		h *= 0x100000001b3
+	}
+	return h
+}
+
+type task struct {
+	at    time.Time
+	msm   int // index into p.msms
+	probe int // probe ID
+}
+
+// tasksBetween generates all (measurement, probe) firings within [from, to),
+// sorted chronologically. Each probe fires at a stable per-(msm,probe)
+// offset within the interval, spreading load like the real platform.
+func (p *Platform) tasksBetween(from, to time.Time) []task {
+	var out []task
+	for mi, m := range p.msms {
+		for _, prb := range m.Probes {
+			meta := p.probes[prb]
+			off := time.Duration(p.hash(uint64(m.ID), uint64(prb), 0xa11a5) % uint64(m.Interval))
+			// First firing at or after from.
+			start := from.Truncate(m.Interval).Add(off)
+			for start.Before(from) {
+				start = start.Add(m.Interval)
+			}
+			for at := start; at.Before(to); at = at.Add(m.Interval) {
+				if !meta.connectedAt(at) {
+					continue
+				}
+				out = append(out, task{at: at, msm: mi, probe: prb})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].at.Equal(out[j].at) {
+			return out[i].at.Before(out[j].at)
+		}
+		if out[i].msm != out[j].msm {
+			return out[i].msm < out[j].msm
+		}
+		return out[i].probe < out[j].probe
+	})
+	return out
+}
+
+// Run executes all scheduled measurements in [from, to) in chronological
+// order, invoking fn for each result. Returning a non-nil error from fn
+// aborts the run. Results are bit-identical for equal platform seeds.
+//
+// The generation is chunked by day so arbitrarily long campaigns run in
+// bounded memory.
+func (p *Platform) Run(from, to time.Time, fn func(trace.Result) error) error {
+	const chunk = 24 * time.Hour
+	for cs := from; cs.Before(to); cs = cs.Add(chunk) {
+		ce := cs.Add(chunk)
+		if ce.After(to) {
+			ce = to
+		}
+		for _, t := range p.tasksBetween(cs, ce) {
+			m := p.msms[t.msm]
+			pr := p.probes[t.probe]
+			rng := rand.New(rand.NewPCG(
+				p.hash(uint64(m.ID), uint64(t.probe), uint64(t.at.UnixNano())),
+				p.hash(uint64(t.at.UnixNano()), uint64(m.ID)),
+			))
+			parisID := int(p.hash(uint64(m.ID), uint64(t.probe)) % 16)
+			res, err := p.net.Traceroute(pr.Router, m.Target, t.at, parisID, rng, p.opts)
+			if err != nil {
+				return fmt.Errorf("atlas: msm %d probe %d: %w", m.ID, t.probe, err)
+			}
+			res.MsmID = m.ID
+			res.PrbID = pr.ID
+			if err := fn(res); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Collect runs the platform and gathers all results into a slice (intended
+// for tests and small experiments; long campaigns should use Run or Stream).
+func (p *Platform) Collect(from, to time.Time) ([]trace.Result, error) {
+	var out []trace.Result
+	err := p.Run(from, to, func(r trace.Result) error {
+		out = append(out, r)
+		return nil
+	})
+	return out, err
+}
+
+// Stream runs the platform in a goroutine and delivers results over a
+// channel, mirroring the RIPE Atlas streaming API the paper's online
+// deployment consumes (§8). The channel closes when the run completes or
+// the context is canceled; a run error is delivered on the error channel
+// (buffered, at most one).
+func (p *Platform) Stream(ctx context.Context, from, to time.Time) (<-chan trace.Result, <-chan error) {
+	ch := make(chan trace.Result, 1024)
+	errc := make(chan error, 1)
+	go func() {
+		defer close(ch)
+		defer close(errc)
+		err := p.Run(from, to, func(r trace.Result) error {
+			select {
+			case ch <- r:
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		})
+		if err != nil && ctx.Err() == nil {
+			errc <- err
+		}
+	}()
+	return ch, errc
+}

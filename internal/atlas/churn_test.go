@@ -1,0 +1,49 @@
+package atlas
+
+import (
+	"testing"
+	"time"
+)
+
+func TestProbeWindowLimitsScheduling(t *testing.T) {
+	p, topo := testPlatform(t, 21)
+	p.AddBuiltin(topo.Roots[0].Addr)
+
+	// Probe 1 disconnects after the first hour of a 2-hour run.
+	if !p.SetProbeWindow(1, time.Time{}, from.Add(time.Hour)) {
+		t.Fatal("SetProbeWindow rejected known probe")
+	}
+	// Probe 2 connects only for the second hour.
+	p.SetProbeWindow(2, from.Add(time.Hour), time.Time{})
+
+	rs, err := p.Collect(from, from.Add(2*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int][2]int{} // probe → firings per hour
+	for _, r := range rs {
+		c := counts[r.PrbID]
+		if r.Time.Before(from.Add(time.Hour)) {
+			c[0]++
+		} else {
+			c[1]++
+		}
+		counts[r.PrbID] = c
+	}
+	if c := counts[1]; c[0] != 2 || c[1] != 0 {
+		t.Errorf("probe 1 fired %v, want [2 0]", c)
+	}
+	if c := counts[2]; c[0] != 0 || c[1] != 2 {
+		t.Errorf("probe 2 fired %v, want [0 2]", c)
+	}
+	if c := counts[3]; c[0] != 2 || c[1] != 2 {
+		t.Errorf("always-on probe 3 fired %v, want [2 2]", c)
+	}
+}
+
+func TestProbeWindowUnknownProbe(t *testing.T) {
+	p, _ := testPlatform(t, 22)
+	if p.SetProbeWindow(999, time.Time{}, time.Time{}) {
+		t.Error("unknown probe accepted")
+	}
+}

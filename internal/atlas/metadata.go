@@ -1,0 +1,92 @@
+package atlas
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/netip"
+
+	"pinpoint/internal/ipmap"
+)
+
+// Dataset metadata: traceroute JSONL files carry measurements only. For
+// offline analysis (cmd/pinpoint) the consumer also needs probe→AS mapping
+// (for the §4.3 diversity filter) and the prefix→AS table (for §6
+// aggregation — the paper uses BGP data for this). Metadata is the sidecar
+// carrying both.
+type Metadata struct {
+	Probes   []ProbeMeta  `json:"probes"`
+	Prefixes []PrefixMeta `json:"prefixes"`
+}
+
+// ProbeMeta describes one probe.
+type ProbeMeta struct {
+	ID     int    `json:"id"`
+	ASN    uint32 `json:"asn"`
+	Addr   string `json:"addr"`
+	Anchor bool   `json:"anchor,omitempty"`
+}
+
+// PrefixMeta is one prefix→AS announcement.
+type PrefixMeta struct {
+	Prefix string `json:"prefix"`
+	ASN    uint32 `json:"asn"`
+}
+
+// Metadata extracts the platform's probe and prefix metadata.
+func (p *Platform) Metadata() Metadata {
+	var m Metadata
+	for _, pr := range p.Probes() {
+		addr := p.net.Router(pr.Router).Addr.String()
+		m.Probes = append(m.Probes, ProbeMeta{
+			ID: pr.ID, ASN: uint32(pr.ASN), Addr: addr, Anchor: pr.Anchor,
+		})
+	}
+	for _, e := range p.net.Prefixes().Entries() {
+		m.Prefixes = append(m.Prefixes, PrefixMeta{Prefix: e.Prefix.String(), ASN: uint32(e.ASN)})
+	}
+	return m
+}
+
+// WriteMetadata encodes metadata as indented JSON.
+func WriteMetadata(w io.Writer, m Metadata) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// ReadMetadata decodes metadata JSON.
+func ReadMetadata(r io.Reader) (Metadata, error) {
+	var m Metadata
+	if err := json.NewDecoder(r).Decode(&m); err != nil {
+		return Metadata{}, fmt.Errorf("atlas: decoding metadata: %w", err)
+	}
+	return m, nil
+}
+
+// ProbeASN returns a lookup function suitable for the delay detector.
+func (m Metadata) ProbeASN() func(int) (ipmap.ASN, bool) {
+	byID := make(map[int]ipmap.ASN, len(m.Probes))
+	for _, p := range m.Probes {
+		byID[p.ID] = ipmap.ASN(p.ASN)
+	}
+	return func(id int) (ipmap.ASN, bool) {
+		asn, ok := byID[id]
+		return asn, ok
+	}
+}
+
+// Table builds the LPM prefix table for alarm aggregation.
+func (m Metadata) Table() (*ipmap.Table, error) {
+	var t ipmap.Table
+	for _, pm := range m.Prefixes {
+		p, err := netip.ParsePrefix(pm.Prefix)
+		if err != nil {
+			return nil, fmt.Errorf("atlas: metadata prefix %q: %w", pm.Prefix, err)
+		}
+		if err := t.Add(p, ipmap.ASN(pm.ASN)); err != nil {
+			return nil, err
+		}
+	}
+	return &t, nil
+}

@@ -1,0 +1,70 @@
+package atlas
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestMetadataRoundTrip(t *testing.T) {
+	p, topo := testPlatform(t, 31)
+	_ = topo
+	m := p.Metadata()
+	if len(m.Probes) != 8 {
+		t.Fatalf("probes = %d", len(m.Probes))
+	}
+	if len(m.Prefixes) == 0 {
+		t.Fatal("no prefixes")
+	}
+
+	var buf bytes.Buffer
+	if err := WriteMetadata(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMetadata(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Probes) != len(m.Probes) || len(got.Prefixes) != len(m.Prefixes) {
+		t.Fatalf("round trip lost entries: %d/%d probes, %d/%d prefixes",
+			len(got.Probes), len(m.Probes), len(got.Prefixes), len(m.Prefixes))
+	}
+
+	// Probe lookup matches the live platform.
+	lookup := got.ProbeASN()
+	for _, pr := range p.Probes() {
+		asn, ok := lookup(pr.ID)
+		if !ok || asn != pr.ASN {
+			t.Errorf("probe %d: %v/%v, want %v", pr.ID, asn, ok, pr.ASN)
+		}
+	}
+	if _, ok := lookup(9999); ok {
+		t.Error("unknown probe resolved")
+	}
+
+	// Table resolves the same as the live prefix table.
+	tbl, err := got.Table()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pr := range p.Probes() {
+		addr := p.Net().Router(pr.Router).Addr
+		want, _ := p.Net().Prefixes().Lookup(addr)
+		gotASN, ok := tbl.Lookup(addr)
+		if !ok || gotASN != want {
+			t.Errorf("table lookup %v = %v/%v, want %v", addr, gotASN, ok, want)
+		}
+	}
+}
+
+func TestMetadataBadPrefix(t *testing.T) {
+	m := Metadata{Prefixes: []PrefixMeta{{Prefix: "nope", ASN: 1}}}
+	if _, err := m.Table(); err == nil {
+		t.Error("bad prefix accepted")
+	}
+}
+
+func TestReadMetadataError(t *testing.T) {
+	if _, err := ReadMetadata(bytes.NewBufferString("{")); err == nil {
+		t.Error("malformed metadata accepted")
+	}
+}

@@ -1,0 +1,167 @@
+// Package core wires the paper's three methods into one analysis pipeline:
+// traceroute results stream in; differential-RTT delay alarms (§4) and
+// packet-forwarding anomalies (§5) stream out and are simultaneously
+// aggregated into per-AS severity series and major events (§6).
+//
+// This is the engine behind cmd/pinpoint (offline analysis) and cmd/ihr
+// (the near-real-time Internet Health Report of §8).
+package core
+
+import (
+	"context"
+	"time"
+
+	"pinpoint/internal/delay"
+	"pinpoint/internal/events"
+	"pinpoint/internal/forwarding"
+	"pinpoint/internal/ipmap"
+	"pinpoint/internal/trace"
+)
+
+// Config bundles the three stages' configurations. Zero values give the
+// paper's parameters throughout. The three bin sizes are forced to match:
+// Delay.BinSize wins when set, else one hour.
+type Config struct {
+	Delay      delay.Config
+	Forwarding forwarding.Config
+	Events     events.Config
+
+	// RetainAlarms keeps every alarm in memory for later queries
+	// (DelayAlarms / ForwardingAlarms). Leave it false for unbounded
+	// streaming runs and consume alarms via the hooks instead.
+	RetainAlarms bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Delay.BinSize == 0 {
+		c.Delay.BinSize = time.Hour
+	}
+	c.Forwarding.BinSize = c.Delay.BinSize
+	c.Events.BinSize = c.Delay.BinSize
+	return c
+}
+
+// Analyzer is the end-to-end pipeline. It is not safe for concurrent use;
+// RunStream provides the single-goroutine streaming harness.
+type Analyzer struct {
+	cfg Config
+
+	delayDet *delay.Detector
+	fwdDet   *forwarding.Detector
+	agg      *events.Aggregator
+
+	delayAlarms []delay.Alarm
+	fwdAlarms   []forwarding.Alarm
+	results     int
+
+	// OnDelayAlarm and OnForwardingAlarm, when non-nil, are invoked for
+	// every alarm as its bin closes (the near-real-time reporting path).
+	OnDelayAlarm      func(delay.Alarm)
+	OnForwardingAlarm func(forwarding.Alarm)
+}
+
+// New returns an Analyzer. probeASN resolves probe ids to AS numbers (the
+// §4.3 diversity filter needs it); table maps IPs to ASes for aggregation.
+func New(cfg Config, probeASN func(int) (ipmap.ASN, bool), table *ipmap.Table) *Analyzer {
+	cfg = cfg.withDefaults()
+	return &Analyzer{
+		cfg:      cfg,
+		delayDet: delay.NewDetector(cfg.Delay, probeASN),
+		fwdDet:   forwarding.NewDetector(cfg.Forwarding),
+		agg:      events.NewAggregator(cfg.Events, table),
+	}
+}
+
+// Observe ingests one traceroute result (results must arrive in
+// chronological order, as the platform and the Atlas stream provide them).
+func (a *Analyzer) Observe(r trace.Result) {
+	a.results++
+	a.agg.ObserveBin(r.Time)
+	a.dispatchDelay(a.delayDet.Observe(r))
+	a.dispatchFwd(a.fwdDet.Observe(r))
+}
+
+// Flush closes the open bin in both detectors. Call at end of stream.
+func (a *Analyzer) Flush() {
+	a.dispatchDelay(a.delayDet.Flush())
+	a.dispatchFwd(a.fwdDet.Flush())
+}
+
+func (a *Analyzer) dispatchDelay(alarms []delay.Alarm) {
+	for _, al := range alarms {
+		a.agg.AddDelayAlarm(al)
+		if a.cfg.RetainAlarms {
+			a.delayAlarms = append(a.delayAlarms, al)
+		}
+		if a.OnDelayAlarm != nil {
+			a.OnDelayAlarm(al)
+		}
+	}
+}
+
+func (a *Analyzer) dispatchFwd(alarms []forwarding.Alarm) {
+	for _, al := range alarms {
+		a.agg.AddForwardingAlarm(al)
+		if a.cfg.RetainAlarms {
+			a.fwdAlarms = append(a.fwdAlarms, al)
+		}
+		if a.OnForwardingAlarm != nil {
+			a.OnForwardingAlarm(al)
+		}
+	}
+}
+
+// RunStream consumes a result channel until it closes or the context is
+// canceled, then flushes. It returns the context's error when canceled.
+func (a *Analyzer) RunStream(ctx context.Context, results <-chan trace.Result) error {
+	for {
+		select {
+		case r, ok := <-results:
+			if !ok {
+				a.Flush()
+				return nil
+			}
+			a.Observe(r)
+		case <-ctx.Done():
+			a.Flush()
+			return ctx.Err()
+		}
+	}
+}
+
+// Results returns how many traceroute results have been ingested.
+func (a *Analyzer) Results() int { return a.results }
+
+// DelayAlarms returns retained delay alarms (RetainAlarms must be set).
+func (a *Analyzer) DelayAlarms() []delay.Alarm { return a.delayAlarms }
+
+// ForwardingAlarms returns retained forwarding alarms.
+func (a *Analyzer) ForwardingAlarms() []forwarding.Alarm { return a.fwdAlarms }
+
+// Aggregator exposes the per-AS severity series and event detection.
+func (a *Analyzer) Aggregator() *events.Aggregator { return a.agg }
+
+// DelayDetector exposes the underlying §4 detector (for statistics such as
+// LinksSeen).
+func (a *Analyzer) DelayDetector() *delay.Detector { return a.delayDet }
+
+// ForwardingDetector exposes the underlying §5 detector.
+func (a *Analyzer) ForwardingDetector() *forwarding.Detector { return a.fwdDet }
+
+// Graph builds the alarm graph (Figs 8, 12) from the retained alarms within
+// [from, to).
+func (a *Analyzer) Graph(from, to time.Time) *events.AlarmGraph {
+	var dal []delay.Alarm
+	for _, al := range a.delayAlarms {
+		if !al.Bin.Before(from) && al.Bin.Before(to) {
+			dal = append(dal, al)
+		}
+	}
+	var fal []forwarding.Alarm
+	for _, al := range a.fwdAlarms {
+		if !al.Bin.Before(from) && al.Bin.Before(to) {
+			fal = append(fal, al)
+		}
+	}
+	return events.NewAlarmGraph(dal, fal)
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"pinpoint/internal/atlas"
+	"pinpoint/internal/netsim"
+	"pinpoint/internal/trace"
+)
+
+// The whole pipeline is address-family agnostic: an IPv6 congestion event
+// is pinpointed exactly like an IPv4 one (the paper runs both families
+// through the same system, §2/§7).
+func TestEndToEndIPv6(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	topo, err := netsim.Generate(netsim.TopoConfig{
+		Seed: 86, IPv6: true, Tier1: 2, Transit: 5, Stub: 16,
+		Roots: 1, RootInstances: 3, Anchors: 2, IXPs: 1, IXPMembers: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := topo.Roots[0]
+	evStart := start.Add(36 * time.Hour)
+	evEnd := evStart.Add(2 * time.Hour)
+	sc := netsim.NewScenario(netsim.Event{
+		Name: "v6-congestion", Kind: netsim.EventCongestion,
+		From: root.Sites[0], To: root.Instances[0], Both: true,
+		ExtraDelayMS: 70, Start: evStart, End: evEnd,
+	})
+	n, err := topo.Build(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := atlas.NewPlatform(n, 86, netsim.TracerouteOpts{})
+	p.AddProbes(topo.ProbeSites())
+	p.AddBuiltin(root.Addr)
+
+	a := New(Config{RetainAlarms: true}, p.ProbeASN, n.Prefixes())
+	if err := p.Run(start, start.Add(48*time.Hour), func(r trace.Result) error {
+		a.Observe(r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	a.Flush()
+
+	found := false
+	for _, al := range a.DelayAlarms() {
+		if !al.Bin.Before(evStart) && al.Bin.Before(evEnd) {
+			if !al.Link.Near.Is6() || !al.Link.Far.Is6() {
+				t.Fatalf("non-IPv6 alarm link %v", al.Link)
+			}
+			if al.Link.Far == root.Addr || al.Link.Near == root.Addr {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("IPv6 congestion not pinpointed to the root's last-hop link")
+	}
+	// Aggregation maps the v6 alarms to the operator AS.
+	mags := a.Aggregator().DelayMagnitude(root.ASN, start.Add(24*time.Hour), start.Add(48*time.Hour))
+	peak := 0.0
+	for _, pt := range mags {
+		if pt.V > peak {
+			peak = pt.V
+		}
+	}
+	if peak < 5 {
+		t.Errorf("v6 operator AS magnitude peak = %v, want substantial", peak)
+	}
+}

@@ -1,0 +1,51 @@
+package delay
+
+import (
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"pinpoint/internal/stats"
+)
+
+// BenchmarkObserve measures per-result ingestion cost (sample extraction
+// into the per-link accumulators) — the streaming hot path.
+func BenchmarkObserve(b *testing.B) {
+	d := NewDetector(Config{Seed: 1}, testASN)
+	rng := rand.New(rand.NewPCG(1, 1))
+	results := make([]int, 64)
+	for i := range results {
+		results[i] = i%30 + 1
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prb := results[i%len(results)]
+		d.Observe(mkResult(prb, t0.Add(time.Duration(i/1000)*time.Hour), 5, 7, rng))
+	}
+}
+
+// BenchmarkCloseBin measures one full bin evaluation (diversity filter,
+// Wilson characterization, reference update) for a well-observed link.
+func BenchmarkCloseBin(b *testing.B) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		d := NewDetector(Config{Seed: 1}, testASN)
+		for p := 1; p <= 60; p++ {
+			d.Observe(mkResult(p, t0, 5, 7, rng))
+		}
+		b.StartTimer()
+		d.Flush()
+	}
+}
+
+func BenchmarkDeviation(b *testing.B) {
+	ref := stats.MedianCI{Median: 5, Lower: 4, Upper: 6, N: 100}
+	cur := stats.MedianCI{Median: 10, Lower: 9, Upper: 11, N: 100}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Deviation(cur, ref)
+	}
+}

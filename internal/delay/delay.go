@@ -1,0 +1,458 @@
+// Package delay implements the paper's differential-RTT delay-change
+// detection (§4): per 1-hour bin and per IP-level link it computes the
+// differential RTT samples from every probe, filters links without enough
+// probe diversity (§4.3), characterizes the distribution with the median and
+// its Wilson-score confidence interval (§4.2.2), compares against an
+// exponentially smoothed reference (§4.2.4), and reports anomalies with the
+// deviation score d(∆) of Eq 6 (§4.2.3).
+package delay
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+	"time"
+
+	"pinpoint/internal/ipmap"
+	"pinpoint/internal/stats"
+	"pinpoint/internal/timeseries"
+	"pinpoint/internal/trace"
+)
+
+// Config parameterizes the detector. NewDetector fills zero fields with the
+// paper's values.
+type Config struct {
+	BinSize    time.Duration // analysis bin; paper: 1 hour
+	Z          float64       // normal quantile for CIs; paper: 1.96 (95%)
+	Alpha      float64       // exponential smoothing factor; paper: "small"
+	WarmupBins int           // bins whose median seeds the reference; paper: 3
+	MinASes    int           // probe-diversity criterion 1; paper: 3
+	MinEntropy float64       // probe-diversity criterion 2; paper: 0.5
+	MinSamples int           // minimum ∆ samples per link-bin; Appendix B: 9
+	MinDiffMS  float64       // minimum median gap to report; paper: 1 ms
+	Seed       uint64        // seeds the random probe dropping of §4.3
+
+	// Observer, when non-nil, receives every evaluated link-bin observation
+	// (after diversity filtering), anomalous or not. Experiment harnesses
+	// use it to regenerate the per-link panels of Figs 2, 7 and 11.
+	Observer func(Observation)
+
+	// SymmetricLink, when non-nil, marks links known to carry their return
+	// traffic on the same physical path (Eq 4: ∆ = δAB + δBA, no
+	// return-path ambiguity). For such links the probe-diversity
+	// constraint is released, as §9 proposes for future work: any probe
+	// count is accepted because every probe's ε is the link's own reverse
+	// delay. Asserting symmetry is the caller's responsibility — the paper
+	// notes there is no general technique for it yet.
+	SymmetricLink func(trace.LinkKey) bool
+
+	// Ablation knobs — NOT part of the paper's method; they implement the
+	// baselines §4.2.2 and §4.3 argue against, for the A1/A2 benches.
+
+	// UseMeanCI characterizes bins with the arithmetic mean and its
+	// standard-error CI (the original CLT) instead of the median + Wilson
+	// score.
+	UseMeanCI bool
+	// DisableDiversityFilter accepts every link regardless of probe AS
+	// diversity.
+	DisableDiversityFilter bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.BinSize == 0 {
+		c.BinSize = time.Hour
+	}
+	if c.Z == 0 {
+		c.Z = stats.Z95
+	}
+	if c.Alpha == 0 {
+		// The paper only says "a small α value is preferable" (§4.2.4).
+		// 0.01 keeps a 2-hour, +100 ms event from dragging the reference
+		// more than a couple of ms, which bounds the post-event recovery
+		// tail of low-deviation alarms while still adapting to genuine
+		// level shifts within a few days.
+		c.Alpha = 0.01
+	}
+	if c.WarmupBins == 0 {
+		c.WarmupBins = 3
+	}
+	if c.MinASes == 0 {
+		c.MinASes = 3
+	}
+	if c.MinEntropy == 0 {
+		c.MinEntropy = 0.5
+	}
+	if c.MinSamples == 0 {
+		c.MinSamples = 9
+	}
+	if c.MinDiffMS == 0 {
+		c.MinDiffMS = 1.0
+	}
+	return c
+}
+
+// Alarm reports one abnormal delay change on one link in one bin.
+type Alarm struct {
+	Bin       time.Time
+	Link      trace.LinkKey
+	Observed  stats.MedianCI // this bin's median ∆ and CI
+	Reference stats.MedianCI // the smoothed normal reference
+	Deviation float64        // d(∆), Eq 6 — relative gap between the CIs
+	DiffMS    float64        // |observed median − reference median|
+	Probes    int            // probes contributing after filtering
+	ASes      int            // distinct probe ASes after filtering
+}
+
+// Observation is the per-bin evaluation of one link, emitted to
+// Config.Observer. Reference is the state before this bin updates it; it is
+// invalid (N == 0) while the reference is still warming up.
+type Observation struct {
+	Bin       time.Time
+	Link      trace.LinkKey
+	Observed  stats.MedianCI
+	Reference stats.MedianCI
+	Anomalous bool
+	Deviation float64
+	Probes    int
+	ASes      int
+}
+
+// probeASNFunc resolves a probe id to its AS number.
+type probeASNFunc func(int) (ipmap.ASN, bool)
+
+// linkRef is the smoothed normal reference of one link: the median and the
+// CI bounds are each tracked with the same exponential smoothing (§4.2.4).
+type linkRef struct {
+	median *stats.EWMA
+	lower  *stats.EWMA
+	upper  *stats.EWMA
+}
+
+func (r *linkRef) ci() stats.MedianCI {
+	if !r.median.Primed() {
+		return stats.MedianCI{}
+	}
+	return stats.MedianCI{Median: r.median.Value(), Lower: r.lower.Value(), Upper: r.upper.Value(), N: 1}
+}
+
+func (r *linkRef) observe(ci stats.MedianCI) {
+	r.median.Observe(ci.Median)
+	r.lower.Observe(ci.Lower)
+	r.upper.Observe(ci.Upper)
+}
+
+// probeAgg collects one probe's ∆ samples for one link within a bin.
+type probeAgg struct {
+	asn     ipmap.ASN
+	samples []float64
+}
+
+// linkAgg collects all ∆ samples for one link within a bin, per probe.
+type linkAgg struct {
+	perProbe map[int]*probeAgg
+}
+
+// Detector is the streaming delay-change detector. Feed chronologically
+// ordered results with Observe; alarms for a bin are returned when the
+// stream crosses into the next bin (and by Flush at end of stream).
+// Detector is not safe for concurrent use.
+type Detector struct {
+	cfg      Config
+	probeASN probeASNFunc
+	rng      *rand.Rand
+
+	curBin  time.Time
+	haveBin bool
+	cur     map[trace.LinkKey]*linkAgg
+	refs    map[trace.LinkKey]*linkRef
+
+	linksSeen map[trace.LinkKey]struct{}
+}
+
+// NewDetector returns a Detector with the given configuration; probeASN
+// resolves probe ids to AS numbers (unresolvable probes are ignored, since
+// diversity filtering is impossible without an AS).
+func NewDetector(cfg Config, probeASN func(int) (ipmap.ASN, bool)) *Detector {
+	cfg = cfg.withDefaults()
+	return &Detector{
+		cfg:       cfg,
+		probeASN:  probeASN,
+		rng:       rand.New(rand.NewPCG(cfg.Seed, 0x5ca1ab1e)),
+		cur:       make(map[trace.LinkKey]*linkAgg),
+		refs:      make(map[trace.LinkKey]*linkRef),
+		linksSeen: make(map[trace.LinkKey]struct{}),
+	}
+}
+
+// Config returns the effective (default-filled) configuration.
+func (d *Detector) Config() Config { return d.cfg }
+
+// LinksSeen returns how many distinct links ever produced ∆ samples — the
+// paper's "we monitored delays for 262k IPv4 links" statistic.
+func (d *Detector) LinksSeen() int { return len(d.linksSeen) }
+
+// Observe ingests one traceroute result. When the result's bin is newer
+// than the current one, the current bin is evaluated first and its alarms
+// returned. Results older than the current bin are folded into it (the
+// platform emits in order, so this only smooths jitter at bin edges).
+func (d *Detector) Observe(r trace.Result) []Alarm {
+	bin := timeseries.Bin(r.Time, d.cfg.BinSize)
+	var alarms []Alarm
+	if d.haveBin && bin.After(d.curBin) {
+		alarms = d.closeBin()
+	}
+	if !d.haveBin || bin.After(d.curBin) {
+		d.curBin = bin
+		d.haveBin = true
+	}
+	d.ingest(r)
+	return alarms
+}
+
+// Flush evaluates and clears the currently open bin. Call at end of stream.
+func (d *Detector) Flush() []Alarm {
+	if !d.haveBin {
+		return nil
+	}
+	alarms := d.closeBin()
+	d.haveBin = false
+	return alarms
+}
+
+// ingest extracts differential RTT samples (§4.2.1): for adjacent hops X, Y
+// every combination RTT(P→y) − RTT(P→x) over the replies is one ∆ sample of
+// the link (x, y), giving one to nine samples per probe and link.
+func (d *Detector) ingest(r trace.Result) {
+	asn, ok := d.probeASN(r.PrbID)
+	if !ok {
+		return
+	}
+	for _, pair := range r.AdjacentPairs() {
+		for _, ra := range pair.Near.Replies {
+			if ra.Timeout || !ra.From.IsValid() {
+				continue
+			}
+			for _, rb := range pair.Far.Replies {
+				if rb.Timeout || !rb.From.IsValid() || rb.From == ra.From {
+					continue
+				}
+				key := trace.LinkKey{Near: ra.From, Far: rb.From}
+				agg := d.cur[key]
+				if agg == nil {
+					agg = &linkAgg{perProbe: make(map[int]*probeAgg)}
+					d.cur[key] = agg
+					d.linksSeen[key] = struct{}{}
+				}
+				pa := agg.perProbe[r.PrbID]
+				if pa == nil {
+					pa = &probeAgg{asn: asn}
+					agg.perProbe[r.PrbID] = pa
+				}
+				pa.samples = append(pa.samples, rb.RTT-ra.RTT)
+			}
+		}
+	}
+}
+
+// closeBin runs steps 2–5 of §4.2 on the accumulated bin and resets it.
+func (d *Detector) closeBin() []Alarm {
+	var alarms []Alarm
+	// Deterministic iteration: sort links by string key. The probe-dropping
+	// step consumes randomness, so map order must not leak into results.
+	keys := make([]trace.LinkKey, 0, len(d.cur))
+	for k := range d.cur {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Near != keys[j].Near {
+			return keys[i].Near.Less(keys[j].Near)
+		}
+		return keys[i].Far.Less(keys[j].Far)
+	})
+
+	for _, key := range keys {
+		agg := d.cur[key]
+		var samples []float64
+		var probes, ases int
+		if d.cfg.SymmetricLink != nil && d.cfg.SymmetricLink(key) {
+			samples, probes, ases = collectAll(agg)
+		} else {
+			samples, probes, ases = d.filterDiversity(agg)
+		}
+		if samples == nil || len(samples) < d.cfg.MinSamples {
+			continue
+		}
+		sort.Float64s(samples)
+		var obs stats.MedianCI
+		if d.cfg.UseMeanCI {
+			obs = stats.MeanCI(samples, d.cfg.Z)
+		} else {
+			obs = stats.MedianWilsonSorted(samples, d.cfg.Z)
+		}
+
+		ref := d.refs[key]
+		if ref == nil {
+			ref = &linkRef{
+				median: stats.NewEWMA(d.cfg.Alpha, d.cfg.WarmupBins),
+				lower:  stats.NewEWMA(d.cfg.Alpha, d.cfg.WarmupBins),
+				upper:  stats.NewEWMA(d.cfg.Alpha, d.cfg.WarmupBins),
+			}
+			d.refs[key] = ref
+		}
+
+		refCI := ref.ci()
+		anomalous := false
+		deviation := 0.0
+		if refCI.Valid() {
+			deviation = Deviation(obs, refCI)
+			diff := math.Abs(obs.Median - refCI.Median)
+			// Report only non-overlapping CIs with a median gap of at
+			// least MinDiffMS (§4.2.3's 1 ms rule of thumb).
+			if deviation > 0 && diff >= d.cfg.MinDiffMS {
+				anomalous = true
+				alarms = append(alarms, Alarm{
+					Bin:       d.curBin,
+					Link:      key,
+					Observed:  obs,
+					Reference: refCI,
+					Deviation: deviation,
+					DiffMS:    diff,
+					Probes:    probes,
+					ASes:      ases,
+				})
+			}
+		}
+		if d.cfg.Observer != nil {
+			d.cfg.Observer(Observation{
+				Bin:       d.curBin,
+				Link:      key,
+				Observed:  obs,
+				Reference: refCI,
+				Anomalous: anomalous,
+				Deviation: deviation,
+				Probes:    probes,
+				ASes:      ases,
+			})
+		}
+		// Step 5: update the reference with the latest values. The small α
+		// keeps anomalous bins from dragging the reference along.
+		ref.observe(obs)
+	}
+
+	d.cur = make(map[trace.LinkKey]*linkAgg)
+	return alarms
+}
+
+// filterDiversity applies §4.3: the link must be observed from at least
+// MinASes distinct ASes, and the probe-per-AS distribution must have
+// normalized entropy above MinEntropy — otherwise probes are randomly
+// dropped from the most-represented AS until it does. It returns the
+// surviving ∆ samples and the contributing probe/AS counts, or nil when the
+// link fails the AS-count criterion.
+func (d *Detector) filterDiversity(agg *linkAgg) (samples []float64, probes, ases int) {
+	byAS := make(map[ipmap.ASN][]int) // ASN → probe ids
+	for id, pa := range agg.perProbe {
+		byAS[pa.asn] = append(byAS[pa.asn], id)
+	}
+	if d.cfg.DisableDiversityFilter {
+		for _, ids := range byAS {
+			ases++
+			for _, id := range ids {
+				probes++
+				samples = append(samples, agg.perProbe[id].samples...)
+			}
+		}
+		return samples, probes, ases
+	}
+	if len(byAS) < d.cfg.MinASes {
+		return nil, 0, 0
+	}
+	// Sort probe lists for deterministic dropping.
+	for _, ids := range byAS {
+		sort.Ints(ids)
+	}
+	counts := func() []int {
+		out := make([]int, 0, len(byAS))
+		for _, ids := range byAS {
+			out = append(out, len(ids))
+		}
+		return out
+	}
+	for stats.NormalizedEntropy(counts()) <= d.cfg.MinEntropy {
+		// Find the most-represented AS (deterministic tie-break on ASN).
+		var maxAS ipmap.ASN
+		maxN := -1
+		asns := make([]ipmap.ASN, 0, len(byAS))
+		for asn := range byAS {
+			asns = append(asns, asn)
+		}
+		sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
+		for _, asn := range asns {
+			if len(byAS[asn]) > maxN {
+				maxN = len(byAS[asn])
+				maxAS = asn
+			}
+		}
+		if maxN <= 1 {
+			// Cannot improve entropy further; §4.3's loop always
+			// terminates before this in practice, but guard regardless.
+			break
+		}
+		ids := byAS[maxAS]
+		drop := d.rng.IntN(len(ids))
+		byAS[maxAS] = append(ids[:drop], ids[drop+1:]...)
+	}
+	for _, ids := range byAS {
+		if len(ids) == 0 {
+			continue
+		}
+		ases++
+		for _, id := range ids {
+			probes++
+			samples = append(samples, agg.perProbe[id].samples...)
+		}
+	}
+	return samples, probes, ases
+}
+
+// collectAll gathers every probe's samples without diversity filtering —
+// the symmetric-link path (§9 future work) where return-path ambiguity
+// does not exist.
+func collectAll(agg *linkAgg) (samples []float64, probes, ases int) {
+	asSeen := make(map[ipmap.ASN]struct{})
+	ids := make([]int, 0, len(agg.perProbe))
+	for id := range agg.perProbe {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		pa := agg.perProbe[id]
+		probes++
+		asSeen[pa.asn] = struct{}{}
+		samples = append(samples, pa.samples...)
+	}
+	return samples, probes, len(asSeen)
+}
+
+// Deviation computes d(∆) of Eq 6: the gap between the observed and
+// reference confidence intervals, normalized by the reference interval's
+// own half-width on the crossed side. Overlapping intervals score 0.
+func Deviation(obs, ref stats.MedianCI) float64 {
+	const eps = 1e-3 // guards division when the reference CI is degenerate
+	switch {
+	case ref.Upper < obs.Lower:
+		den := ref.Upper - ref.Median
+		if den < eps {
+			den = eps
+		}
+		return (obs.Lower - ref.Upper) / den
+	case ref.Lower > obs.Upper:
+		den := ref.Median - ref.Lower
+		if den < eps {
+			den = eps
+		}
+		return (ref.Lower - obs.Upper) / den
+	default:
+		return 0
+	}
+}

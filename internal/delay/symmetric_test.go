@@ -1,0 +1,81 @@
+package delay
+
+import (
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"pinpoint/internal/ipmap"
+	"pinpoint/internal/trace"
+)
+
+// All probes in one AS: the standard diversity filter discards the link,
+// but marking it symmetric (the §9 future-work path) accepts it, and a
+// genuine shift is then detected from a single-AS vantage.
+func TestSymmetricLinkReleasesDiversity(t *testing.T) {
+	oneAS := func(id int) (ipmap.ASN, bool) { return 64999, true }
+	key := trace.LinkKey{Near: nearA, Far: farB}
+
+	run := func(symmetric bool) ([]Alarm, int) {
+		evaluated := 0
+		cfg := Config{Seed: 1, Observer: func(o Observation) { evaluated++ }}
+		if symmetric {
+			cfg.SymmetricLink = func(k trace.LinkKey) bool { return k == key }
+		}
+		d := NewDetector(cfg, oneAS)
+		rng := rand.New(rand.NewPCG(4, 4))
+		var alarms []Alarm
+		for bin := 0; bin < 9; bin++ {
+			at := t0.Add(time.Duration(bin) * time.Hour)
+			shift := 0.0
+			if bin == 8 {
+				shift = 10
+			}
+			for p := 1; p <= 8; p++ {
+				alarms = append(alarms, d.Observe(mkResult(p, at, 5, 7+shift, rng))...)
+			}
+		}
+		alarms = append(alarms, d.Flush()...)
+		return alarms, evaluated
+	}
+
+	alarms, evaluated := run(false)
+	if evaluated != 0 || len(alarms) != 0 {
+		t.Errorf("single-AS link should be discarded without symmetry: evaluated=%d alarms=%d", evaluated, len(alarms))
+	}
+
+	alarms, evaluated = run(true)
+	if evaluated == 0 {
+		t.Fatal("symmetric link never evaluated")
+	}
+	if len(alarms) != 1 {
+		t.Fatalf("alarms = %d, want 1 (the +10ms shift)", len(alarms))
+	}
+	if alarms[0].ASes != 1 || alarms[0].Probes != 8 {
+		t.Errorf("alarm diversity bookkeeping = %d ASes / %d probes", alarms[0].ASes, alarms[0].Probes)
+	}
+}
+
+// Symmetric marking must be per-link: other links keep the full filter.
+func TestSymmetricLinkScopedToKey(t *testing.T) {
+	oneAS := func(id int) (ipmap.ASN, bool) { return 64999, true }
+	other := trace.LinkKey{Near: farB, Far: nearA} // reversed: different key
+	evaluated := 0
+	cfg := Config{
+		Seed:          1,
+		Observer:      func(o Observation) { evaluated++ },
+		SymmetricLink: func(k trace.LinkKey) bool { return k == other },
+	}
+	d := NewDetector(cfg, oneAS)
+	rng := rand.New(rand.NewPCG(5, 5))
+	for bin := 0; bin < 3; bin++ {
+		at := t0.Add(time.Duration(bin) * time.Hour)
+		for p := 1; p <= 8; p++ {
+			d.Observe(mkResult(p, at, 5, 7, rng)) // produces (nearA, farB) only
+		}
+	}
+	d.Flush()
+	if evaluated != 0 {
+		t.Errorf("non-marked link evaluated %d times despite single-AS probes", evaluated)
+	}
+}

@@ -1,0 +1,253 @@
+// Package events implements the paper's alarm aggregation and major-event
+// detection (§6): alarms are grouped per AS with longest-prefix-match IP→AS
+// mapping, each AS gets two severity time series (Σ d(∆) for delay alarms
+// and Σ rᵢ for forwarding alarms), and peaks in the robust magnitude
+// mag(X) = (X − median)/(1 + 1.4826·MAD) over a one-week sliding window
+// (Eq 10) are reported as events.
+package events
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"time"
+
+	"pinpoint/internal/delay"
+	"pinpoint/internal/forwarding"
+	"pinpoint/internal/ipmap"
+	"pinpoint/internal/timeseries"
+)
+
+// Config parameterizes the aggregator.
+type Config struct {
+	BinSize   time.Duration // must match the detectors'; default 1 hour
+	Window    time.Duration // magnitude window; paper: one week
+	Threshold float64       // |mag| at or above this is an event; default 10
+}
+
+func (c Config) withDefaults() Config {
+	if c.BinSize == 0 {
+		c.BinSize = time.Hour
+	}
+	if c.Window == 0 {
+		c.Window = 7 * 24 * time.Hour
+	}
+	if c.Threshold == 0 {
+		c.Threshold = 10
+	}
+	return c
+}
+
+// Type distinguishes the two alarm families.
+type Type int
+
+// Event types.
+const (
+	DelayChange Type = iota
+	ForwardingAnomaly
+)
+
+// String implements fmt.Stringer.
+func (t Type) String() string {
+	if t == DelayChange {
+		return "delay-change"
+	}
+	return "forwarding-anomaly"
+}
+
+// Event is one detected major network disruption: a magnitude peak of one
+// AS in one bin.
+type Event struct {
+	ASN       ipmap.ASN
+	Bin       time.Time
+	Type      Type
+	Magnitude float64
+}
+
+// Aggregator groups alarms per AS and maintains the severity series.
+// It is not safe for concurrent use.
+type Aggregator struct {
+	cfg   Config
+	table *ipmap.Table
+
+	delaySeries map[ipmap.ASN]*timeseries.Series
+	fwdSeries   map[ipmap.ASN]*timeseries.Series
+
+	firstBin time.Time
+	haveBin  bool
+}
+
+// NewAggregator returns an Aggregator resolving addresses with the given
+// LPM table (the simulator's announced prefixes, standing in for BGP data).
+func NewAggregator(cfg Config, table *ipmap.Table) *Aggregator {
+	return &Aggregator{
+		cfg:         cfg.withDefaults(),
+		table:       table,
+		delaySeries: make(map[ipmap.ASN]*timeseries.Series),
+		fwdSeries:   make(map[ipmap.ASN]*timeseries.Series),
+	}
+}
+
+// Config returns the effective configuration.
+func (a *Aggregator) Config() Config { return a.cfg }
+
+// ObserveBin tells the aggregator that analysis covered the bin containing
+// t, whether or not any alarm fired. Magnitude windows extend back to the
+// first observed bin with zeros, so an AS whose very first alarm is the
+// event still scores it against a week of quiet — without this, the first
+// alarm of a series would always score zero.
+func (a *Aggregator) ObserveBin(t time.Time) {
+	b := timeseries.Bin(t, a.cfg.BinSize)
+	if !a.haveBin || b.Before(a.firstBin) {
+		a.firstBin = b
+		a.haveBin = true
+	}
+}
+
+func (a *Aggregator) spanStart(s *timeseries.Series) time.Time {
+	if a.haveBin {
+		return a.firstBin
+	}
+	first, _, ok := s.Span()
+	if !ok {
+		return time.Time{}
+	}
+	return first
+}
+
+// AddDelayAlarm accumulates a delay-change alarm: its deviation d(∆) is
+// added to the series of every AS owning one of the link's two addresses
+// ("alarms with IP addresses from different ASs are assigned to multiple
+// groups", §6).
+func (a *Aggregator) AddDelayAlarm(al delay.Alarm) {
+	asns := a.asnsOf(al.Link.Near, al.Link.Far)
+	for _, asn := range asns {
+		a.series(a.delaySeries, asn).Add(al.Bin, al.Deviation)
+	}
+}
+
+// AddForwardingAlarm accumulates a forwarding alarm: each next hop's
+// responsibility score is added to the next hop's AS series. Negative
+// scores (devalued hops) and positive scores (newly used hops) cancel out
+// when both hops sit in the same AS — the paper's intra-AS rerouting
+// mitigation. The unresponsive bucket has no address and is skipped.
+func (a *Aggregator) AddForwardingAlarm(al forwarding.Alarm) {
+	for _, h := range al.Hops {
+		if h.Hop == forwarding.Unresponsive || !h.Hop.IsValid() {
+			continue
+		}
+		asn, ok := a.table.Lookup(h.Hop)
+		if !ok {
+			continue
+		}
+		a.series(a.fwdSeries, asn).Add(al.Bin, h.Responsibility)
+	}
+}
+
+func (a *Aggregator) asnsOf(addrs ...netip.Addr) []ipmap.ASN {
+	var out []ipmap.ASN
+	for _, addr := range addrs {
+		asn, ok := a.table.Lookup(addr)
+		if !ok {
+			continue
+		}
+		dup := false
+		for _, seen := range out {
+			if seen == asn {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, asn)
+		}
+	}
+	return out
+}
+
+func (a *Aggregator) series(m map[ipmap.ASN]*timeseries.Series, asn ipmap.ASN) *timeseries.Series {
+	s := m[asn]
+	if s == nil {
+		s = timeseries.New(a.cfg.BinSize)
+		m[asn] = s
+	}
+	return s
+}
+
+// ASes returns every AS with at least one alarm, sorted.
+func (a *Aggregator) ASes() []ipmap.ASN {
+	seen := make(map[ipmap.ASN]struct{})
+	for asn := range a.delaySeries {
+		seen[asn] = struct{}{}
+	}
+	for asn := range a.fwdSeries {
+		seen[asn] = struct{}{}
+	}
+	out := make([]ipmap.ASN, 0, len(seen))
+	for asn := range seen {
+		out = append(out, asn)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// DelaySeries returns the Σ d(∆) series of an AS (nil when it has none).
+func (a *Aggregator) DelaySeries(asn ipmap.ASN) *timeseries.Series { return a.delaySeries[asn] }
+
+// ForwardingSeries returns the Σ rᵢ series of an AS (nil when it has none).
+func (a *Aggregator) ForwardingSeries(asn ipmap.ASN) *timeseries.Series { return a.fwdSeries[asn] }
+
+// DelayMagnitude computes the Eq 10 magnitude of an AS's delay series over
+// [from, to). Missing bins count as zero (a quiet hour is "no alarms").
+func (a *Aggregator) DelayMagnitude(asn ipmap.ASN, from, to time.Time) []timeseries.Point {
+	s := a.delaySeries[asn]
+	if s == nil {
+		return nil
+	}
+	return s.MagnitudeSince(a.spanStart(s), from, to, a.cfg.Window)
+}
+
+// ForwardingMagnitude computes the Eq 10 magnitude of an AS's forwarding
+// series over [from, to).
+func (a *Aggregator) ForwardingMagnitude(asn ipmap.ASN, from, to time.Time) []timeseries.Point {
+	s := a.fwdSeries[asn]
+	if s == nil {
+		return nil
+	}
+	return s.MagnitudeSince(a.spanStart(s), from, to, a.cfg.Window)
+}
+
+// Events scans every AS's two magnitude series over [from, to) and returns
+// the bins where |mag| ≥ Threshold, sorted by time then AS. Delay events
+// trigger on positive peaks (worse delays); forwarding events trigger on
+// both signs, matching the heavy left tail of Fig 5b.
+func (a *Aggregator) Events(from, to time.Time) []Event {
+	var out []Event
+	for _, asn := range a.ASes() {
+		for _, p := range a.DelayMagnitude(asn, from, to) {
+			if p.V >= a.cfg.Threshold {
+				out = append(out, Event{ASN: asn, Bin: p.T, Type: DelayChange, Magnitude: p.V})
+			}
+		}
+		for _, p := range a.ForwardingMagnitude(asn, from, to) {
+			if p.V >= a.cfg.Threshold || p.V <= -a.cfg.Threshold {
+				out = append(out, Event{ASN: asn, Bin: p.T, Type: ForwardingAnomaly, Magnitude: p.V})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Bin.Equal(out[j].Bin) {
+			return out[i].Bin.Before(out[j].Bin)
+		}
+		if out[i].ASN != out[j].ASN {
+			return out[i].ASN < out[j].ASN
+		}
+		return out[i].Type < out[j].Type
+	})
+	return out
+}
+
+// String implements fmt.Stringer.
+func (e Event) String() string {
+	return fmt.Sprintf("%s %s %s mag=%.1f", e.Bin.Format("2006-01-02T15:04"), e.ASN, e.Type, e.Magnitude)
+}

@@ -1,0 +1,285 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"pinpoint/internal/atlas"
+	"pinpoint/internal/delay"
+	"pinpoint/internal/forwarding"
+	"pinpoint/internal/ipmap"
+	"pinpoint/internal/netsim"
+	"pinpoint/internal/report"
+	"pinpoint/internal/trace"
+)
+
+// Abl01MedianVsMean quantifies the §4.2.2 design choice as a power
+// comparison: on a link contaminated with rare huge measurement outliers, a
+// genuine +5 ms congestion is injected. The outliers inflate the mean's
+// standard-error CI until the event is invisible to it, while the median's
+// order-statistics CI ignores them entirely — "an impractical number of
+// samples is required for the [original] CLT to hold".
+func Abl01MedianVsMean(scale Scale) (*Report, error) {
+	nProbes, days := 60, 7
+	if scale == Quick {
+		nProbes, days = 40, 3
+	}
+	start := time.Date(2015, 6, 1, 0, 0, 0, 0, time.UTC)
+	evStart := start.Add(time.Duration(days)*24*time.Hour - 30*time.Hour)
+	evEnd := evStart.Add(3 * time.Hour)
+	f, err := buildCogentLink(41, nProbes, 0.001, evStart, evEnd, 5)
+	if err != nil {
+		return nil, err
+	}
+	median := delay.NewDetector(delay.Config{Seed: 1}, f.Platform.ProbeASN)
+	mean := delay.NewDetector(delay.Config{Seed: 1, UseMeanCI: true}, f.Platform.ProbeASN)
+
+	inWindow := func(als []delay.Alarm) (in, out int) {
+		for _, al := range als {
+			if !al.Bin.Before(evStart) && al.Bin.Before(evEnd) {
+				in++
+			} else {
+				out++
+			}
+		}
+		return in, out
+	}
+	var medAll, meanAll []delay.Alarm
+	err = f.Platform.Run(start, start.Add(time.Duration(days)*24*time.Hour), func(r trace.Result) error {
+		medAll = append(medAll, median.Observe(r)...)
+		meanAll = append(meanAll, mean.Observe(r)...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	medAll = append(medAll, median.Flush()...)
+	meanAll = append(meanAll, mean.Flush()...)
+	medIn, medOut := inWindow(medAll)
+	meanIn, meanOut := inWindow(meanAll)
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "+5 ms congestion injected %s .. %s on an outlier-contaminated link\n\n",
+		evStart.Format("Jan 2 15:04"), evEnd.Format("15:04"))
+	sb.WriteString(report.Table([][]string{
+		{"characterization", "event bins detected", "alarms elsewhere"},
+		{"median + Wilson (paper)", fmt.Sprintf("%d of 3", medIn), fmt.Sprintf("%d", medOut)},
+		{"mean + standard error (baseline)", fmt.Sprintf("%d of 3", meanIn), fmt.Sprintf("%d", meanOut)},
+	}))
+
+	r := &Report{
+		ID: "A1", Title: "Median-CLT vs mean-CLT", Scale: scale,
+		Text: sb.String(),
+		Metrics: map[string]float64{
+			"median_alarms": float64(medIn), "median_false": float64(medOut),
+			"mean_alarms": float64(meanIn), "mean_false": float64(meanOut),
+		},
+	}
+	r.Claims = []Claim{
+		{
+			Name:     "median detects what the mean misses",
+			Paper:    "outliers make the mean impractical (§4.2.2)",
+			Measured: fmt.Sprintf("median %d/3 event bins vs mean %d/3", medIn, meanIn),
+			Holds:    medIn >= 2 && meanIn < medIn,
+		},
+		{
+			Name:     "median stays quiet off-event",
+			Paper:    "robust estimator, no spurious alarms",
+			Measured: fmt.Sprintf("%d off-event alarms", medOut),
+			Holds:    medOut <= 1,
+		},
+	}
+	return r, nil
+}
+
+// Abl02DiversityFilter quantifies the §4.3 design choice. All probes of one
+// AS share a return path; a congestion on that *return* path is
+// indistinguishable from a change on the monitored link. With the filter
+// the link is simply not evaluated; without it, the detector mis-attributes
+// the return-path event to the link.
+func Abl02DiversityFilter(scale Scale) (*Report, error) {
+	nProbes := 12
+	b := netsim.NewBuilder()
+	const asn ipmap.ASN = 64500
+	b.AS(asn, "core", "10.1.1.0/24")
+	r1 := b.Router(asn, "x", netsim.RouterOpts{ResponseProb: 1})
+	r2 := b.Router(asn, "y", netsim.RouterOpts{ResponseProb: 1})
+	tgt := b.Router(asn, "t", netsim.RouterOpts{ResponseProb: 1})
+	agg := b.Router(asn, "return-aggregator", netsim.RouterOpts{ResponseProb: 1})
+	b.Link(r1, r2, netsim.LinkOpts{DelayMS: 5, WeightAB: 1, WeightBA: 1})
+	b.Link(r2, tgt, netsim.LinkOpts{DelayMS: 1, WeightAB: 1, WeightBA: 1})
+	b.Service("10.1.1.200", asn, "", tgt)
+	// Every probe sits in the SAME AS and returns from r2/tgt via agg.
+	const probeASN ipmap.ASN = 64501
+	b.AS(probeASN, "probes", "10.1.2.0/24")
+	var sites []netsim.RouterID
+	for i := 0; i < nProbes; i++ {
+		p := b.Router(probeASN, fmt.Sprintf("p%d", i), netsim.RouterOpts{})
+		b.Link(p, r1, netsim.LinkOpts{DelayMS: 10, WeightAB: 1, WeightBA: 1})
+		b.Link(p, agg, netsim.LinkOpts{DelayMS: 8, WeightAB: 1e7, WeightBA: 0.5})
+		sites = append(sites, p)
+	}
+	b.Link(agg, r2, netsim.LinkOpts{DelayMS: 2, WeightAB: 1e7, WeightBA: 0.5})
+
+	start := time.Date(2015, 6, 1, 0, 0, 0, 0, time.UTC)
+	evStart := start.Add(36 * time.Hour)
+	// Congest the shared RETURN path (r2→agg), not the monitored link.
+	sc := netsim.NewScenario(netsim.Event{
+		Name: "return-congestion", Kind: netsim.EventCongestion,
+		From: r2, To: agg, ExtraDelayMS: 60,
+		Start: evStart, End: evStart.Add(2 * time.Hour),
+	})
+	n, err := b.Build(sc)
+	if err != nil {
+		return nil, err
+	}
+	p := atlas.NewPlatform(n, 7, netsim.TracerouteOpts{})
+	p.AddProbes(sites)
+	p.AddBuiltin(n.Services()[0])
+
+	filtered := delay.NewDetector(delay.Config{Seed: 1}, p.ProbeASN)
+	unfiltered := delay.NewDetector(delay.Config{Seed: 1, DisableDiversityFilter: true}, p.ProbeASN)
+	var fAlarms, uAlarms int
+	err = p.Run(start, start.Add(60*time.Hour), func(r trace.Result) error {
+		fAlarms += len(filtered.Observe(r))
+		uAlarms += len(unfiltered.Observe(r))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	fAlarms += len(filtered.Flush())
+	uAlarms += len(unfiltered.Flush())
+
+	var sb strings.Builder
+	sb.WriteString("Congestion injected on the probes' shared RETURN path only.\n\n")
+	sb.WriteString(report.Table([][]string{
+		{"detector", "alarms attributed to links"},
+		{"with diversity filter (paper)", fmt.Sprintf("%d", fAlarms)},
+		{"without filter (baseline)", fmt.Sprintf("%d", uAlarms)},
+	}))
+
+	r := &Report{
+		ID: "A2", Title: "Probe-diversity filter", Scale: scale,
+		Text: sb.String(),
+		Metrics: map[string]float64{
+			"filtered_alarms":   float64(fAlarms),
+			"unfiltered_alarms": float64(uAlarms),
+		},
+	}
+	r.Claims = []Claim{
+		{
+			Name:     "filter suppresses ambiguous attributions",
+			Paper:    "links seen from <3 ASes are discarded (§4.3)",
+			Measured: fmt.Sprintf("filtered %d vs unfiltered %d alarms", fAlarms, uAlarms),
+			Holds:    fAlarms == 0 && uAlarms > 0,
+		},
+	}
+	return r, nil
+}
+
+// Abl03ASCancellation quantifies the §6 aggregation property: an intra-AS
+// reroute devalues one next hop and promotes another in the same AS, so
+// the AS-level responsibility sum cancels even though per-hop scores are
+// large.
+func Abl03ASCancellation(scale Scale) (*Report, error) {
+	b := netsim.NewBuilder()
+	const asn ipmap.ASN = 64600
+	b.AS(asn, "core", "10.2.1.0/24")
+	in := b.Router(asn, "ingress", netsim.RouterOpts{ResponseProb: 1})
+	j := b.Router(asn, "j", netsim.RouterOpts{ResponseProb: 1})
+	k := b.Router(asn, "k", netsim.RouterOpts{ResponseProb: 1})
+	out := b.Router(asn, "egress", netsim.RouterOpts{ResponseProb: 1})
+	b.Link(in, j, netsim.LinkOpts{DelayMS: 2, WeightAB: 1, WeightBA: 1})
+	b.Link(in, k, netsim.LinkOpts{DelayMS: 2, WeightAB: 5, WeightBA: 5})
+	b.Link(j, out, netsim.LinkOpts{DelayMS: 2, WeightAB: 1, WeightBA: 1})
+	b.Link(k, out, netsim.LinkOpts{DelayMS: 2, WeightAB: 1, WeightBA: 1})
+	b.Service("10.2.1.200", asn, "", out)
+	var sites []netsim.RouterID
+	for i := 0; i < 6; i++ {
+		pasn := ipmap.ASN(64610 + i)
+		b.AS(pasn, fmt.Sprintf("pas%d", i), netsim.ASPrefix(pasn))
+		p := b.Router(pasn, fmt.Sprintf("p%d", i), netsim.RouterOpts{})
+		b.Link(p, in, netsim.LinkOpts{DelayMS: 5, WeightAB: 1, WeightBA: 1})
+		sites = append(sites, p)
+	}
+	start := time.Date(2015, 6, 1, 0, 0, 0, 0, time.UTC)
+	evStart := start.Add(30 * time.Hour)
+	sc := netsim.NewScenario(netsim.Event{
+		Name: "shift j->k", Kind: netsim.EventReroute,
+		From: in, To: j, Both: true, WeightFactor: 50,
+		Start: evStart, End: evStart.Add(3 * time.Hour),
+	})
+	n, err := b.Build(sc)
+	if err != nil {
+		return nil, err
+	}
+	p := atlas.NewPlatform(n, 9, netsim.TracerouteOpts{})
+	p.AddProbes(sites)
+	p.AddBuiltin(n.Services()[0])
+
+	det := forwarding.NewDetector(forwarding.Config{})
+	var alarms []forwarding.Alarm
+	err = p.Run(start, start.Add(40*time.Hour), func(r trace.Result) error {
+		alarms = append(alarms, det.Observe(r)...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	alarms = append(alarms, det.Flush()...)
+
+	var sum, sumAbs float64
+	jAddr, kAddr := n.Router(j).Addr, n.Router(k).Addr
+	var rj, rk float64
+	for _, al := range alarms {
+		for _, h := range al.Hops {
+			if h.Hop == forwarding.Unresponsive {
+				continue
+			}
+			sum += h.Responsibility
+			sumAbs += math.Abs(h.Responsibility)
+			switch h.Hop {
+			case jAddr:
+				rj += h.Responsibility
+			case kAddr:
+				rk += h.Responsibility
+			}
+		}
+	}
+
+	var sb strings.Builder
+	sb.WriteString(report.Table([][]string{
+		{"quantity", "value"},
+		{"forwarding alarms", fmt.Sprintf("%d", len(alarms))},
+		{"Σ rᵢ over AS (net)", fmt.Sprintf("%+.3f", sum)},
+		{"Σ |rᵢ| (gross)", fmt.Sprintf("%.3f", sumAbs)},
+		{"Σ r for devalued hop j", fmt.Sprintf("%+.3f", rj)},
+		{"Σ r for promoted hop k", fmt.Sprintf("%+.3f", rk)},
+	}))
+
+	r := &Report{
+		ID: "A3", Title: "AS-level responsibility cancellation", Scale: scale,
+		Text: sb.String(),
+		Metrics: map[string]float64{
+			"alarms": float64(len(alarms)), "net": sum, "gross": sumAbs,
+		},
+	}
+	r.Claims = []Claim{
+		{
+			Name:     "intra-AS reroute detected per hop",
+			Paper:    "negative rᵢ for devalued, positive for promoted",
+			Measured: fmt.Sprintf("r(j)=%.2f, r(k)=%.2f over %d alarms", rj, rk, len(alarms)),
+			Holds:    len(alarms) > 0 && rj < 0 && rk > 0,
+		},
+		{
+			Name:     "AS-level sum cancels",
+			Paper:    "negative and positive rᵢ cancel within one AS (§6)",
+			Measured: fmt.Sprintf("net %.3f vs gross %.3f", sum, sumAbs),
+			Holds:    sumAbs > 0 && math.Abs(sum) < 0.25*sumAbs,
+		},
+	}
+	return r, nil
+}

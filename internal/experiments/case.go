@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"pinpoint/internal/atlas"
+	"pinpoint/internal/netsim"
+)
+
+// Case is a ready-to-run measurement campaign over one of the scenarios:
+// the quiet baseline or one of the paper's three case studies. cmd/atlasgen
+// dumps cases to JSONL, cmd/ihr streams them, and the examples run them
+// directly.
+type Case struct {
+	Name        string
+	Description string
+	Platform    *atlas.Platform
+	Topo        *netsim.Topo
+	Net         *netsim.Net
+	Start, End  time.Time
+
+	// EventWindows are the injected disruption intervals (ground truth).
+	EventWindows [][2]time.Time
+}
+
+// CaseNames lists the valid case names for NewCase.
+var CaseNames = []string{"quiet", "ddos", "leak", "ixp"}
+
+// NewCase builds the named scenario at the given scale.
+func NewCase(name string, scale Scale) (*Case, error) {
+	switch name {
+	case "quiet":
+		topo, err := netsim.Generate(caseTopoConfig(scale, 42))
+		if err != nil {
+			return nil, err
+		}
+		n, err := topo.Build(nil)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Date(2015, 5, 1, 0, 0, 0, 0, time.UTC)
+		end := start.Add(72 * time.Hour)
+		if scale == Full {
+			end = start.Add(10 * 24 * time.Hour)
+		}
+		return &Case{
+			Name: name, Description: "healthy network, no injected events",
+			Platform: newCasePlatform(n, topo, 42), Topo: topo, Net: n,
+			Start: start, End: end,
+		}, nil
+	case "ddos":
+		topo, n, _, err := buildDDoSCase(scale)
+		if err != nil {
+			return nil, err
+		}
+		return &Case{
+			Name:        name,
+			Description: "§7.1: DDoS against anycast root servers (two attack windows)",
+			Platform:    newCasePlatform(n, topo, 20151130), Topo: topo, Net: n,
+			Start: quickHistory(scale, ddosHistoryStart, ddosAttack1Start), End: ddosEnd,
+			EventWindows: [][2]time.Time{
+				{ddosAttack1Start, ddosAttack1End},
+				{ddosAttack2Start, ddosAttack2End},
+			},
+		}, nil
+	case "leak":
+		topo, n, _, err := buildLeakCase(scale)
+		if err != nil {
+			return nil, err
+		}
+		return &Case{
+			Name:        name,
+			Description: "§7.2: BGP route leak congesting two transit backbones",
+			Platform:    newCasePlatform(n, topo, 20150612), Topo: topo, Net: n,
+			Start:        quickHistory(scale, leakHistoryStart, leakStart),
+			End:          leakRunEnd,
+			EventWindows: [][2]time.Time{{leakStart, leakEnd}},
+		}, nil
+	case "ixp":
+		topo, n, err := buildIXPCase(scale)
+		if err != nil {
+			return nil, err
+		}
+		return &Case{
+			Name:        name,
+			Description: "§7.3: exchange-point peering LAN outage (loss only, no delay signal)",
+			Platform:    newCasePlatform(n, topo, 20150513), Topo: topo, Net: n,
+			Start:        quickHistory(scale, ixpHistoryStart, ixpOutageStart),
+			End:          ixpRunEnd,
+			EventWindows: [][2]time.Time{{ixpOutageStart, ixpOutageEnd}},
+		}, nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown case %q (valid: %v)", name, CaseNames)
+	}
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"pinpoint/internal/trace"
+)
+
+func TestNewCaseAllNames(t *testing.T) {
+	for _, name := range CaseNames {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			c, err := NewCase(name, Quick)
+			if err != nil {
+				t.Fatalf("NewCase(%s): %v", name, err)
+			}
+			if c.Platform == nil || c.Net == nil || c.Topo == nil {
+				t.Fatal("case missing components")
+			}
+			if !c.End.After(c.Start) {
+				t.Error("case has empty time range")
+			}
+			if name == "quiet" && len(c.EventWindows) != 0 {
+				t.Error("quiet case should have no event windows")
+			}
+			if name != "quiet" && len(c.EventWindows) == 0 {
+				t.Error("case study should declare its event windows")
+			}
+			// The platform must actually produce results.
+			n := 0
+			err = c.Platform.Run(c.Start, c.Start.Add(c.End.Sub(c.Start)/48), func(r trace.Result) error {
+				n++
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n == 0 {
+				t.Error("case produced no results")
+			}
+		})
+	}
+}
+
+func TestNewCaseUnknown(t *testing.T) {
+	if _, err := NewCase("nope", Quick); err == nil {
+		t.Error("unknown case accepted")
+	}
+}
+
+func TestRegistryIDsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range Registry {
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment id %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Run == nil || e.Title == "" {
+			t.Errorf("experiment %s incomplete", e.ID)
+		}
+	}
+	if _, ok := ByID("F2"); !ok {
+		t.Error("ByID(F2) failed")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("ByID(nope) succeeded")
+	}
+}
+
+func TestReportRender(t *testing.T) {
+	r := &Report{
+		ID: "X", Title: "test", Scale: Quick,
+		Text:    "body\n",
+		Metrics: map[string]float64{"m": 1},
+		Claims: []Claim{
+			{Name: "good", Paper: "p", Measured: "m", Holds: true},
+			{Name: "bad", Paper: "p", Measured: "m", Holds: false},
+		},
+	}
+	out := r.Render()
+	for _, want := range []string{"== X: test", "body", "[OK ]", "[FAIL]", "Metrics:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q", want)
+		}
+	}
+	if len(r.Failed()) != 1 {
+		t.Errorf("Failed = %d, want 1", len(r.Failed()))
+	}
+}

@@ -1,0 +1,18 @@
+package experiments
+
+import "testing"
+
+func TestSmokeAll(t *testing.T) {
+	for _, e := range Registry {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			r, err := e.Run(Quick)
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			for _, c := range r.Failed() {
+				t.Errorf("%s claim failed: %s — measured %s (paper %s)", e.ID, c.Name, c.Measured, c.Paper)
+			}
+		})
+	}
+}

@@ -1,0 +1,37 @@
+package forwarding
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"pinpoint/internal/trace"
+)
+
+func TestAvgNextHops(t *testing.T) {
+	d := NewDetector(Config{})
+	if got := d.AvgNextHops(); got != 0 {
+		t.Errorf("empty detector AvgNextHops = %v", got)
+	}
+	// One flow with two next hops, one flow with one.
+	at := time.Date(2015, 5, 13, 0, 0, 0, 0, time.UTC)
+	d.Observe(mk(1, at, []trace.Reply{reply(hopA), reply(hopB), reply(hopA)}))
+	r2 := mk(2, at, []trace.Reply{reply(hopC), reply(hopC), reply(hopC)})
+	r2.Dst = netip.MustParseAddr("198.51.100.9")
+	d.Observe(r2)
+	d.Flush()
+	// Flow 1: hops A and B → 2; flow 2: hop C → 1. Mean = 1.5.
+	if got := d.AvgNextHops(); got != 1.5 {
+		t.Errorf("AvgNextHops = %v, want 1.5", got)
+	}
+}
+
+func TestAvgNextHopsExcludesUnresponsive(t *testing.T) {
+	d := NewDetector(Config{})
+	at := time.Date(2015, 5, 13, 0, 0, 0, 0, time.UTC)
+	d.Observe(mk(1, at, []trace.Reply{reply(hopA), {Timeout: true}, {Timeout: true}}))
+	d.Flush()
+	if got := d.AvgNextHops(); got != 1 {
+		t.Errorf("AvgNextHops = %v, want 1 (unresponsive bucket excluded)", got)
+	}
+}

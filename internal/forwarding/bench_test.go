@@ -1,0 +1,29 @@
+package forwarding
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"pinpoint/internal/trace"
+)
+
+func BenchmarkObserve(b *testing.B) {
+	d := NewDetector(Config{})
+	replies := []trace.Reply{reply(hopA), reply(hopA), reply(hopB)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Observe(mk(i%30+1, t0.Add(time.Duration(i/2000)*time.Hour), replies))
+	}
+}
+
+func BenchmarkCompare(b *testing.B) {
+	addrs := []netip.Addr{hopA, hopB, hopC, Unresponsive}
+	ref := addrPattern(addrs, []float64{10, 100, 0, 5})
+	cur := addrPattern(addrs, []float64{10, 1, 89, 30})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Compare(cur, ref)
+	}
+}

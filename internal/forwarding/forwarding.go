@@ -1,0 +1,347 @@
+// Package forwarding implements the paper's packet-forwarding model and
+// forwarding-anomaly detection (§5): for every (router, traceroute target)
+// pair it learns the usual next-hop packet-count vector — including an
+// "unresponsive" bucket for packets that vanish — smooths it exponentially
+// into a reference (Eq 8), flags bins whose pattern anti-correlates with the
+// reference (ρ(F, F̄) < τ, §5.2.1), and attributes the change to individual
+// next hops with the responsibility metric rᵢ (Eq 9, §5.2.2).
+package forwarding
+
+import (
+	"math"
+	"net/netip"
+	"sort"
+	"time"
+
+	"pinpoint/internal/stats"
+	"pinpoint/internal/timeseries"
+	"pinpoint/internal/trace"
+)
+
+// Unresponsive is the pseudo next-hop address bucketing packets that got no
+// reply beyond a router (the "Z" node of Fig 4). The zero netip.Addr is
+// never a real responder, so the bucket cannot collide.
+var Unresponsive = netip.Addr{}
+
+// Config parameterizes the detector. NewDetector fills zero fields with the
+// paper's values where the paper gives one (τ = −0.25), and with
+// conservative defaults documented per field where it does not.
+type Config struct {
+	BinSize time.Duration // analysis bin; paper: 1 hour
+	Alpha   float64       // exponential smoothing factor; paper: "small"
+	Tau     float64       // anomaly threshold on ρ; paper: −0.25
+
+	// MinPackets is the minimum number of packets a (router, target) pattern
+	// needs in a bin to be evaluated; tiny vectors make Pearson meaningless.
+	// The paper does not state a value; default 9 (three traceroutes).
+	MinPackets int
+
+	// Observer, when non-nil, receives every evaluated pattern (anomalous
+	// or not); experiment harnesses use it for Fig 13's per-AS series.
+	Observer func(Observation)
+}
+
+func (c Config) withDefaults() Config {
+	if c.BinSize == 0 {
+		c.BinSize = time.Hour
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 0.01 // "small α", §5.1, mirroring the delay detector
+	}
+	if c.Tau == 0 {
+		c.Tau = -0.25
+	}
+	if c.MinPackets == 0 {
+		c.MinPackets = 9
+	}
+	return c
+}
+
+// FlowKey identifies one forwarding pattern: packets crossing Router toward
+// the traceroute target Dst. Per §5.1 a separate model is kept per target
+// because next-hop choice depends on the packet's destination.
+type FlowKey struct {
+	Router netip.Addr
+	Dst    netip.Addr
+}
+
+// HopScore is one next hop of an anomalous pattern with its responsibility.
+type HopScore struct {
+	Hop            netip.Addr // Unresponsive for the loss bucket
+	Responsibility float64    // rᵢ of Eq 9, in [−1, 1]
+	Count          float64    // packets this bin
+	RefCount       float64    // packets in the reference
+}
+
+// Alarm reports one anomalous forwarding pattern.
+type Alarm struct {
+	Bin    time.Time
+	Router netip.Addr
+	Dst    netip.Addr
+	Rho    float64 // ρ(F, F̄) < τ
+	Hops   []HopScore
+}
+
+// MaxResponsibility returns the hop with the largest |rᵢ| — the next hop the
+// paper points at when localizing the change. ok is false for empty alarms.
+func (a Alarm) MaxResponsibility() (HopScore, bool) {
+	if len(a.Hops) == 0 {
+		return HopScore{}, false
+	}
+	best := a.Hops[0]
+	for _, h := range a.Hops[1:] {
+		if math.Abs(h.Responsibility) > math.Abs(best.Responsibility) {
+			best = h
+		}
+	}
+	return best, true
+}
+
+// Observation is the per-bin evaluation of one pattern, emitted to
+// Config.Observer.
+type Observation struct {
+	Bin       time.Time
+	Router    netip.Addr
+	Dst       netip.Addr
+	Rho       float64 // NaN when the correlation is undefined
+	Anomalous bool
+	Packets   float64
+}
+
+// pattern is a next-hop packet-count vector.
+type pattern map[netip.Addr]float64
+
+// Detector is the streaming forwarding-anomaly detector. Feed
+// chronologically ordered results with Observe; alarms for a bin are
+// returned when the stream crosses into the next bin (and by Flush).
+// Detector is not safe for concurrent use.
+type Detector struct {
+	cfg Config
+
+	curBin  time.Time
+	haveBin bool
+	cur     map[FlowKey]pattern
+	refs    map[FlowKey]pattern
+	seen    map[netip.Addr]struct{} // distinct router addresses modeled
+}
+
+// NewDetector returns a Detector with the given configuration.
+func NewDetector(cfg Config) *Detector {
+	return &Detector{
+		cfg:  cfg.withDefaults(),
+		cur:  make(map[FlowKey]pattern),
+		refs: make(map[FlowKey]pattern),
+		seen: make(map[netip.Addr]struct{}),
+	}
+}
+
+// Config returns the effective (default-filled) configuration.
+func (d *Detector) Config() Config { return d.cfg }
+
+// RoutersSeen returns how many distinct router addresses have forwarding
+// models — the paper's "packet forwarding models for 170k IPv4 router IPs".
+func (d *Detector) RoutersSeen() int { return len(d.seen) }
+
+// AvgNextHops returns the mean number of responsive next hops across all
+// references — the paper's "on average forwarding models contain four
+// different next hops". The unresponsive bucket is not counted.
+func (d *Detector) AvgNextHops() float64 {
+	if len(d.refs) == 0 {
+		return 0
+	}
+	total := 0
+	for _, ref := range d.refs {
+		for a := range ref {
+			if a != Unresponsive {
+				total++
+			}
+		}
+	}
+	return float64(total) / float64(len(d.refs))
+}
+
+// ReferenceFor returns a copy of the current reference pattern, for tests
+// and diagnostics. ok is false when the flow has no reference yet.
+func (d *Detector) ReferenceFor(k FlowKey) (map[netip.Addr]float64, bool) {
+	ref, ok := d.refs[k]
+	if !ok {
+		return nil, false
+	}
+	out := make(map[netip.Addr]float64, len(ref))
+	for a, v := range ref {
+		out[a] = v
+	}
+	return out, true
+}
+
+// Observe ingests one traceroute result, returning the previous bin's
+// alarms when the result crosses a bin boundary.
+func (d *Detector) Observe(r trace.Result) []Alarm {
+	bin := timeseries.Bin(r.Time, d.cfg.BinSize)
+	var alarms []Alarm
+	if d.haveBin && bin.After(d.curBin) {
+		alarms = d.closeBin()
+	}
+	if !d.haveBin || bin.After(d.curBin) {
+		d.curBin = bin
+		d.haveBin = true
+	}
+	d.ingest(r)
+	return alarms
+}
+
+// Flush evaluates and clears the currently open bin.
+func (d *Detector) Flush() []Alarm {
+	if !d.haveBin {
+		return nil
+	}
+	alarms := d.closeBin()
+	d.haveBin = false
+	return alarms
+}
+
+// ingest records, for every responsive hop, where the following hop's
+// packets went: to a responsive next hop (identified by address) or into
+// the unresponsive bucket (§5.1). Consecutive hop indices are required, and
+// the router attribution uses the hop's distinct responders so ECMP split
+// hops contribute to each responder's model.
+func (d *Detector) ingest(r trace.Result) {
+	for _, pair := range r.AdjacentPairs() {
+		routers := pair.Near.Responders()
+		if len(routers) == 0 {
+			continue
+		}
+		for _, router := range routers {
+			key := FlowKey{Router: router, Dst: r.Dst}
+			pat := d.cur[key]
+			if pat == nil {
+				pat = make(pattern)
+				d.cur[key] = pat
+				d.seen[router] = struct{}{}
+			}
+			// Weight by 1/len(routers) so a split near hop does not double
+			// count the far hop's packets.
+			w := 1.0 / float64(len(routers))
+			for _, rep := range pair.Far.Replies {
+				if rep.Timeout || !rep.From.IsValid() {
+					pat[Unresponsive] += w
+					continue
+				}
+				if rep.From == router {
+					continue // self-loop artifact
+				}
+				pat[rep.From] += w
+			}
+		}
+	}
+}
+
+// closeBin evaluates every pattern of the bin against its reference and
+// then folds the bin into the reference (Eq 8).
+func (d *Detector) closeBin() []Alarm {
+	var alarms []Alarm
+	keys := make([]FlowKey, 0, len(d.cur))
+	for k := range d.cur {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Router != keys[j].Router {
+			return keys[i].Router.Less(keys[j].Router)
+		}
+		return keys[i].Dst.Less(keys[j].Dst)
+	})
+
+	for _, key := range keys {
+		cur := d.cur[key]
+		ref, hasRef := d.refs[key]
+
+		total := 0.0
+		for _, v := range cur {
+			total += v
+		}
+
+		if hasRef && total >= float64(d.cfg.MinPackets) {
+			rho, scores := Compare(cur, ref)
+			anomalous := !math.IsNaN(rho) && rho < d.cfg.Tau
+			if anomalous {
+				alarms = append(alarms, Alarm{
+					Bin:    d.curBin,
+					Router: key.Router,
+					Dst:    key.Dst,
+					Rho:    rho,
+					Hops:   scores,
+				})
+			}
+			if d.cfg.Observer != nil {
+				d.cfg.Observer(Observation{
+					Bin: d.curBin, Router: key.Router, Dst: key.Dst,
+					Rho: rho, Anomalous: anomalous, Packets: total,
+				})
+			}
+		}
+
+		// Reference update (Eq 8): F̄ ← αF + (1−α)F̄ over the union of next
+		// hops; hops unseen this bin decay, hops seen for the first time
+		// enter from zero. The first bin seeds the reference directly.
+		if !hasRef {
+			ref = make(pattern, len(cur))
+			for a, v := range cur {
+				ref[a] = v
+			}
+			d.refs[key] = ref
+			continue
+		}
+		for a := range cur {
+			if _, ok := ref[a]; !ok {
+				ref[a] = 0
+			}
+		}
+		for a := range ref {
+			ref[a] = d.cfg.Alpha*cur[a] + (1-d.cfg.Alpha)*ref[a]
+		}
+	}
+
+	d.cur = make(map[FlowKey]pattern)
+	return alarms
+}
+
+// Compare computes ρ(F, F̄) over the union of next hops and the per-hop
+// responsibility scores rᵢ (Eq 9). It is exported so the Fig 4 worked
+// example and the event aggregation can reuse the exact arithmetic.
+func Compare(cur, ref map[netip.Addr]float64) (rho float64, scores []HopScore) {
+	addrs := make([]netip.Addr, 0, len(cur)+len(ref))
+	seen := make(map[netip.Addr]struct{}, len(cur)+len(ref))
+	for a := range cur {
+		if _, ok := seen[a]; !ok {
+			seen[a] = struct{}{}
+			addrs = append(addrs, a)
+		}
+	}
+	for a := range ref {
+		if _, ok := seen[a]; !ok {
+			seen[a] = struct{}{}
+			addrs = append(addrs, a)
+		}
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i].Less(addrs[j]) })
+
+	f := make([]float64, len(addrs))
+	fbar := make([]float64, len(addrs))
+	var absDiff float64
+	for i, a := range addrs {
+		f[i] = cur[a]
+		fbar[i] = ref[a]
+		absDiff += math.Abs(f[i] - fbar[i])
+	}
+	rho = stats.Pearson(f, fbar)
+
+	scores = make([]HopScore, len(addrs))
+	for i, a := range addrs {
+		r := 0.0
+		if absDiff > 0 && !math.IsNaN(rho) {
+			r = -rho * (f[i] - fbar[i]) / absDiff
+		}
+		scores[i] = HopScore{Hop: a, Responsibility: r, Count: f[i], RefCount: fbar[i]}
+	}
+	return rho, scores
+}

@@ -1,0 +1,149 @@
+// Package ipmap implements longest-prefix-match lookup from IP addresses to
+// autonomous system numbers, the "IP to AS mapping ... using longest prefix
+// match" step of the paper's alarm aggregation (§6).
+//
+// The table is a binary radix trie over address bits, one per IP family.
+// In the paper the table is fed from BGP routing data; in this reproduction
+// it is fed from the simulator's prefix announcements, but the lookup
+// semantics are identical.
+package ipmap
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+)
+
+// ASN is an autonomous system number. Zero means "unknown".
+type ASN uint32
+
+// String renders the conventional "ASxxxx" form.
+func (a ASN) String() string { return fmt.Sprintf("AS%d", uint32(a)) }
+
+type node struct {
+	children [2]*node
+	asn      ASN
+	valid    bool
+}
+
+// Table maps IP prefixes to origin ASNs with longest-prefix-match lookup.
+// The zero value is an empty table ready for use. Table is not safe for
+// concurrent mutation; concurrent lookups after all inserts are safe.
+type Table struct {
+	v4, v6 *node
+	size   int
+}
+
+// Add inserts a prefix→ASN mapping, overwriting any previous mapping for the
+// exact same prefix. Invalid prefixes are rejected with an error.
+func (t *Table) Add(prefix netip.Prefix, asn ASN) error {
+	if !prefix.IsValid() {
+		return fmt.Errorf("ipmap: invalid prefix %v", prefix)
+	}
+	prefix = prefix.Masked()
+	root := &t.v6
+	if prefix.Addr().Is4() {
+		root = &t.v4
+	}
+	if *root == nil {
+		*root = &node{}
+	}
+	n := *root
+	bits := prefix.Bits()
+	addr := prefix.Addr()
+	for i := 0; i < bits; i++ {
+		b := bit(addr, i)
+		if n.children[b] == nil {
+			n.children[b] = &node{}
+		}
+		n = n.children[b]
+	}
+	if !n.valid {
+		t.size++
+	}
+	n.asn = asn
+	n.valid = true
+	return nil
+}
+
+// MustAdd is Add for statically known prefixes; it panics on error.
+func (t *Table) MustAdd(prefix string, asn ASN) {
+	if err := t.Add(netip.MustParsePrefix(prefix), asn); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup returns the ASN of the longest matching prefix for addr.
+// ok is false when no prefix covers the address.
+func (t *Table) Lookup(addr netip.Addr) (asn ASN, ok bool) {
+	if !addr.IsValid() {
+		return 0, false
+	}
+	n := t.v6
+	maxBits := 128
+	if addr.Is4() {
+		n = t.v4
+		maxBits = 32
+	}
+	for i := 0; n != nil; i++ {
+		if n.valid {
+			asn, ok = n.asn, true
+		}
+		if i >= maxBits {
+			break
+		}
+		n = n.children[bit(addr, i)]
+	}
+	return asn, ok
+}
+
+// Len returns the number of distinct prefixes in the table.
+func (t *Table) Len() int { return t.size }
+
+// Entry is one prefix→ASN mapping, as returned by Entries.
+type Entry struct {
+	Prefix netip.Prefix
+	ASN    ASN
+}
+
+// Entries returns all mappings sorted by prefix string; useful for dumps and
+// tests.
+func (t *Table) Entries() []Entry {
+	var out []Entry
+	var walk func(n *node, addr [16]byte, depth int, is4 bool)
+	walk = func(n *node, addr [16]byte, depth int, is4 bool) {
+		if n == nil {
+			return
+		}
+		if n.valid {
+			var p netip.Prefix
+			if is4 {
+				var a4 [4]byte
+				copy(a4[:], addr[:4])
+				p = netip.PrefixFrom(netip.AddrFrom4(a4), depth)
+			} else {
+				p = netip.PrefixFrom(netip.AddrFrom16(addr), depth)
+			}
+			out = append(out, Entry{Prefix: p, ASN: n.asn})
+		}
+		walk(n.children[0], addr, depth+1, is4)
+		one := addr
+		one[depth/8] |= 1 << (7 - depth%8)
+		walk(n.children[1], one, depth+1, is4)
+	}
+	walk(t.v4, [16]byte{}, 0, true)
+	walk(t.v6, [16]byte{}, 0, false)
+	sort.Slice(out, func(i, j int) bool { return out[i].Prefix.String() < out[j].Prefix.String() })
+	return out
+}
+
+// bit returns the i-th most significant bit of the address (0-indexed within
+// the address family: 0..31 for IPv4, 0..127 for IPv6).
+func bit(addr netip.Addr, i int) int {
+	if addr.Is4() {
+		a := addr.As4()
+		return int(a[i/8]>>(7-i%8)) & 1
+	}
+	a := addr.As16()
+	return int(a[i/8]>>(7-i%8)) & 1
+}

@@ -1,0 +1,320 @@
+package netsim
+
+import (
+	"fmt"
+	"net/netip"
+
+	"pinpoint/internal/ipmap"
+)
+
+// Builder assembles a Net. Methods record the first error encountered and
+// turn subsequent calls into no-ops; Build returns that error. This keeps
+// topology construction code linear and readable.
+type Builder struct {
+	routers  []Router
+	edges    []Edge
+	prefixes ipmap.Table
+	services map[netip.Addr][]RouterID
+	byAddr   map[netip.Addr]RouterID
+
+	asPrefix map[ipmap.ASN]netip.Prefix
+	asNext   map[ipmap.ASN]int // next host offset within the AS prefix
+	asName   map[ipmap.ASN]string
+
+	err error
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{
+		services: make(map[netip.Addr][]RouterID),
+		byAddr:   make(map[netip.Addr]RouterID),
+		asPrefix: make(map[ipmap.ASN]netip.Prefix),
+		asNext:   make(map[ipmap.ASN]int),
+		asName:   make(map[ipmap.ASN]string),
+	}
+}
+
+func (b *Builder) fail(format string, args ...interface{}) {
+	if b.err == nil {
+		b.err = fmt.Errorf("netsim: "+format, args...)
+	}
+}
+
+// AS registers an autonomous system and the prefix it announces. Routers of
+// the AS are auto-addressed from the prefix.
+func (b *Builder) AS(asn ipmap.ASN, name, prefix string) {
+	if b.err != nil {
+		return
+	}
+	p, err := netip.ParsePrefix(prefix)
+	if err != nil {
+		b.fail("AS%d prefix %q: %v", asn, prefix, err)
+		return
+	}
+	if _, dup := b.asPrefix[asn]; dup {
+		b.fail("AS%d registered twice", asn)
+		return
+	}
+	b.asPrefix[asn] = p.Masked()
+	b.asNext[asn] = 1
+	b.asName[asn] = name
+	if err := b.prefixes.Add(p, asn); err != nil {
+		b.fail("AS%d: %v", asn, err)
+	}
+}
+
+// RouterOpts tunes router behaviour; zero fields take defaults
+// (ResponseProb 0.99, SlowPathMS 0.3).
+type RouterOpts struct {
+	ResponseProb float64
+	SlowPathMS   float64
+}
+
+// Router adds a router to a registered AS, assigning it the next free
+// address of the AS prefix, and returns its id.
+func (b *Builder) Router(asn ipmap.ASN, name string, opts RouterOpts) RouterID {
+	if b.err != nil {
+		return NoRouter
+	}
+	p, ok := b.asPrefix[asn]
+	if !ok {
+		b.fail("router %q: AS%d not registered", name, asn)
+		return NoRouter
+	}
+	addr, err := hostAddr(p, b.asNext[asn])
+	if err != nil {
+		b.fail("router %q: %v", name, err)
+		return NoRouter
+	}
+	b.asNext[asn]++
+	return b.addRouter(asn, name, addr, opts)
+}
+
+// RouterAt adds a router with an explicit interface address (which must not
+// collide with an existing one). The address does not have to fall inside
+// the AS prefix: exchange-point fabrics assign members addresses from the
+// IXP prefix while the router operationally belongs to the member AS, and
+// reproducing the AMS-IX case (§7.3) needs exactly that split.
+func (b *Builder) RouterAt(asn ipmap.ASN, name, addr string, opts RouterOpts) RouterID {
+	if b.err != nil {
+		return NoRouter
+	}
+	a, err := netip.ParseAddr(addr)
+	if err != nil {
+		b.fail("router %q address %q: %v", name, addr, err)
+		return NoRouter
+	}
+	return b.addRouter(asn, name, a, opts)
+}
+
+func (b *Builder) addRouter(asn ipmap.ASN, name string, addr netip.Addr, opts RouterOpts) RouterID {
+	if _, dup := b.byAddr[addr]; dup {
+		b.fail("router %q: address %v already in use", name, addr)
+		return NoRouter
+	}
+	if opts.ResponseProb == 0 {
+		opts.ResponseProb = 0.99
+	}
+	if opts.SlowPathMS == 0 {
+		opts.SlowPathMS = 0.3
+	}
+	id := RouterID(len(b.routers))
+	b.routers = append(b.routers, Router{
+		ID:           id,
+		Addr:         addr,
+		AS:           asn,
+		Name:         name,
+		ResponseProb: opts.ResponseProb,
+		SlowPathMS:   opts.SlowPathMS,
+	})
+	b.byAddr[addr] = id
+	return id
+}
+
+// LinkOpts tunes one physical link (two directional edges). Zero fields take
+// defaults: Jitter = 5% of the base delay (min 0.02 ms), Weight = base delay
+// per direction, default spike noise, loss 0.0005.
+type LinkOpts struct {
+	DelayMS     float64 // one-way base delay, required (> 0)
+	JitterMS    float64
+	WeightAB    float64 // routing weight A→B
+	WeightBA    float64 // routing weight B→A
+	Loss        float64
+	SpikeProb   float64
+	SpikeMS     float64
+	OutlierProb float64 // rare huge measurement-error spikes (both dirs)
+	OutlierMS   float64
+	DelayBAMS   float64 // one-way base delay B→A; 0 → same as DelayMS
+	JitterBAMS  float64 // jitter B→A; 0 → same as JitterMS
+}
+
+// Link connects two routers with a bidirectional link and returns the edge
+// ids (a→b, b→a).
+func (b *Builder) Link(a, z RouterID, opts LinkOpts) (ab, ba EdgeID) {
+	if b.err != nil {
+		return -1, -1
+	}
+	if a == NoRouter || z == NoRouter || int(a) >= len(b.routers) || int(z) >= len(b.routers) {
+		b.fail("link references unknown router (%d, %d)", a, z)
+		return -1, -1
+	}
+	if a == z {
+		b.fail("self-link on router %d", a)
+		return -1, -1
+	}
+	if opts.DelayMS <= 0 {
+		b.fail("link %d-%d: DelayMS must be > 0", a, z)
+		return -1, -1
+	}
+	jit := opts.JitterMS
+	if jit == 0 {
+		jit = opts.DelayMS * 0.05
+		if jit < 0.02 {
+			jit = 0.02
+		}
+	}
+	delayBA := opts.DelayBAMS
+	if delayBA == 0 {
+		delayBA = opts.DelayMS
+	}
+	jitBA := opts.JitterBAMS
+	if jitBA == 0 {
+		jitBA = jit
+	}
+	wAB, wBA := opts.WeightAB, opts.WeightBA
+	if wAB == 0 {
+		wAB = opts.DelayMS
+	}
+	if wBA == 0 {
+		wBA = delayBA
+	}
+	loss := opts.Loss
+	if loss == 0 {
+		loss = 0.0005
+	}
+	spikeProb := opts.SpikeProb
+	if spikeProb == 0 {
+		spikeProb = defaultSpikeProb
+	}
+	spikeMS := opts.SpikeMS
+	if spikeMS == 0 {
+		spikeMS = defaultSpikeMS
+	}
+	mk := func(from, to RouterID, base, jitter, weight float64) EdgeID {
+		id := EdgeID(len(b.edges))
+		b.edges = append(b.edges, Edge{
+			ID: id, From: from, To: to, Weight: weight,
+			Delay: DelayModel{
+				BaseMS: base, JitterMS: jitter,
+				SpikeProb: spikeProb, SpikeMS: spikeMS,
+				OutlierProb: opts.OutlierProb, OutlierMS: opts.OutlierMS,
+			},
+			Loss: loss,
+		})
+		return id
+	}
+	ab = mk(a, z, opts.DelayMS, jit, wAB)
+	ba = mk(z, a, delayBA, jitBA, wBA)
+	return ab, ba
+}
+
+// Service attaches an externally visible service address to one or more
+// instance routers. One instance models a unicast service (an Atlas anchor,
+// say); several model anycast (the DNS root servers of §7.1). The address
+// must not collide with a router interface address.
+func (b *Builder) Service(addr string, asn ipmap.ASN, prefix string, instances ...RouterID) {
+	if b.err != nil {
+		return
+	}
+	a, err := netip.ParseAddr(addr)
+	if err != nil {
+		b.fail("service address %q: %v", addr, err)
+		return
+	}
+	if len(instances) == 0 {
+		b.fail("service %v has no instances", a)
+		return
+	}
+	if _, dup := b.byAddr[a]; dup {
+		b.fail("service %v collides with a router address", a)
+		return
+	}
+	if _, dup := b.services[a]; dup {
+		b.fail("service %v registered twice", a)
+		return
+	}
+	for _, id := range instances {
+		if id == NoRouter || int(id) >= len(b.routers) {
+			b.fail("service %v references unknown router %d", a, id)
+			return
+		}
+	}
+	if prefix != "" {
+		p, err := netip.ParsePrefix(prefix)
+		if err != nil {
+			b.fail("service %v prefix %q: %v", a, prefix, err)
+			return
+		}
+		if err := b.prefixes.Add(p, asn); err != nil {
+			b.fail("service %v: %v", a, err)
+			return
+		}
+	}
+	b.services[a] = append([]RouterID(nil), instances...)
+}
+
+// Build finalizes the network with the given scenario (nil for none).
+func (b *Builder) Build(scenario *Scenario) (*Net, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if len(b.routers) == 0 {
+		return nil, fmt.Errorf("netsim: no routers")
+	}
+	if scenario == nil {
+		scenario = NewScenario()
+	}
+	for _, e := range scenario.Events() {
+		if e.isLinkKind() {
+			if !validRouter(e.From, len(b.routers)) || !validRouter(e.To, len(b.routers)) {
+				return nil, fmt.Errorf("netsim: event %q references unknown link routers", e.Name)
+			}
+		} else if !validRouter(e.Router, len(b.routers)) {
+			return nil, fmt.Errorf("netsim: event %q references unknown router", e.Name)
+		}
+		if !e.End.After(e.Start) {
+			return nil, fmt.Errorf("netsim: event %q has non-positive duration", e.Name)
+		}
+	}
+	n := &Net{
+		routers:  b.routers,
+		edges:    b.edges,
+		out:      make([][]EdgeID, len(b.routers)),
+		in:       make([][]EdgeID, len(b.routers)),
+		byAddr:   b.byAddr,
+		services: b.services,
+		prefixes: &b.prefixes,
+		scenario: scenario,
+		trees:    make(map[treeKey]*towardTree),
+	}
+	for _, e := range b.edges {
+		n.out[e.From] = append(n.out[e.From], e.ID)
+		n.in[e.To] = append(n.in[e.To], e.ID)
+	}
+	return n, nil
+}
+
+func validRouter(id RouterID, n int) bool { return id >= 0 && int(id) < n }
+
+// hostAddr returns the i-th host address inside the prefix (1-based).
+func hostAddr(p netip.Prefix, i int) (netip.Addr, error) {
+	a := p.Addr()
+	for k := 0; k < i; k++ {
+		a = a.Next()
+		if !p.Contains(a) {
+			return netip.Addr{}, fmt.Errorf("prefix %v exhausted", p)
+		}
+	}
+	return a, nil
+}

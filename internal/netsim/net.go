@@ -1,0 +1,288 @@
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+	"net/netip"
+	"sync"
+
+	"pinpoint/internal/ipmap"
+)
+
+// RouterID indexes a router within a Net.
+type RouterID int
+
+// NoRouter is the invalid router sentinel.
+const NoRouter RouterID = -1
+
+// Router is one IP interface in the simulated network.
+type Router struct {
+	ID   RouterID
+	Addr netip.Addr
+	AS   ipmap.ASN
+	Name string
+
+	// ResponseProb is the probability the router answers a TTL-expired
+	// packet with an ICMP time-exceeded message. Real routers rate-limit
+	// or disable ICMP generation; values slightly below 1 make hops
+	// occasionally unresponsive even in healthy conditions.
+	ResponseProb float64
+
+	// SlowPathMS is the mean of the exponential extra delay a router adds
+	// when generating an ICMP reply (the "slow path" of §2).
+	SlowPathMS float64
+}
+
+// EdgeID indexes a directional edge within a Net.
+type EdgeID int
+
+// Edge is one direction of a link between two routers.
+type Edge struct {
+	ID     EdgeID
+	From   RouterID
+	To     RouterID
+	Weight float64 // routing weight (lower is preferred)
+	Delay  DelayModel
+	Loss   float64 // baseline per-packet loss probability
+}
+
+// Net is an immutable simulated network. Build one with a Builder and then
+// query it concurrently; route trees are cached per (root, epoch) under a
+// mutex.
+type Net struct {
+	routers  []Router
+	edges    []Edge
+	out      [][]EdgeID // edges leaving each router
+	in       [][]EdgeID // edges entering each router
+	byAddr   map[netip.Addr]RouterID
+	services map[netip.Addr][]RouterID // service address → instance routers
+	prefixes *ipmap.Table
+	scenario *Scenario
+
+	mu    sync.Mutex
+	trees map[treeKey]*towardTree
+}
+
+// NumRouters returns the number of routers.
+func (n *Net) NumRouters() int { return len(n.routers) }
+
+// NumEdges returns the number of directional edges.
+func (n *Net) NumEdges() int { return len(n.edges) }
+
+// Router returns the router with the given id.
+func (n *Net) Router(id RouterID) Router { return n.routers[id] }
+
+// RouterByAddr resolves an interface address to its router.
+func (n *Net) RouterByAddr(a netip.Addr) (Router, bool) {
+	id, ok := n.byAddr[a]
+	if !ok {
+		return Router{}, false
+	}
+	return n.routers[id], true
+}
+
+// RouterByName resolves a router by its symbolic name (linear scan; intended
+// for tests and scenario construction, not hot paths).
+func (n *Net) RouterByName(name string) (Router, bool) {
+	for _, r := range n.routers {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return Router{}, false
+}
+
+// Prefixes returns the IP→AS table announced by the simulated network.
+// The detectors use it for alarm aggregation exactly as the paper uses BGP
+// data.
+func (n *Net) Prefixes() *ipmap.Table { return n.prefixes }
+
+// Scenario returns the scenario attached to the network (never nil; an
+// empty scenario when none was attached).
+func (n *Net) Scenario() *Scenario { return n.scenario }
+
+// ServiceInstances returns the routers hosting the given service address
+// (one for unicast services, several for anycast).
+func (n *Net) ServiceInstances(addr netip.Addr) []RouterID { return n.services[addr] }
+
+// Services returns all service addresses in deterministic (insertion-free,
+// sorted-string) order.
+func (n *Net) Services() []netip.Addr {
+	out := make([]netip.Addr, 0, len(n.services))
+	for a := range n.services {
+		out = append(out, a)
+	}
+	sortAddrs(out)
+	return out
+}
+
+func sortAddrs(as []netip.Addr) {
+	for i := 1; i < len(as); i++ {
+		for j := i; j > 0 && as[j].Less(as[j-1]); j-- {
+			as[j], as[j-1] = as[j-1], as[j]
+		}
+	}
+}
+
+// Neighbors returns the routers directly reachable from r, in edge order.
+func (n *Net) Neighbors(r RouterID) []RouterID {
+	out := make([]RouterID, 0, len(n.out[r]))
+	for _, id := range n.out[r] {
+		out = append(out, n.edges[id].To)
+	}
+	return out
+}
+
+// edgeBetween returns the edge From→To, or false when absent.
+func (n *Net) edgeBetween(from, to RouterID) (Edge, bool) {
+	for _, id := range n.out[from] {
+		if n.edges[id].To == to {
+			return n.edges[id], true
+		}
+	}
+	return Edge{}, false
+}
+
+// --- Shortest-path "toward" trees -----------------------------------------
+
+type treeKey struct {
+	root  RouterID
+	epoch uint64
+}
+
+// towardTree holds, for every router, the distance and the equal-cost next
+// hops along shortest paths toward a root router. It answers both "how do
+// packets travel from X to the destination root" (forwarding) and "how do
+// ICMP replies travel from hop X back to the probe root" (return paths).
+type towardTree struct {
+	root  RouterID
+	dist  []float64
+	nexts [][]RouterID // equal-cost next hops toward root; nil if unreachable
+}
+
+const inf = 1e18
+
+// towardTree computes (or returns the cached) shortest-path tree toward
+// root under the routing weights active at the given epoch.
+func (n *Net) towardTree(root RouterID, epoch uint64) *towardTree {
+	key := treeKey{root: root, epoch: epoch}
+	n.mu.Lock()
+	if t, ok := n.trees[key]; ok {
+		n.mu.Unlock()
+		return t
+	}
+	n.mu.Unlock()
+
+	t := n.computeTowardTree(root, epoch)
+
+	n.mu.Lock()
+	n.trees[key] = t
+	n.mu.Unlock()
+	return t
+}
+
+type pqItem struct {
+	router RouterID
+	dist   float64
+}
+
+type priorityQueue []pqItem
+
+func (pq priorityQueue) Len() int            { return len(pq) }
+func (pq priorityQueue) Less(i, j int) bool  { return pq[i].dist < pq[j].dist }
+func (pq priorityQueue) Swap(i, j int)       { pq[i], pq[j] = pq[j], pq[i] }
+func (pq *priorityQueue) Push(x interface{}) { *pq = append(*pq, x.(pqItem)) }
+func (pq *priorityQueue) Pop() interface{} {
+	old := *pq
+	n := len(old)
+	it := old[n-1]
+	*pq = old[:n-1]
+	return it
+}
+
+// computeTowardTree runs Dijkstra from root over reversed edges, so dist[u]
+// is the cost of the shortest directed path u→…→root.
+func (n *Net) computeTowardTree(root RouterID, epoch uint64) *towardTree {
+	nr := len(n.routers)
+	dist := make([]float64, nr)
+	for i := range dist {
+		dist[i] = inf
+	}
+	dist[root] = 0
+	settled := make([]bool, nr)
+
+	pq := &priorityQueue{{router: root, dist: 0}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(pqItem)
+		v := it.router
+		if settled[v] {
+			continue
+		}
+		settled[v] = true
+		// Relax edges u→v: a packet at u can reach root via v.
+		for _, eid := range n.in[v] {
+			e := n.edges[eid]
+			w, down := n.scenario.edgeWeight(e, epoch)
+			if down {
+				continue
+			}
+			u := e.From
+			if nd := w + it.dist; nd < dist[u] {
+				dist[u] = nd
+				heap.Push(pq, pqItem{router: u, dist: nd})
+			}
+		}
+	}
+
+	const eps = 1e-9
+	nexts := make([][]RouterID, nr)
+	for u := 0; u < nr; u++ {
+		if dist[u] >= inf || RouterID(u) == root {
+			continue
+		}
+		for _, eid := range n.out[u] {
+			e := n.edges[eid]
+			w, down := n.scenario.edgeWeight(e, epoch)
+			if down {
+				continue
+			}
+			if dist[e.To] < inf && dist[u] >= w+dist[e.To]-eps && dist[u] <= w+dist[e.To]+eps {
+				nexts[u] = append(nexts[u], e.To)
+			}
+		}
+	}
+	return &towardTree{root: root, dist: dist, nexts: nexts}
+}
+
+// next returns the next hop from u toward the tree root, choosing among
+// equal-cost candidates with the given flow selector (Paris traceroute keeps
+// the selector constant within a flow, so the path is stable).
+func (t *towardTree) next(u RouterID, flow int) (RouterID, bool) {
+	cands := t.nexts[u]
+	if len(cands) == 0 {
+		return NoRouter, false
+	}
+	if flow < 0 {
+		flow = -flow
+	}
+	return cands[flow%len(cands)], true
+}
+
+// pathFrom walks the tree from u to the root, returning the router sequence
+// excluding u itself. ok is false when the root is unreachable; the returned
+// prefix is then the walk up to the dead end.
+func (t *towardTree) pathFrom(u RouterID, flow int) (path []RouterID, ok bool) {
+	cur := u
+	for cur != t.root {
+		nxt, have := t.next(cur, flow)
+		if !have {
+			return path, false
+		}
+		path = append(path, nxt)
+		cur = nxt
+		if len(path) > 1024 {
+			panic(fmt.Sprintf("netsim: routing loop walking toward %d from %d", t.root, u))
+		}
+	}
+	return path, true
+}

@@ -1,0 +1,237 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"net/netip"
+	"time"
+
+	"pinpoint/internal/trace"
+)
+
+// TracerouteOpts controls the traceroute engine. The zero value is replaced
+// by Defaults (3 packets per hop, TTL limit 30, gap limit 4, 0.05 ms
+// measurement noise) — the Atlas-like behaviour the paper's dataset has.
+type TracerouteOpts struct {
+	MaxTTL        int
+	PacketsPerHop int
+	GapLimit      int     // consecutive unresponsive hops before giving up
+	NoiseMS       float64 // std-dev of probe-side measurement noise
+}
+
+// Defaults fills zero fields with the default options.
+func (o TracerouteOpts) Defaults() TracerouteOpts {
+	if o.MaxTTL == 0 {
+		o.MaxTTL = 30
+	}
+	if o.PacketsPerHop == 0 {
+		o.PacketsPerHop = 3
+	}
+	if o.GapLimit == 0 {
+		o.GapLimit = 4
+	}
+	if o.NoiseMS == 0 {
+		o.NoiseMS = 0.05
+	}
+	return o
+}
+
+// Traceroute simulates one Paris traceroute from a probe-hosting router to a
+// destination address (a service address or a router interface address) at
+// the given instant. The Paris flow identifier pins ECMP decisions, so
+// repeated calls with the same id traverse the same path (modulo scenario
+// epochs). The caller supplies the PRNG, which fully determines the noise.
+func (n *Net) Traceroute(probe RouterID, dst netip.Addr, at time.Time, parisID int, rng *rand.Rand, opts TracerouteOpts) (trace.Result, error) {
+	opts = opts.Defaults()
+	if !validRouter(probe, len(n.routers)) {
+		return trace.Result{}, fmt.Errorf("netsim: traceroute from unknown router %d", probe)
+	}
+	epoch := n.scenario.EpochKey(at)
+
+	instances := n.services[dst]
+	if instances == nil {
+		if rid, ok := n.byAddr[dst]; ok {
+			instances = []RouterID{rid}
+		} else {
+			return trace.Result{}, fmt.Errorf("netsim: traceroute to unknown destination %v", dst)
+		}
+	}
+
+	// Anycast resolution: the routing system delivers to the closest
+	// instance (ties broken by lowest id, like lowest router-id in BGP).
+	var dstRouter RouterID = NoRouter
+	best := inf
+	var fwd *towardTree
+	for _, inst := range instances {
+		t := n.towardTree(inst, epoch)
+		if t.dist[probe] < best {
+			best = t.dist[probe]
+			dstRouter = inst
+			fwd = t
+		}
+	}
+	if dstRouter == NoRouter {
+		// Fully unreachable: packets vanish at the probe's first hop.
+		dstRouter = instances[0]
+		fwd = n.towardTree(dstRouter, epoch)
+	}
+
+	path, reached := fwd.pathFrom(probe, parisID)
+	full := append([]RouterID{probe}, path...)
+
+	ret := n.towardTree(probe, epoch)
+
+	res := trace.Result{
+		PrbID:   int(probe),
+		Time:    at,
+		Src:     n.routers[probe].Addr,
+		Dst:     dst,
+		ParisID: parisID,
+	}
+
+	gap := 0
+	lastIdx := len(full) - 1
+	for i := 1; i <= opts.MaxTTL; i++ {
+		hop := trace.Hop{Index: i}
+		if i <= lastIdx {
+			target := full[i]
+			for p := 0; p < opts.PacketsPerHop; p++ {
+				hop.Replies = append(hop.Replies, n.probeHop(full, i, target, dst, dstRouter, ret, at, rng, opts))
+			}
+		} else {
+			// Beyond the routable path (a routing dead end): packets vanish
+			// and the hop is pure timeouts, until the gap limit trips.
+			for p := 0; p < opts.PacketsPerHop; p++ {
+				hop.Replies = append(hop.Replies, trace.Reply{Timeout: true})
+			}
+		}
+		res.Hops = append(res.Hops, hop)
+
+		if i <= lastIdx && full[i] == dstRouter && reached {
+			break
+		}
+		if hop.Unresponsive() {
+			gap++
+			if gap >= opts.GapLimit {
+				break
+			}
+		} else {
+			gap = 0
+		}
+	}
+	return res, nil
+}
+
+// probeHop simulates one packet probing hop index i (router target) of the
+// forward path and returns the resulting reply or timeout.
+func (n *Net) probeHop(full []RouterID, i int, target RouterID, dst netip.Addr, dstRouter RouterID, ret *towardTree, at time.Time, rng *rand.Rand, opts TracerouteOpts) trace.Reply {
+	// Forward leg over links full[0..i].
+	fwdMS, ok := n.legDelay(full[:i+1], at, rng)
+	if !ok {
+		return trace.Reply{Timeout: true}
+	}
+	// Transit routers (strictly between probe and target) may blackhole.
+	for _, r := range full[1:i] {
+		if _, drop := n.scenario.RouterState(r, at); drop > 0 && rng.Float64() < drop {
+			return trace.Reply{Timeout: true}
+		}
+	}
+	router := n.routers[target]
+	// The target router generates the ICMP time-exceeded reply (or not).
+	if silent, _ := n.scenario.RouterState(target, at); silent {
+		return trace.Reply{Timeout: true}
+	}
+	if rng.Float64() > router.ResponseProb {
+		return trace.Reply{Timeout: true}
+	}
+	// Return leg: the ICMP reply routes back independently. Its flow key is
+	// fixed per (replying router, probe), not per Paris id: return-path ECMP
+	// hashes on the reply's own header fields.
+	retPath, reachedProbe := ret.pathFrom(target, int(target)*2654435761)
+	if !reachedProbe {
+		return trace.Reply{Timeout: true}
+	}
+	retFull := append([]RouterID{target}, retPath...)
+	retMS, okRet := n.legDelay(retFull, at, rng)
+	if !okRet {
+		return trace.Reply{Timeout: true}
+	}
+	for _, r := range retFull[1 : len(retFull)-1] {
+		if _, drop := n.scenario.RouterState(r, at); drop > 0 && rng.Float64() < drop {
+			return trace.Reply{Timeout: true}
+		}
+	}
+	rtt := fwdMS + retMS + rng.ExpFloat64()*router.SlowPathMS + rng.NormFloat64()*opts.NoiseMS
+	if rtt < 0.01 {
+		rtt = 0.01
+	}
+	from := router.Addr
+	if target == dstRouter && len(n.services[dst]) > 0 {
+		// Replies from the service hop carry the service address (what
+		// anycast looks like in real traceroutes).
+		from = dst
+	}
+	return trace.Reply{From: from, RTT: rtt}
+}
+
+// legDelay accumulates sampled one-way delay along consecutive routers,
+// returning ok=false when any link drops the packet or is down.
+func (n *Net) legDelay(routers []RouterID, at time.Time, rng *rand.Rand) (ms float64, ok bool) {
+	for j := 0; j+1 < len(routers); j++ {
+		e, have := n.edgeBetween(routers[j], routers[j+1])
+		if !have {
+			return 0, false
+		}
+		extra, loss, down := n.scenario.LinkState(e.From, e.To, at)
+		if down {
+			return 0, false
+		}
+		p := e.Loss + loss
+		if p > 0 && rng.Float64() < p {
+			return 0, false
+		}
+		ms += e.Delay.Sample(rng, extra)
+	}
+	return ms, true
+}
+
+// ForwardPath returns the router sequence (including the probe router) a
+// flow takes toward dst at the given time, and whether the destination is
+// reached. Diagnostics and tests use it; the traceroute engine inlines the
+// same logic.
+func (n *Net) ForwardPath(probe RouterID, dst netip.Addr, at time.Time, parisID int) ([]RouterID, bool) {
+	epoch := n.scenario.EpochKey(at)
+	instances := n.services[dst]
+	if instances == nil {
+		if rid, ok := n.byAddr[dst]; ok {
+			instances = []RouterID{rid}
+		} else {
+			return nil, false
+		}
+	}
+	var dstRouter RouterID = NoRouter
+	best := inf
+	var fwd *towardTree
+	for _, inst := range instances {
+		t := n.towardTree(inst, epoch)
+		if t.dist[probe] < best {
+			best = t.dist[probe]
+			dstRouter = inst
+			fwd = t
+		}
+	}
+	if dstRouter == NoRouter {
+		return []RouterID{probe}, false
+	}
+	path, ok := fwd.pathFrom(probe, parisID)
+	return append([]RouterID{probe}, path...), ok
+}
+
+// ReturnPath returns the router sequence an ICMP reply takes from a router
+// back to the probe at the given time.
+func (n *Net) ReturnPath(from, probe RouterID, at time.Time) ([]RouterID, bool) {
+	epoch := n.scenario.EpochKey(at)
+	ret := n.towardTree(probe, epoch)
+	path, ok := ret.pathFrom(from, int(from)*2654435761)
+	return append([]RouterID{from}, path...), ok
+}

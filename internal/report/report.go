@@ -1,0 +1,172 @@
+// Package report renders experiment output as text: aligned tables, ASCII
+// time-series plots and sparklines, and distribution plots. The experiment
+// harnesses use it to print the "same rows/series" each paper figure shows,
+// in a terminal instead of matplotlib.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"text/tabwriter"
+
+	"pinpoint/internal/timeseries"
+)
+
+// Table renders rows with aligned columns. The first row is the header.
+func Table(rows [][]string) string {
+	var sb strings.Builder
+	w := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
+	for i, row := range rows {
+		fmt.Fprintln(w, strings.Join(row, "\t"))
+		if i == 0 {
+			sep := make([]string, len(row))
+			for j, cell := range row {
+				sep[j] = strings.Repeat("-", len(cell))
+			}
+			fmt.Fprintln(w, strings.Join(sep, "\t"))
+		}
+	}
+	w.Flush()
+	return sb.String()
+}
+
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders values as a compact unicode bar series, mapping the
+// value range onto eight block heights. NaNs render as spaces.
+func Sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		if math.IsNaN(v) {
+			continue
+		}
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if math.IsInf(lo, 1) {
+		return strings.Repeat(" ", len(values))
+	}
+	span := hi - lo
+	var sb strings.Builder
+	for _, v := range values {
+		if math.IsNaN(v) {
+			sb.WriteByte(' ')
+			continue
+		}
+		idx := 0
+		if span > 0 {
+			idx = int((v - lo) / span * float64(len(sparkRunes)-1))
+		}
+		sb.WriteRune(sparkRunes[idx])
+	}
+	return sb.String()
+}
+
+// TimeSeries renders points as a fixed-height ASCII chart with a labeled
+// value axis; the x axis is the bin sequence. Height must be ≥ 2.
+func TimeSeries(title string, pts []timeseries.Point, height int) string {
+	if height < 2 {
+		height = 2
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	if len(pts) == 0 {
+		sb.WriteString("  (no data)\n")
+		return sb.String()
+	}
+	vals := timeseries.Values(pts)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range vals {
+		if math.IsNaN(v) {
+			continue
+		}
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if math.IsInf(lo, 1) {
+		sb.WriteString("  (all NaN)\n")
+		return sb.String()
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	width := len(vals)
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for x, v := range vals {
+		if math.IsNaN(v) {
+			continue
+		}
+		y := int((v - lo) / (hi - lo) * float64(height-1))
+		grid[height-1-y][x] = '*'
+	}
+	for i, row := range grid {
+		label := ""
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%10.2f", hi)
+		case height - 1:
+			label = fmt.Sprintf("%10.2f", lo)
+		default:
+			label = strings.Repeat(" ", 10)
+		}
+		fmt.Fprintf(&sb, "%s |%s\n", label, string(row))
+	}
+	fmt.Fprintf(&sb, "%s +%s\n", strings.Repeat(" ", 10), strings.Repeat("-", width))
+	fmt.Fprintf(&sb, "%s  %s .. %s (%d bins)\n", strings.Repeat(" ", 10),
+		pts[0].T.Format("01-02 15:04"), pts[len(pts)-1].T.Format("01-02 15:04"), len(pts))
+	return sb.String()
+}
+
+// Histogram renders value counts over n buckets between min and max.
+func Histogram(title string, values []float64, buckets int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	if len(values) == 0 || buckets < 1 {
+		sb.WriteString("  (no data)\n")
+		return sb.String()
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	counts := make([]int, buckets)
+	for _, v := range values {
+		i := int((v - lo) / (hi - lo) * float64(buckets))
+		if i >= buckets {
+			i = buckets - 1
+		}
+		counts[i]++
+	}
+	maxC := 0
+	for _, c := range counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	for i, c := range counts {
+		bLo := lo + (hi-lo)*float64(i)/float64(buckets)
+		bar := ""
+		if maxC > 0 {
+			bar = strings.Repeat("#", c*50/maxC)
+		}
+		fmt.Fprintf(&sb, "%12.2f |%-50s %d\n", bLo, bar, c)
+	}
+	return sb.String()
+}
+
+// Percent formats a fraction as a percentage with one decimal.
+func Percent(frac float64) string { return fmt.Sprintf("%.1f%%", frac*100) }
+
+// MS formats a millisecond value.
+func MS(v float64) string { return fmt.Sprintf("%.2fms", v) }

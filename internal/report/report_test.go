@@ -1,0 +1,89 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"pinpoint/internal/timeseries"
+)
+
+func TestTable(t *testing.T) {
+	out := Table([][]string{
+		{"link", "median", "ref"},
+		{"a>b", "5.30", "5.25"},
+	})
+	if !strings.Contains(out, "link") || !strings.Contains(out, "a>b") {
+		t.Errorf("table output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Errorf("table lines = %d, want 3 (header, rule, row)", len(lines))
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7})
+	if len([]rune(s)) != 8 {
+		t.Errorf("sparkline runes = %d", len([]rune(s)))
+	}
+	if !strings.ContainsRune(s, '▁') || !strings.ContainsRune(s, '█') {
+		t.Errorf("sparkline missing extremes: %q", s)
+	}
+	if Sparkline(nil) != "" {
+		t.Error("empty sparkline should be empty string")
+	}
+	if got := Sparkline([]float64{5, 5, 5}); got != "▁▁▁" {
+		t.Errorf("flat sparkline = %q", got)
+	}
+	withNaN := Sparkline([]float64{1, math.NaN(), 3})
+	if !strings.Contains(withNaN, " ") {
+		t.Errorf("NaN should render as space: %q", withNaN)
+	}
+}
+
+func TestTimeSeries(t *testing.T) {
+	t0 := time.Date(2015, 6, 12, 0, 0, 0, 0, time.UTC)
+	var pts []timeseries.Point
+	for i := 0; i < 24; i++ {
+		v := 1.0
+		if i == 12 {
+			v = 100
+		}
+		pts = append(pts, timeseries.Point{T: t0.Add(time.Duration(i) * time.Hour), V: v})
+	}
+	out := TimeSeries("AS3549 delay magnitude", pts, 5)
+	if !strings.Contains(out, "AS3549") || !strings.Contains(out, "*") {
+		t.Errorf("plot:\n%s", out)
+	}
+	if !strings.Contains(out, "100.00") {
+		t.Errorf("plot missing max label:\n%s", out)
+	}
+	if !strings.Contains(out, "24 bins") {
+		t.Errorf("plot missing bin count:\n%s", out)
+	}
+	empty := TimeSeries("x", nil, 5)
+	if !strings.Contains(empty, "no data") {
+		t.Error("empty plot should say so")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	out := Histogram("mags", []float64{0, 0.1, 0.2, 0.5, 0.9, 5}, 5)
+	if !strings.Contains(out, "#") {
+		t.Errorf("histogram has no bars:\n%s", out)
+	}
+	if !strings.Contains(Histogram("x", nil, 5), "no data") {
+		t.Error("empty histogram should say so")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Percent(0.97) != "97.0%" {
+		t.Errorf("Percent = %q", Percent(0.97))
+	}
+	if MS(5.346) != "5.35ms" {
+		t.Errorf("MS = %q", MS(5.346))
+	}
+}

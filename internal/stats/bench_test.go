@@ -1,0 +1,68 @@
+package stats
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func benchSamples(n int) []float64 {
+	rng := rand.New(rand.NewPCG(1, 1))
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = 5 + rng.NormFloat64()*12
+	}
+	return xs
+}
+
+func BenchmarkMedianWilson1k(b *testing.B) {
+	xs := benchSamples(1000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MedianWilson(xs, Z95)
+	}
+}
+
+func BenchmarkMedianWilsonSorted1k(b *testing.B) {
+	xs := sortedCopy(benchSamples(1000))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MedianWilsonSorted(xs, Z95)
+	}
+}
+
+func BenchmarkPearson(b *testing.B) {
+	x := benchSamples(64)
+	y := benchSamples(64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Pearson(x, y)
+	}
+}
+
+func BenchmarkMagnitudeWeekWindow(b *testing.B) {
+	win := benchSamples(168)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Magnitude(42, win)
+	}
+}
+
+func BenchmarkNormalizedEntropy(b *testing.B) {
+	counts := []int{90, 4, 3, 2, 1, 7, 9, 2}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		NormalizedEntropy(counts)
+	}
+}
+
+func BenchmarkSortedSamplesAdd(b *testing.B) {
+	var s SortedSamples
+	rng := rand.New(rand.NewPCG(2, 2))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if s.Len() > 4096 {
+			s.Reset()
+		}
+		s.Add(rng.Float64())
+	}
+}

@@ -1,0 +1,81 @@
+package stats
+
+import "math"
+
+// Mean returns the arithmetic mean of xs, or NaN for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the population variance of xs (divisor n), or NaN for an
+// empty slice.
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return sum / float64(len(xs))
+}
+
+// Stddev returns the population standard deviation of xs.
+func Stddev(xs []float64) float64 {
+	return math.Sqrt(Variance(xs))
+}
+
+// Summary holds descriptive statistics of a sample. It is the unit printed
+// by experiment harnesses when comparing against the per-link statistics the
+// paper reports (e.g. Fig 2: µ=4.8, σ=12.2).
+type Summary struct {
+	N      int
+	Mean   float64
+	Stddev float64
+	Min    float64
+	P25    float64
+	Median float64
+	P75    float64
+	Max    float64
+}
+
+// Describe computes a Summary of xs. For an empty slice all fields are NaN
+// and N is zero.
+func Describe(xs []float64) Summary {
+	if len(xs) == 0 {
+		nan := math.NaN()
+		return Summary{Mean: nan, Stddev: nan, Min: nan, P25: nan, Median: nan, P75: nan, Max: nan}
+	}
+	s := sortedCopy(xs)
+	return Summary{
+		N:      len(xs),
+		Mean:   Mean(xs),
+		Stddev: Stddev(xs),
+		Min:    s[0],
+		P25:    QuantileSorted(s, 0.25),
+		Median: medianSorted(s),
+		P75:    QuantileSorted(s, 0.75),
+		Max:    s[len(s)-1],
+	}
+}
+
+// CountAbove returns how many elements of xs exceed the threshold. The paper
+// uses it to count outliers beyond µ+3σ (Fig 3 discussion).
+func CountAbove(xs []float64, threshold float64) int {
+	n := 0
+	for _, x := range xs {
+		if x > threshold {
+			n++
+		}
+	}
+	return n
+}

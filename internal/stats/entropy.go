@@ -1,0 +1,39 @@
+package stats
+
+import "math"
+
+// NormalizedEntropy returns the Shannon entropy of the distribution implied
+// by the non-negative counts, normalized by ln(n) so the result lies in
+// [0, 1]: 0 when all mass is in one bucket, 1 when mass is spread evenly.
+//
+// This is H(A) from §4.3, used to decide whether the probes observing a link
+// are spread across enough ASs. Buckets with zero count contribute nothing.
+// Special cases: no positive counts → 0; exactly one bucket → 1 (a single AS
+// trivially has "even" dispersion, but the ≥3-AS criterion screens that case
+// out before entropy is consulted).
+func NormalizedEntropy(counts []int) float64 {
+	n := len(counts)
+	total := 0
+	positive := 0
+	for _, c := range counts {
+		if c > 0 {
+			total += c
+			positive++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	if n < 2 {
+		return 1
+	}
+	h := 0.0
+	for _, c := range counts {
+		if c <= 0 {
+			continue
+		}
+		p := float64(c) / float64(total)
+		h -= p * math.Log(p)
+	}
+	return h / math.Log(float64(n))
+}

@@ -1,0 +1,107 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// NormalQuantile returns Φ⁻¹(p), the standard normal quantile function,
+// via the inverse error function. p must be in (0, 1); values outside give
+// ±Inf or NaN following math.Erfinv.
+func NormalQuantile(p float64) float64 {
+	return math.Sqrt2 * math.Erfinv(2*p-1)
+}
+
+// QQPoint is one point of a quantile-quantile plot: the theoretical normal
+// quantile against the standardized sample quantile.
+type QQPoint struct {
+	Theoretical float64
+	Sample      float64
+}
+
+// QQNormal builds the Q-Q plot of xs against the standard normal
+// distribution, standardizing the sample by its own mean and standard
+// deviation (so a normal sample lies on the x = y diagonal, as in Fig 3).
+// Plotting positions are (i − 0.5)/n. It returns nil for fewer than 3
+// samples or zero variance.
+func QQNormal(xs []float64) []QQPoint {
+	n := len(xs)
+	if n < 3 {
+		return nil
+	}
+	mu := Mean(xs)
+	sd := Stddev(xs)
+	if sd == 0 {
+		return nil
+	}
+	s := sortedCopy(xs)
+	pts := make([]QQPoint, n)
+	for i := 0; i < n; i++ {
+		p := (float64(i) + 0.5) / float64(n)
+		pts[i] = QQPoint{
+			Theoretical: NormalQuantile(p),
+			Sample:      (s[i] - mu) / sd,
+		}
+	}
+	return pts
+}
+
+// QQCorrelation returns the correlation coefficient of the Q-Q plot points —
+// the probability-plot correlation coefficient (PPCC). Values near 1 mean
+// the sample is close to normal; the gap from 1 grows with skew or heavy
+// tails. It returns NaN when the plot is degenerate.
+//
+// The paper argues normality visually (Fig 3); PPCC gives the experiment
+// harness a scalar to compare median-CLT (≈1) against mean-CLT (<1).
+func QQCorrelation(xs []float64) float64 {
+	pts := QQNormal(xs)
+	if pts == nil {
+		return math.NaN()
+	}
+	tx := make([]float64, len(pts))
+	ty := make([]float64, len(pts))
+	for i, p := range pts {
+		tx[i] = p.Theoretical
+		ty[i] = p.Sample
+	}
+	return Pearson(tx, ty)
+}
+
+// ECDFPoint is one step of an empirical distribution function.
+type ECDFPoint struct {
+	X float64 // sample value
+	P float64 // cumulative probability P(X ≤ x)
+}
+
+// ECDF returns the empirical CDF of xs as sorted step points.
+// It returns nil for an empty slice.
+func ECDF(xs []float64) []ECDFPoint {
+	if len(xs) == 0 {
+		return nil
+	}
+	s := sortedCopy(xs)
+	pts := make([]ECDFPoint, len(s))
+	for i, x := range s {
+		pts[i] = ECDFPoint{X: x, P: float64(i+1) / float64(len(s))}
+	}
+	return pts
+}
+
+// CCDF returns the complementary CDF, P(X > x), as sorted step points
+// (Fig 5a uses this form). It returns nil for an empty slice.
+func CCDF(xs []float64) []ECDFPoint {
+	pts := ECDF(xs)
+	for i := range pts {
+		pts[i].P = 1 - pts[i].P
+	}
+	return pts
+}
+
+// FractionBelow returns P(X < v) under the empirical distribution of xs.
+func FractionBelow(xs []float64, v float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	i := sort.SearchFloat64s(sortedCopy(xs), v)
+	return float64(i) / float64(len(xs))
+}

@@ -1,0 +1,147 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestNormalQuantile(t *testing.T) {
+	tests := []struct {
+		p, want float64
+	}{
+		{0.5, 0},
+		{0.975, 1.959964},
+		{0.025, -1.959964},
+		{0.8413447, 1.0}, // Φ(1) ≈ 0.8413
+	}
+	for _, tt := range tests {
+		if got := NormalQuantile(tt.p); !almostEqual(got, tt.want, 1e-4) {
+			t.Errorf("NormalQuantile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestQQNormalOnNormalData(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = 5 + 2*rng.NormFloat64()
+	}
+	r := QQCorrelation(xs)
+	if r < 0.995 {
+		t.Errorf("QQCorrelation of normal sample = %v, want ≥ 0.995", r)
+	}
+	pts := QQNormal(xs)
+	if len(pts) != len(xs) {
+		t.Fatalf("QQNormal returned %d points, want %d", len(pts), len(xs))
+	}
+	// Points must be monotonically increasing in both coordinates.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Theoretical < pts[i-1].Theoretical || pts[i].Sample < pts[i-1].Sample {
+			t.Fatal("Q-Q points must be monotone")
+		}
+	}
+}
+
+func TestQQNormalOnHeavyTailedData(t *testing.T) {
+	// The discriminating power Fig 3 relies on: a contaminated sample (a few
+	// huge outliers, as in raw differential RTTs) has visibly lower PPCC
+	// than a clean normal one.
+	rng := rand.New(rand.NewPCG(5, 6))
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+		if rng.Float64() < 0.02 {
+			xs[i] += 50 // measurement-error spike
+		}
+	}
+	r := QQCorrelation(xs)
+	if r > 0.9 {
+		t.Errorf("QQCorrelation of contaminated sample = %v, want < 0.9", r)
+	}
+}
+
+func TestQQNormalDegenerate(t *testing.T) {
+	if QQNormal([]float64{1, 2}) != nil {
+		t.Error("QQNormal with <3 samples should be nil")
+	}
+	if QQNormal([]float64{3, 3, 3, 3}) != nil {
+		t.Error("QQNormal with zero variance should be nil")
+	}
+	if !math.IsNaN(QQCorrelation([]float64{3, 3, 3})) {
+		t.Error("QQCorrelation degenerate should be NaN")
+	}
+}
+
+func TestECDFAndCCDF(t *testing.T) {
+	xs := []float64{3, 1, 2, 4}
+	cdf := ECDF(xs)
+	if len(cdf) != 4 {
+		t.Fatalf("ECDF len = %d", len(cdf))
+	}
+	if cdf[0].X != 1 || cdf[0].P != 0.25 {
+		t.Errorf("ECDF first = %+v", cdf[0])
+	}
+	if cdf[3].X != 4 || cdf[3].P != 1 {
+		t.Errorf("ECDF last = %+v", cdf[3])
+	}
+	ccdf := CCDF(xs)
+	if !almostEqual(ccdf[0].P, 0.75, 1e-12) || !almostEqual(ccdf[3].P, 0, 1e-12) {
+		t.Errorf("CCDF = %+v", ccdf)
+	}
+	if ECDF(nil) != nil || CCDF(nil) != nil {
+		t.Error("empty ECDF/CCDF should be nil")
+	}
+}
+
+func TestFractionBelow(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if got := FractionBelow(xs, 3); got != 0.5 {
+		t.Errorf("FractionBelow = %v, want 0.5", got)
+	}
+	if got := FractionBelow(xs, 0.5); got != 0 {
+		t.Errorf("FractionBelow = %v, want 0", got)
+	}
+	if got := FractionBelow(xs, 99); got != 1 {
+		t.Errorf("FractionBelow = %v, want 1", got)
+	}
+	if !math.IsNaN(FractionBelow(nil, 1)) {
+		t.Error("FractionBelow of empty should be NaN")
+	}
+}
+
+// Median-CLT check underpinning §4.2.2: medians of repeated heavy-tailed
+// samples are approximately normal, while means of the same samples are
+// wrecked by outliers. This is the statistical heart of the paper.
+func TestMedianCLTRobustness(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 13))
+	const bins = 300
+	const perBin = 120
+	medians := make([]float64, bins)
+	means := make([]float64, bins)
+	for b := 0; b < bins; b++ {
+		xs := make([]float64, perBin)
+		for i := range xs {
+			xs[i] = 5 + rng.NormFloat64() // base delay ~N(5,1)
+			if rng.Float64() < 0.03 {     // 3% huge outliers
+				xs[i] += 100 + 50*rng.Float64()
+			}
+		}
+		medians[b] = Median(xs)
+		means[b] = Mean(xs)
+	}
+	rMed := QQCorrelation(medians)
+	rMean := QQCorrelation(means)
+	if rMed < 0.99 {
+		t.Errorf("median-CLT PPCC = %v, want ≥ 0.99", rMed)
+	}
+	if rMean >= rMed {
+		t.Errorf("mean PPCC (%v) should be worse than median PPCC (%v)", rMean, rMed)
+	}
+	// The medians should also be far more stable (Fig 2's key message).
+	if Stddev(medians) > 0.5*Stddev(means) {
+		t.Errorf("median spread %v should be well below mean spread %v",
+			Stddev(medians), Stddev(means))
+	}
+}

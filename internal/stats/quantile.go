@@ -1,0 +1,121 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Median returns the median of xs, or NaN for an empty slice.
+// The input is not modified.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := sortedCopy(xs)
+	return medianSorted(s)
+}
+
+// MedianSorted returns the median of a slice already sorted in ascending
+// order, or NaN for an empty slice. It is the allocation-free companion of
+// Median for hot paths that maintain sorted sample buffers.
+func MedianSorted(sorted []float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	return medianSorted(sorted)
+}
+
+func medianSorted(s []float64) float64 {
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	// Midpoint written to avoid float64 overflow near ±MaxFloat64: with the
+	// same sign a+b could overflow, with opposite signs b−a could.
+	a, b := s[n/2-1], s[n/2]
+	if (a < 0) != (b < 0) {
+		return (a + b) / 2
+	}
+	return a + (b-a)/2
+}
+
+// Quantile returns the q-th quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between order statistics (type-7 estimator, the common
+// default). It returns NaN for an empty slice or q outside [0, 1].
+// The input is not modified.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 || q < 0 || q > 1 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	s := sortedCopy(xs)
+	return QuantileSorted(s, q)
+}
+
+// QuantileSorted is Quantile on an already ascending-sorted slice.
+func QuantileSorted(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 || q < 0 || q > 1 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	if n == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Min returns the smallest element of xs, or NaN for an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element of xs, or NaN for an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Rank returns the fraction of elements of xs that are ≤ v, i.e. the
+// empirical CDF of xs evaluated at v. It returns NaN for an empty slice.
+func Rank(xs []float64, v float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	n := 0
+	for _, x := range xs {
+		if x <= v {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs))
+}
+
+func sortedCopy(xs []float64) []float64 {
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	return s
+}

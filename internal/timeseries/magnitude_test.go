@@ -1,0 +1,43 @@
+package timeseries
+
+import (
+	"testing"
+	"time"
+)
+
+func TestMagnitudeSinceSpanStart(t *testing.T) {
+	s := New(time.Hour)
+	// The series' first written point is the event itself — with a span
+	// start a week earlier, the window behind it is dense zeros and the
+	// event scores high; with the series' own (event-time) span it scores
+	// zero.
+	eventT := t0.Add(7 * 24 * time.Hour)
+	s.Add(eventT, 50)
+
+	own := s.Magnitude(eventT, eventT.Add(time.Hour), 7*24*time.Hour)
+	if len(own) != 1 || own[0].V != 0 {
+		t.Errorf("own-span magnitude = %+v, want 0 (single-point window)", own)
+	}
+
+	since := s.MagnitudeSince(t0, eventT, eventT.Add(time.Hour), 7*24*time.Hour)
+	if len(since) != 1 || since[0].V < 25 {
+		t.Errorf("span-start magnitude = %+v, want large", since)
+	}
+}
+
+func TestMagnitudeSinceWindowClamp(t *testing.T) {
+	s := New(time.Hour)
+	for i := 0; i < 48; i++ {
+		s.Add(t0.Add(time.Duration(i)*time.Hour), 1)
+	}
+	// Span start after the data begins: window must not reach before it.
+	spanStart := t0.Add(24 * time.Hour)
+	pts := s.MagnitudeSince(spanStart, t0.Add(30*time.Hour), t0.Add(31*time.Hour), 7*24*time.Hour)
+	if len(pts) != 1 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Window = bins 24..30, all value 1 → magnitude 0.
+	if pts[0].V != 0 {
+		t.Errorf("magnitude = %v, want 0 over constant clamped window", pts[0].V)
+	}
+}

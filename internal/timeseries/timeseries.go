@@ -1,0 +1,199 @@
+// Package timeseries provides the time-binning and sliding-window machinery
+// shared by the detectors: truncating timestamps to analysis bins (1 hour in
+// the paper), accumulating per-bin values into series, and computing the
+// one-week sliding median/MAD magnitude of §6 (Eq 10).
+package timeseries
+
+import (
+	"sort"
+	"time"
+
+	"pinpoint/internal/stats"
+)
+
+// Bin truncates t to the start of its bin of the given size (UTC).
+func Bin(t time.Time, size time.Duration) time.Time {
+	return t.UTC().Truncate(size)
+}
+
+// Point is one (time, value) pair of a series.
+type Point struct {
+	T time.Time
+	V float64
+}
+
+// Series accumulates values into fixed-size time bins. Values added to the
+// same bin are summed, matching the paper's per-AS "sum of d(∆)" and
+// "sum of rᵢ" series. The zero value is not usable; construct with New.
+type Series struct {
+	binSize time.Duration
+	points  []Point
+	index   map[time.Time]int
+}
+
+// New returns an empty series with the given bin size.
+func New(binSize time.Duration) *Series {
+	return &Series{binSize: binSize, index: make(map[time.Time]int)}
+}
+
+// BinSize returns the series' bin duration.
+func (s *Series) BinSize() time.Duration { return s.binSize }
+
+// Add accumulates v into the bin containing t.
+func (s *Series) Add(t time.Time, v float64) {
+	b := Bin(t, s.binSize)
+	if i, ok := s.index[b]; ok {
+		s.points[i].V += v
+		return
+	}
+	s.index[b] = len(s.points)
+	s.points = append(s.points, Point{T: b, V: v})
+}
+
+// Set replaces the value of the bin containing t.
+func (s *Series) Set(t time.Time, v float64) {
+	b := Bin(t, s.binSize)
+	if i, ok := s.index[b]; ok {
+		s.points[i].V = v
+		return
+	}
+	s.index[b] = len(s.points)
+	s.points = append(s.points, Point{T: b, V: v})
+}
+
+// Value returns the value of the bin containing t; ok is false when the bin
+// has never been written.
+func (s *Series) Value(t time.Time) (v float64, ok bool) {
+	i, ok := s.index[Bin(t, s.binSize)]
+	if !ok {
+		return 0, false
+	}
+	return s.points[i].V, true
+}
+
+// Len returns the number of non-empty bins.
+func (s *Series) Len() int { return len(s.points) }
+
+// Points returns the series in chronological order. Bins that were never
+// written do not appear; callers who need dense series use Dense.
+func (s *Series) Points() []Point {
+	out := make([]Point, len(s.points))
+	copy(out, s.points)
+	sort.Slice(out, func(i, j int) bool { return out[i].T.Before(out[j].T) })
+	return out
+}
+
+// Dense returns the series between from and to (inclusive start, exclusive
+// end) with one point per bin, filling unwritten bins with zero. The paper's
+// magnitude windows treat quiet hours as zero alarms, so densification
+// matters: a week with one alarm must not look like a one-point window.
+func (s *Series) Dense(from, to time.Time) []Point {
+	from = Bin(from, s.binSize)
+	to = Bin(to, s.binSize)
+	var out []Point
+	for t := from; t.Before(to); t = t.Add(s.binSize) {
+		v, _ := s.Value(t)
+		out = append(out, Point{T: t, V: v})
+	}
+	return out
+}
+
+// Span returns the first and last bin timestamps, or ok=false for an empty
+// series.
+func (s *Series) Span() (first, last time.Time, ok bool) {
+	if len(s.points) == 0 {
+		return time.Time{}, time.Time{}, false
+	}
+	first, last = s.points[0].T, s.points[0].T
+	for _, p := range s.points[1:] {
+		if p.T.Before(first) {
+			first = p.T
+		}
+		if p.T.After(last) {
+			last = p.T
+		}
+	}
+	return first, last, true
+}
+
+// Magnitude computes the robust anomaly magnitude of every bin between from
+// and to against a trailing window (one week in the paper): for each bin t,
+//
+//	mag(t) = (x_t − median(W)) / (1 + 1.4826·MAD(W))
+//
+// where W is the dense window (t−window, t]. Bins before `from` still
+// contribute to windows. This is Eq 10 applied over the series.
+func (s *Series) Magnitude(from, to time.Time, window time.Duration) []Point {
+	first, _, haveSpan := s.Span()
+	if !haveSpan {
+		first = Bin(from, s.binSize)
+	}
+	return s.MagnitudeSince(first, from, to, window)
+}
+
+// MagnitudeSince is Magnitude with an explicit series start: windows are
+// clamped so they never reach before spanStart, but bins between spanStart
+// and the first written point count as zero. Aggregators that know the true
+// analysis start use this so a series whose first alarm IS the event still
+// gets a quiet (all-zero) window behind it.
+func (s *Series) MagnitudeSince(spanStart, from, to time.Time, window time.Duration) []Point {
+	from = Bin(from, s.binSize)
+	to = Bin(to, s.binSize)
+	spanStart = Bin(spanStart, s.binSize)
+	var out []Point
+	for t := from; t.Before(to); t = t.Add(s.binSize) {
+		start := t.Add(-window).Add(s.binSize)
+		// The window never reaches before the series' known start: history
+		// that predates all observation must not appear as phantom zeros.
+		if start.Before(spanStart) {
+			start = spanStart
+		}
+		win := s.Dense(start, t.Add(s.binSize))
+		vals := make([]float64, len(win))
+		for i, p := range win {
+			vals[i] = p.V
+		}
+		x, _ := s.Value(t)
+		out = append(out, Point{T: t, V: stats.Magnitude(x, vals)})
+	}
+	return out
+}
+
+// Values extracts just the values of a point slice, in order.
+func Values(pts []Point) []float64 {
+	out := make([]float64, len(pts))
+	for i, p := range pts {
+		out[i] = p.V
+	}
+	return out
+}
+
+// MaxPoint returns the point with the largest value, ok=false for empty
+// input.
+func MaxPoint(pts []Point) (Point, bool) {
+	if len(pts) == 0 {
+		return Point{}, false
+	}
+	best := pts[0]
+	for _, p := range pts[1:] {
+		if p.V > best.V {
+			best = p
+		}
+	}
+	return best, true
+}
+
+// MinPoint returns the point with the smallest value, ok=false for empty
+// input.
+func MinPoint(pts []Point) (Point, bool) {
+	if len(pts) == 0 {
+		return Point{}, false
+	}
+	best := pts[0]
+	for _, p := range pts[1:] {
+		if p.V < best.V {
+			best = p
+		}
+	}
+	return best, true
+}

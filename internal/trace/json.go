@@ -1,0 +1,225 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/netip"
+	"time"
+)
+
+// Wire format, modeled on the RIPE Atlas traceroute result schema:
+//
+//	{"msm_id":5001,"prb_id":42,"timestamp":1448866800,
+//	 "src_addr":"10.0.0.1","dst_addr":"193.0.14.129","paris_id":3,
+//	 "result":[{"hop":1,"result":[{"from":"10.0.0.254","rtt":0.52},
+//	                              {"x":"*"}]}]}
+//
+// Timestamps are Unix seconds (UTC), RTTs are milliseconds.
+
+type wireReply struct {
+	From string   `json:"from,omitempty"`
+	RTT  *float64 `json:"rtt,omitempty"`
+	X    string   `json:"x,omitempty"`
+
+	// Fields present in real RIPE Atlas dumps, accepted for compatibility
+	// and ignored on encode: TTL of the reply, packet size, late-arrival
+	// count, and per-packet errors (e.g. "N - network unreachable").
+	TTL  int             `json:"ttl,omitempty"`
+	Size int             `json:"size,omitempty"`
+	Late json.RawMessage `json:"late,omitempty"`
+	Err  json.RawMessage `json:"err,omitempty"`
+}
+
+type wireHop struct {
+	Hop     int         `json:"hop"`
+	Replies []wireReply `json:"result"`
+}
+
+type wireResult struct {
+	MsmID     int       `json:"msm_id"`
+	PrbID     int       `json:"prb_id"`
+	Timestamp int64     `json:"timestamp"`
+	SrcAddr   string    `json:"src_addr"`
+	DstAddr   string    `json:"dst_addr"`
+	ParisID   int       `json:"paris_id"`
+	Result    []wireHop `json:"result"`
+}
+
+// MarshalJSON encodes the result in the Atlas-like wire format.
+func (r Result) MarshalJSON() ([]byte, error) {
+	w := wireResult{
+		MsmID:     r.MsmID,
+		PrbID:     r.PrbID,
+		Timestamp: r.Time.Unix(),
+		SrcAddr:   r.Src.String(),
+		DstAddr:   r.Dst.String(),
+		ParisID:   r.ParisID,
+		Result:    make([]wireHop, 0, len(r.Hops)),
+	}
+	for _, h := range r.Hops {
+		wh := wireHop{Hop: h.Index, Replies: make([]wireReply, 0, len(h.Replies))}
+		for _, rep := range h.Replies {
+			if rep.Timeout {
+				wh.Replies = append(wh.Replies, wireReply{X: "*"})
+				continue
+			}
+			rtt := rep.RTT
+			wh.Replies = append(wh.Replies, wireReply{From: rep.From.String(), RTT: &rtt})
+		}
+		w.Result = append(w.Result, wh)
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON decodes the Atlas-like wire format.
+func (r *Result) UnmarshalJSON(data []byte) error {
+	var w wireResult
+	if err := json.Unmarshal(data, &w); err != nil {
+		return fmt.Errorf("trace: decoding result: %w", err)
+	}
+	src, err := netip.ParseAddr(w.SrcAddr)
+	if err != nil {
+		return fmt.Errorf("trace: bad src_addr %q: %w", w.SrcAddr, err)
+	}
+	dst, err := netip.ParseAddr(w.DstAddr)
+	if err != nil {
+		return fmt.Errorf("trace: bad dst_addr %q: %w", w.DstAddr, err)
+	}
+	out := Result{
+		MsmID:   w.MsmID,
+		PrbID:   w.PrbID,
+		Time:    time.Unix(w.Timestamp, 0).UTC(),
+		Src:     src,
+		Dst:     dst,
+		ParisID: w.ParisID,
+		Hops:    make([]Hop, 0, len(w.Result)),
+	}
+	for _, wh := range w.Result {
+		h := Hop{Index: wh.Hop, Replies: make([]Reply, 0, len(wh.Replies))}
+		for _, rep := range wh.Replies {
+			if rep.X != "" {
+				h.Replies = append(h.Replies, Reply{Timeout: true})
+				continue
+			}
+			// Real Atlas dumps contain error entries ("err") and entries
+			// with an address but no RTT (ICMP errors); both carry no
+			// usable delay sample, so they degrade to timeouts rather than
+			// rejecting the whole result.
+			if len(rep.Err) > 0 || rep.From == "" || rep.RTT == nil {
+				h.Replies = append(h.Replies, Reply{Timeout: true})
+				continue
+			}
+			from, err := netip.ParseAddr(rep.From)
+			if err != nil {
+				return fmt.Errorf("trace: bad reply address %q: %w", rep.From, err)
+			}
+			h.Replies = append(h.Replies, Reply{From: from, RTT: *rep.RTT})
+		}
+		out.Hops = append(out.Hops, h)
+	}
+	*r = out
+	return nil
+}
+
+// ReadArray decodes results from a single JSON array — the envelope the
+// RIPE Atlas REST API returns for measurement downloads, as opposed to the
+// JSONL stream format. Invalid elements abort with an error identifying the
+// element index.
+func ReadArray(r io.Reader) ([]Result, error) {
+	dec := json.NewDecoder(r)
+	tok, err := dec.Token()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading array: %w", err)
+	}
+	if d, ok := tok.(json.Delim); !ok || d != '[' {
+		return nil, fmt.Errorf("trace: expected JSON array, got %v", tok)
+	}
+	var out []Result
+	for dec.More() {
+		var res Result
+		if err := dec.Decode(&res); err != nil {
+			return nil, fmt.Errorf("trace: array element %d: %w", len(out), err)
+		}
+		out = append(out, res)
+	}
+	if _, err := dec.Token(); err != nil {
+		return nil, fmt.Errorf("trace: closing array: %w", err)
+	}
+	return out, nil
+}
+
+// Writer writes results as JSON Lines.
+type Writer struct {
+	bw *bufio.Writer
+}
+
+// NewWriter returns a JSONL writer over w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{bw: bufio.NewWriter(w)}
+}
+
+// Write appends one result as a single JSON line.
+func (w *Writer) Write(r Result) error {
+	b, err := json.Marshal(r)
+	if err != nil {
+		return err
+	}
+	if _, err := w.bw.Write(b); err != nil {
+		return err
+	}
+	return w.bw.WriteByte('\n')
+}
+
+// Flush flushes buffered output. Call it before closing the underlying
+// writer.
+func (w *Writer) Flush() error { return w.bw.Flush() }
+
+// Reader reads results from a JSONL stream.
+type Reader struct {
+	sc   *bufio.Scanner
+	line int
+}
+
+// NewReader returns a JSONL reader over r. Lines up to 16 MiB are accepted.
+func NewReader(r io.Reader) *Reader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	return &Reader{sc: sc}
+}
+
+// Read returns the next result, or io.EOF at end of stream.
+func (r *Reader) Read() (Result, error) {
+	for r.sc.Scan() {
+		r.line++
+		line := r.sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var res Result
+		if err := json.Unmarshal(line, &res); err != nil {
+			return Result{}, fmt.Errorf("trace: line %d: %w", r.line, err)
+		}
+		return res, nil
+	}
+	if err := r.sc.Err(); err != nil {
+		return Result{}, err
+	}
+	return Result{}, io.EOF
+}
+
+// ReadAll drains the stream into a slice.
+func (r *Reader) ReadAll() ([]Result, error) {
+	var out []Result
+	for {
+		res, err := r.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, res)
+	}
+}

@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"encoding/json"
+	"math/rand/v2"
+	"net/netip"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// randomResult generates a structurally valid random result.
+func randomResult(rng *rand.Rand) Result {
+	addr := func() netip.Addr {
+		return netip.AddrFrom4([4]byte{byte(rng.IntN(223) + 1), byte(rng.IntN(256)), byte(rng.IntN(256)), byte(rng.IntN(254) + 1)})
+	}
+	r := Result{
+		MsmID:   rng.IntN(10000),
+		PrbID:   rng.IntN(10000),
+		Time:    time.Unix(int64(1430000000+rng.IntN(20000000)), 0).UTC(),
+		Src:     addr(),
+		Dst:     addr(),
+		ParisID: rng.IntN(16),
+	}
+	hops := rng.IntN(12) + 1
+	for h := 1; h <= hops; h++ {
+		hop := Hop{Index: h}
+		for p := 0; p < 3; p++ {
+			if rng.Float64() < 0.15 {
+				hop.Replies = append(hop.Replies, Reply{Timeout: true})
+			} else {
+				hop.Replies = append(hop.Replies, Reply{From: addr(), RTT: rng.Float64() * 300})
+			}
+		}
+		r.Hops = append(r.Hops, hop)
+	}
+	return r
+}
+
+// Property: JSON round trip preserves every field of arbitrary results.
+func TestJSONRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewPCG(6, 28))
+	f := func() bool {
+		orig := randomResult(rng)
+		b, err := json.Marshal(orig)
+		if err != nil {
+			return false
+		}
+		var got Result
+		if err := json.Unmarshal(b, &got); err != nil {
+			return false
+		}
+		if got.MsmID != orig.MsmID || got.PrbID != orig.PrbID ||
+			got.ParisID != orig.ParisID || !got.Time.Equal(orig.Time) ||
+			got.Src != orig.Src || got.Dst != orig.Dst ||
+			len(got.Hops) != len(orig.Hops) {
+			return false
+		}
+		for i := range got.Hops {
+			if got.Hops[i].Index != orig.Hops[i].Index ||
+				len(got.Hops[i].Replies) != len(orig.Hops[i].Replies) {
+				return false
+			}
+			for j := range got.Hops[i].Replies {
+				if got.Hops[i].Replies[j] != orig.Hops[i].Replies[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: AdjacentPairs returns only consecutive indices, and Validate
+// accepts everything randomResult makes.
+func TestStructuralProperties(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 29))
+	f := func() bool {
+		r := randomResult(rng)
+		if err := r.Validate(); err != nil {
+			return false
+		}
+		for _, p := range r.AdjacentPairs() {
+			if p.Far.Index != p.Near.Index+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

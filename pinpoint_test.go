@@ -1,0 +1,65 @@
+package pinpoint_test
+
+import (
+	"testing"
+	"time"
+
+	"pinpoint"
+	"pinpoint/internal/atlas"
+	"pinpoint/internal/netsim"
+)
+
+// TestFacadeEndToEnd exercises the public API exactly as the package doc
+// shows: generate a network, run measurements, analyze, query events.
+func TestFacadeEndToEnd(t *testing.T) {
+	topo, err := netsim.Generate(netsim.TopoConfig{
+		Seed: 5, Tier1: 2, Transit: 4, Stub: 12, Roots: 1, RootInstances: 3, Anchors: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := topo.Build(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	platform := atlas.NewPlatform(net, 5, netsim.TracerouteOpts{})
+	platform.AddProbes(topo.ProbeSites())
+	platform.AddBuiltin(topo.Roots[0].Addr)
+
+	from := time.Date(2015, 7, 1, 0, 0, 0, 0, time.UTC)
+	to := from.Add(12 * time.Hour)
+
+	analyzer := pinpoint.New(pinpoint.Config{RetainAlarms: true}, platform.ProbeASN, net.Prefixes())
+	if err := platform.Run(from, to, func(r pinpoint.Result) error {
+		analyzer.Observe(r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	analyzer.Flush()
+
+	if analyzer.Results() == 0 {
+		t.Fatal("no results processed")
+	}
+	// A healthy network should produce few or no events.
+	evs := analyzer.Aggregator().Events(from, to)
+	if len(evs) > 3 {
+		t.Errorf("healthy network produced %d events", len(evs))
+	}
+}
+
+func TestFacadeStatistics(t *testing.T) {
+	ci := pinpoint.MedianWilson([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9}, pinpoint.Z95)
+	if ci.Median != 5 {
+		t.Errorf("median = %v", ci.Median)
+	}
+	ref := pinpoint.MedianCI{Median: 5, Lower: 4, Upper: 6, N: 9}
+	obs := pinpoint.MedianCI{Median: 10, Lower: 9, Upper: 11, N: 9}
+	if d := pinpoint.Deviation(obs, ref); d <= 0 {
+		t.Errorf("deviation = %v, want > 0", d)
+	}
+	k := pinpoint.LinkKey{}
+	if k.Valid() {
+		t.Error("zero LinkKey should be invalid")
+	}
+}
