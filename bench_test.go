@@ -13,9 +13,17 @@ package pinpoint_test
 // dataset.
 
 import (
+	"fmt"
+	"sync"
 	"testing"
+	"time"
 
+	"pinpoint/internal/atlas"
+	"pinpoint/internal/core"
 	"pinpoint/internal/experiments"
+	"pinpoint/internal/ipmap"
+	"pinpoint/internal/netsim"
+	"pinpoint/internal/trace"
 )
 
 func runExperiment(b *testing.B, id string, metrics ...string) {
@@ -118,4 +126,83 @@ func BenchmarkAbl02DiversityFilter(b *testing.B) {
 
 func BenchmarkAbl03ASCancellation(b *testing.B) {
 	runExperiment(b, "A3", "net", "gross")
+}
+
+// Sharded-engine throughput: the same pre-generated campaign pushed through
+// the analyzer at 1/2/4/8 workers. Workers=1 is the exact legacy sequential
+// path and the baseline; higher counts exercise internal/engine's shard
+// fan-out and parallel bin-close. Output is bit-identical across all rows
+// (internal/engine tests assert it); this bench measures only ingest +
+// bin-close wall time. results/s is the headline metric; the recorded
+// baselines live in BENCH_engine.json. On a single-core host the rows
+// should be within noise of each other — the speedup needs real cores.
+
+var (
+	engineBenchOnce    sync.Once
+	engineBenchResults []trace.Result
+	engineBenchASN     func(int) (ipmap.ASN, bool)
+	engineBenchTable   *ipmap.Table
+	engineBenchErr     error
+)
+
+func engineBenchFixture(b *testing.B) {
+	b.Helper()
+	engineBenchOnce.Do(func() {
+		topo, err := netsim.Generate(netsim.TopoConfig{
+			Seed: 42, Tier1: 3, Transit: 8, Stub: 24,
+			Roots: 1, RootInstances: 4, Anchors: 4,
+		})
+		if err != nil {
+			engineBenchErr = err
+			return
+		}
+		start := time.Date(2015, 6, 1, 0, 0, 0, 0, time.UTC)
+		root := topo.Roots[0]
+		scenario := netsim.NewScenario(netsim.Event{
+			Name: "congestion", Kind: netsim.EventCongestion,
+			From: root.Sites[0], To: root.Instances[0], Both: true,
+			ExtraDelayMS: 80, Loss: 0.02,
+			Start: start.Add(12 * time.Hour), End: start.Add(14 * time.Hour),
+		})
+		net, err := topo.Build(scenario)
+		if err != nil {
+			engineBenchErr = err
+			return
+		}
+		platform := atlas.NewPlatform(net, 42, netsim.TracerouteOpts{})
+		platform.AddProbes(topo.ProbeSites())
+		platform.AddBuiltin(root.Addr)
+		var ids []int
+		for _, pr := range platform.Probes() {
+			ids = append(ids, pr.ID)
+		}
+		for _, a := range topo.Anchors[:3] {
+			platform.AddAnchoring(a.Addr, ids)
+		}
+		engineBenchResults, engineBenchErr = platform.Collect(start, start.Add(24*time.Hour))
+		engineBenchASN = platform.ProbeASN
+		engineBenchTable = net.Prefixes()
+	})
+	if engineBenchErr != nil {
+		b.Fatalf("engine bench fixture: %v", engineBenchErr)
+	}
+}
+
+func BenchmarkAnalyzerSharded(b *testing.B) {
+	engineBenchFixture(b)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				a := core.New(core.Config{Workers: workers}, engineBenchASN, engineBenchTable)
+				a.ObserveBatch(engineBenchResults)
+				a.Flush()
+				a.Close()
+			}
+			perOp := b.Elapsed().Seconds() / float64(b.N)
+			if perOp > 0 {
+				b.ReportMetric(float64(len(engineBenchResults))/perOp, "results/s")
+			}
+		})
+	}
 }

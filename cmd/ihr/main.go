@@ -18,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -32,7 +33,6 @@ import (
 	"pinpoint/internal/experiments"
 	"pinpoint/internal/forwarding"
 	"pinpoint/internal/ipmap"
-	"pinpoint/internal/trace"
 )
 
 type server struct {
@@ -73,6 +73,7 @@ func main() {
 	caseName := flag.String("case", "ddos", "scenario: quiet, ddos, leak or ixp")
 	scaleName := flag.String("scale", "quick", "workload scale: quick or full")
 	addr := flag.String("addr", ":8080", "HTTP listen address")
+	workers := flag.Int("workers", 0, "analysis worker shards (0 = all CPUs, 1 = sequential)")
 	flag.Parse()
 
 	scale := experiments.Quick
@@ -85,48 +86,55 @@ func main() {
 	}
 
 	s := &server{c: c}
-	cfg := core.Config{RetainAlarms: true}
+	cfg := core.Config{RetainAlarms: true, Workers: *workers}
+	if cfg.Workers == 0 {
+		cfg.Workers = core.AutoWorkers
+	}
 	a := core.New(cfg, c.Platform.ProbeASN, c.Net.Prefixes())
+	// The hooks fire inside ObserveBatch/Flush, which the analysis
+	// goroutine runs under s.mu — so they must append without locking.
 	a.OnDelayAlarm = func(al delay.Alarm) {
-		s.mu.Lock()
 		s.delayAlarms = append(s.delayAlarms, delayAlarmJSON{
 			Bin: al.Bin, Link: al.Link.String(),
 			MedianMS: al.Observed.Median, RefMS: al.Reference.Median,
 			ShiftMS: al.DiffMS, Deviation: al.Deviation,
 			Probes: al.Probes, ASes: al.ASes,
 		})
-		s.mu.Unlock()
 	}
 	a.OnForwardingAlarm = func(al forwarding.Alarm) {
 		top, _ := al.MaxResponsibility()
-		s.mu.Lock()
 		s.fwdAlarms = append(s.fwdAlarms, fwdAlarmJSON{
 			Bin: al.Bin, Router: al.Router.String(), Dst: al.Dst.String(),
 			Rho: al.Rho, TopHop: top.Hop.String(), TopR: top.Responsibility,
 		})
-		s.mu.Unlock()
 	}
 	s.analyzer = a
 
 	go func() {
-		err := c.Platform.Run(c.Start, c.End, func(r trace.Result) error {
+		// Batched delivery: measurement generation overlaps analysis, and
+		// the analyzer pays one channel receive per batch, not per result.
+		batches, errc := c.Platform.StreamBatches(context.Background(), c.Start, c.End, 0)
+		for rs := range batches {
+			// The lock covers the analyzer and aggregator mutation too:
+			// handlers read them (Events, magnitudes) under RLock, so
+			// writing outside the lock would be a data race on the series
+			// maps. Measurement generation still overlaps analysis — the
+			// platform fills the next batches while this one is ingested.
 			s.mu.Lock()
-			s.results++
+			s.results += len(rs)
+			a.ObserveBatch(rs)
 			s.mu.Unlock()
-			// Observe mutates the analyzer; hooks fire inside, taking the
-			// lock themselves, so hold no lock here.
-			a.Observe(r)
-			return nil
-		})
-		a.Flush()
+		}
 		s.mu.Lock()
+		a.Flush()
+		a.Close()
 		s.done = true
 		s.mu.Unlock()
-		if err != nil {
+		if err := <-errc; err != nil {
 			log.Printf("analysis run failed: %v", err)
 			return
 		}
-		log.Printf("analysis complete: %d results", s.results)
+		log.Printf("analysis complete: %d results (%d workers)", s.results, a.Workers())
 	}()
 
 	mux := http.NewServeMux()

@@ -34,6 +34,7 @@ func main() {
 	metaPath := flag.String("meta", "", "metadata JSON path (required)")
 	threshold := flag.Float64("threshold", 10, "event magnitude threshold")
 	window := flag.Duration("window", 7*24*time.Hour, "magnitude sliding window")
+	workers := flag.Int("workers", 0, "analysis worker shards (0 = all CPUs, 1 = sequential)")
 	verbose := flag.Bool("v", false, "print every alarm")
 	topAS := flag.Int("top", 10, "number of ASes to summarize")
 	dotPath := flag.String("dot", "", "write the alarm graph (all components) as Graphviz DOT to this path")
@@ -67,13 +68,18 @@ func main() {
 		r = f
 	}
 
-	cfg := core.Config{RetainAlarms: true}
+	cfg := core.Config{RetainAlarms: true, Workers: *workers}
+	if cfg.Workers == 0 {
+		cfg.Workers = core.AutoWorkers
+	}
 	cfg.Events.Threshold = *threshold
 	cfg.Events.Window = *window
 	a := core.New(cfg, meta.ProbeASN(), table)
+	defer a.Close()
 
 	tr := trace.NewReader(r)
 	var first, last time.Time
+	batch := make([]trace.Result, 0, atlas.DefaultBatchSize)
 	for {
 		res, err := tr.Read()
 		if err == io.EOF {
@@ -86,14 +92,19 @@ func main() {
 			first = res.Time
 		}
 		last = res.Time
-		a.Observe(res)
+		batch = append(batch, res)
+		if len(batch) == cap(batch) {
+			a.ObserveBatch(batch)
+			batch = batch[:0]
+		}
 	}
+	a.ObserveBatch(batch)
 	a.Flush()
 
 	fmt.Printf("processed %d results, %s .. %s\n", a.Results(),
 		first.Format("2006-01-02 15:04"), last.Format("2006-01-02 15:04"))
-	fmt.Printf("links with samples: %d; router IPs modeled: %d\n",
-		a.DelayDetector().LinksSeen(), a.ForwardingDetector().RoutersSeen())
+	fmt.Printf("links with samples: %d; router IPs modeled: %d (workers: %d)\n",
+		a.LinksSeen(), a.RoutersSeen(), a.Workers())
 	fmt.Printf("delay alarms: %d; forwarding alarms: %d\n\n",
 		len(a.DelayAlarms()), len(a.ForwardingAlarms()))
 

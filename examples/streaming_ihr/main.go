@@ -24,7 +24,11 @@ func main() {
 	}
 	fmt.Printf("streaming case %q: %s\n\n", c.Name, c.Description)
 
-	analyzer := pinpoint.New(pinpoint.Config{}, c.Platform.ProbeASN, c.Net.Prefixes())
+	// AutoWorkers shards the detectors across every CPU; the alarms (and
+	// their order) are identical to a sequential run.
+	analyzer := pinpoint.New(pinpoint.Config{Workers: pinpoint.AutoWorkers},
+		c.Platform.ProbeASN, c.Net.Prefixes())
+	defer analyzer.Close()
 
 	// Hooks fire in near real time, as each analysis bin completes.
 	delayCount, fwdCount := 0, 0
@@ -45,8 +49,8 @@ func main() {
 	}
 
 	ctx := context.Background()
-	results, errc := c.Platform.Stream(ctx, c.Start, c.End)
-	if err := analyzer.RunStream(ctx, results); err != nil {
+	batches, errc := c.Platform.StreamBatches(ctx, c.Start, c.End, 0)
+	if err := analyzer.RunBatches(ctx, batches); err != nil {
 		log.Fatal(err)
 	}
 	if err := <-errc; err != nil {

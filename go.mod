@@ -1,0 +1,3 @@
+module pinpoint
+
+go 1.24

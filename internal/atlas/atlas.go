@@ -16,6 +16,7 @@ import (
 	"sort"
 	"time"
 
+	"pinpoint/internal/hash"
 	"pinpoint/internal/ipmap"
 	"pinpoint/internal/netsim"
 	"pinpoint/internal/trace"
@@ -197,12 +198,7 @@ func (p *Platform) Measurements() []Measurement { return p.msms }
 // hash mixes identifiers into a stable 64-bit value for seeding per-task
 // PRNGs and offsets.
 func (p *Platform) hash(vals ...uint64) uint64 {
-	h := p.seed
-	for _, v := range vals {
-		h ^= v + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)
-		h *= 0x100000001b3
-	}
-	return h
+	return hash.Fold(p.seed, vals...)
 }
 
 type task struct {
@@ -310,6 +306,57 @@ func (p *Platform) Stream(ctx context.Context, from, to time.Time) (<-chan trace
 				return ctx.Err()
 			}
 		})
+		if err != nil && ctx.Err() == nil {
+			errc <- err
+		}
+	}()
+	return ch, errc
+}
+
+// DefaultBatchSize is the StreamBatches batch size when the caller passes 0.
+const DefaultBatchSize = 256
+
+// StreamBatches is Stream with batched delivery: results are grouped into
+// slices of up to batchSize (0 = DefaultBatchSize) so consumers pay one
+// channel synchronization per batch instead of per result — the overhead
+// that dominates once the sharded engine parallelizes the analysis itself.
+// Order within and across batches is the chronological Run order; the final
+// batch may be short. The channel closes when the run completes or the
+// context is canceled; a run error is delivered on the error channel
+// (buffered, at most one).
+func (p *Platform) StreamBatches(ctx context.Context, from, to time.Time, batchSize int) (<-chan []trace.Result, <-chan error) {
+	if batchSize <= 0 {
+		batchSize = DefaultBatchSize
+	}
+	ch := make(chan []trace.Result, 8)
+	errc := make(chan error, 1)
+	go func() {
+		defer close(ch)
+		defer close(errc)
+		batch := make([]trace.Result, 0, batchSize)
+		flush := func() error {
+			if len(batch) == 0 {
+				return nil
+			}
+			out := batch
+			batch = make([]trace.Result, 0, batchSize)
+			select {
+			case ch <- out:
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		err := p.Run(from, to, func(r trace.Result) error {
+			batch = append(batch, r)
+			if len(batch) >= batchSize {
+				return flush()
+			}
+			return nil
+		})
+		if err == nil {
+			err = flush()
+		}
 		if err != nil && ctx.Err() == nil {
 			errc <- err
 		}

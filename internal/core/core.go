@@ -5,13 +5,21 @@
 //
 // This is the engine behind cmd/pinpoint (offline analysis) and cmd/ihr
 // (the near-real-time Internet Health Report of §8).
+//
+// The Analyzer is a thin facade over two interchangeable detection
+// backends: the classic sequential detector pair (Workers ≤ 1) and the
+// sharded concurrent engine of internal/engine (Workers > 1). Both produce
+// bit-identical alarms, events and series; the engine simply spreads
+// ingestion and bin evaluation across cores.
 package core
 
 import (
 	"context"
+	"runtime"
 	"time"
 
 	"pinpoint/internal/delay"
+	"pinpoint/internal/engine"
 	"pinpoint/internal/events"
 	"pinpoint/internal/forwarding"
 	"pinpoint/internal/ipmap"
@@ -30,7 +38,22 @@ type Config struct {
 	// (DelayAlarms / ForwardingAlarms). Leave it false for unbounded
 	// streaming runs and consume alarms via the hooks instead.
 	RetainAlarms bool
+
+	// Workers selects the detection backend. 0 or 1 runs the exact legacy
+	// sequential path (two detectors on the caller's goroutine); > 1
+	// shards per-link and per-router state across that many concurrent
+	// workers, producing identical output (see internal/engine). Use
+	// AutoWorkers for GOMAXPROCS.
+	Workers int
+
+	// BatchSize tunes how many results the sharded engine extracts before
+	// handing work to the shards (0 = engine default). Ignored when
+	// Workers ≤ 1.
+	BatchSize int
 }
+
+// AutoWorkers sets Config.Workers to the number of usable CPUs.
+const AutoWorkers = -1
 
 func (c Config) withDefaults() Config {
 	if c.Delay.BinSize == 0 {
@@ -38,21 +61,33 @@ func (c Config) withDefaults() Config {
 	}
 	c.Forwarding.BinSize = c.Delay.BinSize
 	c.Events.BinSize = c.Delay.BinSize
+	if c.Workers == AutoWorkers {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
 	return c
 }
 
-// Analyzer is the end-to-end pipeline. It is not safe for concurrent use;
-// RunStream provides the single-goroutine streaming harness.
+// Analyzer is the end-to-end pipeline. It must be driven from a single
+// goroutine (RunStream and RunBatches provide streaming harnesses); with
+// Workers > 1 the heavy lifting happens on the engine's shard goroutines
+// while alarms still surface on the calling goroutine, so the hook and
+// accessor semantics are unchanged.
 type Analyzer struct {
 	cfg Config
 
+	// Sequential backend (Workers ≤ 1).
 	delayDet *delay.Detector
 	fwdDet   *forwarding.Detector
-	agg      *events.Aggregator
+
+	// Sharded backend (Workers > 1).
+	eng *engine.Engine
+
+	agg *events.Aggregator
 
 	delayAlarms []delay.Alarm
 	fwdAlarms   []forwarding.Alarm
 	results     int
+	dirty       bool // observations since the last Flush
 
 	// OnDelayAlarm and OnForwardingAlarm, when non-nil, are invoked for
 	// every alarm as its bin closes (the near-real-time reporting path).
@@ -64,27 +99,86 @@ type Analyzer struct {
 // §4.3 diversity filter needs it); table maps IPs to ASes for aggregation.
 func New(cfg Config, probeASN func(int) (ipmap.ASN, bool), table *ipmap.Table) *Analyzer {
 	cfg = cfg.withDefaults()
-	return &Analyzer{
-		cfg:      cfg,
-		delayDet: delay.NewDetector(cfg.Delay, probeASN),
-		fwdDet:   forwarding.NewDetector(cfg.Forwarding),
-		agg:      events.NewAggregator(cfg.Events, table),
+	a := &Analyzer{
+		cfg: cfg,
+		agg: events.NewAggregator(cfg.Events, table),
 	}
+	if cfg.Workers > 1 {
+		a.eng = engine.New(engine.Config{
+			Delay:      cfg.Delay,
+			Forwarding: cfg.Forwarding,
+			Workers:    cfg.Workers,
+			BatchSize:  cfg.BatchSize,
+		}, probeASN)
+	} else {
+		a.delayDet = delay.NewDetector(cfg.Delay, probeASN)
+		a.fwdDet = forwarding.NewDetector(cfg.Forwarding)
+	}
+	return a
 }
 
 // Observe ingests one traceroute result (results must arrive in
 // chronological order, as the platform and the Atlas stream provide them).
 func (a *Analyzer) Observe(r trace.Result) {
 	a.results++
+	a.dirty = true
 	a.agg.ObserveBin(r.Time)
+	if a.eng != nil {
+		da, fa := a.eng.Observe(r)
+		a.dispatchDelay(da)
+		a.dispatchFwd(fa)
+		return
+	}
 	a.dispatchDelay(a.delayDet.Observe(r))
 	a.dispatchFwd(a.fwdDet.Observe(r))
 }
 
+// ObserveBatch ingests a slice of chronologically ordered results.
+func (a *Analyzer) ObserveBatch(rs []trace.Result) {
+	if a.eng != nil {
+		a.results += len(rs)
+		if len(rs) > 0 {
+			a.dirty = true
+		}
+		for _, r := range rs {
+			a.agg.ObserveBin(r.Time)
+		}
+		da, fa := a.eng.ObserveBatch(rs)
+		a.dispatchDelay(da)
+		a.dispatchFwd(fa)
+		return
+	}
+	for _, r := range rs {
+		a.Observe(r)
+	}
+}
+
 // Flush closes the open bin in both detectors. Call at end of stream.
+// Flush is idempotent: a second call with no intervening Observe is a
+// no-op, so a deferred Flush after a canceled RunStream (which already
+// flushed) cannot emit duplicate alarms.
 func (a *Analyzer) Flush() {
+	if !a.dirty {
+		return
+	}
+	a.dirty = false
+	if a.eng != nil {
+		da, fa := a.eng.Flush()
+		a.dispatchDelay(da)
+		a.dispatchFwd(fa)
+		return
+	}
 	a.dispatchDelay(a.delayDet.Flush())
 	a.dispatchFwd(a.fwdDet.Flush())
+}
+
+// Close releases the sharded engine's worker goroutines (no-op on the
+// sequential path and when called twice). It does not flush; call Flush
+// first to evaluate a still-open bin.
+func (a *Analyzer) Close() {
+	if a.eng != nil {
+		a.eng.Close()
+	}
 }
 
 func (a *Analyzer) dispatchDelay(alarms []delay.Alarm) {
@@ -129,8 +223,66 @@ func (a *Analyzer) RunStream(ctx context.Context, results <-chan trace.Result) e
 	}
 }
 
+// RunBatches consumes a channel of result batches (see
+// atlas.Platform.StreamBatches) until it closes or the context is
+// canceled, then flushes. Batch delivery amortizes channel overhead, which
+// matters once the sharded engine makes the detectors stop being the
+// bottleneck.
+func (a *Analyzer) RunBatches(ctx context.Context, batches <-chan []trace.Result) error {
+	for {
+		select {
+		case rs, ok := <-batches:
+			if !ok {
+				a.Flush()
+				return nil
+			}
+			a.ObserveBatch(rs)
+		case <-ctx.Done():
+			a.Flush()
+			return ctx.Err()
+		}
+	}
+}
+
 // Results returns how many traceroute results have been ingested.
 func (a *Analyzer) Results() int { return a.results }
+
+// Workers returns the effective worker count of the detection backend
+// (1 for the sequential path).
+func (a *Analyzer) Workers() int {
+	if a.eng != nil {
+		return a.eng.Workers()
+	}
+	return 1
+}
+
+// LinksSeen returns how many distinct links ever produced ∆ samples — the
+// paper's "we monitored delays for 262k IPv4 links" statistic — across all
+// workers.
+func (a *Analyzer) LinksSeen() int {
+	if a.eng != nil {
+		return a.eng.Stats().LinksSeen
+	}
+	return a.delayDet.LinksSeen()
+}
+
+// RoutersSeen returns how many distinct router addresses have forwarding
+// models (§5) across all workers.
+func (a *Analyzer) RoutersSeen() int {
+	if a.eng != nil {
+		return a.eng.Stats().RoutersSeen
+	}
+	return a.fwdDet.RoutersSeen()
+}
+
+// AvgNextHops returns the mean number of responsive next hops per
+// forwarding reference model across all workers.
+func (a *Analyzer) AvgNextHops() float64 {
+	if a.eng != nil {
+		return a.eng.Stats().AvgNextHops
+	}
+	return a.fwdDet.AvgNextHops()
+}
 
 // DelayAlarms returns retained delay alarms (RetainAlarms must be set).
 func (a *Analyzer) DelayAlarms() []delay.Alarm { return a.delayAlarms }
@@ -141,11 +293,12 @@ func (a *Analyzer) ForwardingAlarms() []forwarding.Alarm { return a.fwdAlarms }
 // Aggregator exposes the per-AS severity series and event detection.
 func (a *Analyzer) Aggregator() *events.Aggregator { return a.agg }
 
-// DelayDetector exposes the underlying §4 detector (for statistics such as
-// LinksSeen).
+// DelayDetector exposes the underlying §4 detector on the sequential path;
+// it is nil when Workers > 1 (use LinksSeen for cross-shard statistics).
 func (a *Analyzer) DelayDetector() *delay.Detector { return a.delayDet }
 
-// ForwardingDetector exposes the underlying §5 detector.
+// ForwardingDetector exposes the underlying §5 detector on the sequential
+// path; it is nil when Workers > 1 (use RoutersSeen / AvgNextHops).
 func (a *Analyzer) ForwardingDetector() *forwarding.Detector { return a.fwdDet }
 
 // Graph builds the alarm graph (Figs 8, 12) from the retained alarms within

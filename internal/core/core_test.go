@@ -197,3 +197,63 @@ func TestAlarmHooks(t *testing.T) {
 		t.Error("alarms retained despite RetainAlarms=false")
 	}
 }
+
+func TestFlushIdempotent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	p, _, evStart, _ := buildAttack(t)
+	for _, workers := range []int{1, 4} {
+		a := New(Config{RetainAlarms: true, Workers: workers}, p.ProbeASN, p.Net().Prefixes())
+		err := p.Run(evStart.Add(-24*time.Hour), evStart.Add(3*time.Hour), func(r trace.Result) error {
+			a.Observe(r)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a.Flush()
+		nd, nf := len(a.DelayAlarms()), len(a.ForwardingAlarms())
+		if nd == 0 {
+			t.Fatalf("workers=%d: fixture produced no delay alarms", workers)
+		}
+		// The RunStream-cancel shape: a deferred Flush after an explicit
+		// one must not re-emit the closed bin's alarms.
+		a.Flush()
+		a.Flush()
+		if len(a.DelayAlarms()) != nd || len(a.ForwardingAlarms()) != nf {
+			t.Errorf("workers=%d: double Flush grew alarms %d/%d → %d/%d",
+				workers, nd, nf, len(a.DelayAlarms()), len(a.ForwardingAlarms()))
+		}
+		a.Close()
+		a.Close() // Close is idempotent too
+	}
+}
+
+func TestShardedFacade(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	p, _, _, _ := buildAttack(t)
+	a := New(Config{Workers: 4}, p.ProbeASN, p.Net().Prefixes())
+	defer a.Close()
+	if a.Workers() != 4 {
+		t.Fatalf("Workers() = %d, want 4", a.Workers())
+	}
+	if a.DelayDetector() != nil || a.ForwardingDetector() != nil {
+		t.Error("sharded analyzer must not expose per-shard detectors")
+	}
+	ch, errc := p.StreamBatches(context.Background(), start, start.Add(6*time.Hour), 0)
+	if err := a.RunBatches(context.Background(), ch); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	if a.Results() == 0 {
+		t.Error("batched stream processed no results")
+	}
+	if a.LinksSeen() == 0 || a.RoutersSeen() == 0 {
+		t.Errorf("stats empty: links=%d routers=%d", a.LinksSeen(), a.RoutersSeen())
+	}
+}

@@ -8,11 +8,13 @@
 package delay
 
 import (
+	"encoding/binary"
 	"math"
 	"math/rand/v2"
 	"sort"
 	"time"
 
+	"pinpoint/internal/hash"
 	"pinpoint/internal/ipmap"
 	"pinpoint/internal/stats"
 	"pinpoint/internal/timeseries"
@@ -141,6 +143,49 @@ func (r *linkRef) observe(ci stats.MedianCI) {
 	r.upper.Observe(ci.Upper)
 }
 
+// Sample is one differential-RTT contribution (§4.2.1) extracted from a
+// traceroute result: the ∆ of one (near, far) reply combination, tagged with
+// the probe and its AS. Samples are the unit of work the sharded engine
+// routes to the shard owning Link.
+type Sample struct {
+	Link  trace.LinkKey
+	Probe int
+	ASN   ipmap.ASN
+	Delta float64
+}
+
+// ExtractSamples decomposes one result into its differential RTT samples
+// (§4.2.1): for adjacent hops X, Y every combination RTT(P→y) − RTT(P→x)
+// over the replies is one ∆ sample of the link (x, y), giving one to nine
+// samples per probe and link. Results from probes with no resolvable AS
+// yield nothing, since the §4.3 diversity filter cannot place them.
+// Extraction is pure: it reads only the result, so it can run on any
+// goroutine while detector state stays shard-local.
+func ExtractSamples(r trace.Result, probeASN func(int) (ipmap.ASN, bool), fn func(Sample)) {
+	asn, ok := probeASN(r.PrbID)
+	if !ok {
+		return
+	}
+	for _, pair := range r.AdjacentPairs() {
+		for _, ra := range pair.Near.Replies {
+			if ra.Timeout || !ra.From.IsValid() {
+				continue
+			}
+			for _, rb := range pair.Far.Replies {
+				if rb.Timeout || !rb.From.IsValid() || rb.From == ra.From {
+					continue
+				}
+				fn(Sample{
+					Link:  trace.LinkKey{Near: ra.From, Far: rb.From},
+					Probe: r.PrbID,
+					ASN:   asn,
+					Delta: rb.RTT - ra.RTT,
+				})
+			}
+		}
+	}
+}
+
 // probeAgg collects one probe's ∆ samples for one link within a bin.
 type probeAgg struct {
 	asn     ipmap.ASN
@@ -159,12 +204,21 @@ type linkAgg struct {
 type Detector struct {
 	cfg      Config
 	probeASN probeASNFunc
-	rng      *rand.Rand
+
+	// Probe dropping (§4.3) draws from a PCG reseeded per (link, bin) from
+	// cfg.Seed, so a link's random decisions depend only on the link, the
+	// bin and the seed — never on how many other links were evaluated
+	// first. This is what lets N shard-local detectors reproduce the
+	// single-detector output bit for bit.
+	pcg *rand.PCG
+	rng *rand.Rand
 
 	curBin  time.Time
 	haveBin bool
 	cur     map[trace.LinkKey]*linkAgg
 	refs    map[trace.LinkKey]*linkRef
+
+	sink func(Sample) // bound once; avoids a closure alloc per result
 
 	linksSeen map[trace.LinkKey]struct{}
 }
@@ -174,14 +228,18 @@ type Detector struct {
 // diversity filtering is impossible without an AS).
 func NewDetector(cfg Config, probeASN func(int) (ipmap.ASN, bool)) *Detector {
 	cfg = cfg.withDefaults()
-	return &Detector{
+	pcg := rand.NewPCG(cfg.Seed, 0x5ca1ab1e)
+	d := &Detector{
 		cfg:       cfg,
 		probeASN:  probeASN,
-		rng:       rand.New(rand.NewPCG(cfg.Seed, 0x5ca1ab1e)),
+		pcg:       pcg,
+		rng:       rand.New(pcg),
 		cur:       make(map[trace.LinkKey]*linkAgg),
 		refs:      make(map[trace.LinkKey]*linkRef),
 		linksSeen: make(map[trace.LinkKey]struct{}),
 	}
+	d.sink = d.IngestSample
+	return d
 }
 
 // Config returns the effective (default-filled) configuration.
@@ -219,39 +277,41 @@ func (d *Detector) Flush() []Alarm {
 	return alarms
 }
 
-// ingest extracts differential RTT samples (§4.2.1): for adjacent hops X, Y
-// every combination RTT(P→y) − RTT(P→x) over the replies is one ∆ sample of
-// the link (x, y), giving one to nine samples per probe and link.
+// ingest extracts differential RTT samples (§4.2.1) and folds them into the
+// open bin.
 func (d *Detector) ingest(r trace.Result) {
-	asn, ok := d.probeASN(r.PrbID)
-	if !ok {
-		return
+	ExtractSamples(r, d.probeASN, d.sink)
+}
+
+// BeginBin opens (or asserts) the bin the next IngestSample calls belong to.
+// It is the sharded engine's entry point: the engine closes bins explicitly
+// via Flush, so BeginBin never evaluates — it only moves the bin cursor
+// forward. Bins must be opened in chronological order.
+func (d *Detector) BeginBin(bin time.Time) {
+	if !d.haveBin || bin.After(d.curBin) {
+		d.curBin = bin
+		d.haveBin = true
 	}
-	for _, pair := range r.AdjacentPairs() {
-		for _, ra := range pair.Near.Replies {
-			if ra.Timeout || !ra.From.IsValid() {
-				continue
-			}
-			for _, rb := range pair.Far.Replies {
-				if rb.Timeout || !rb.From.IsValid() || rb.From == ra.From {
-					continue
-				}
-				key := trace.LinkKey{Near: ra.From, Far: rb.From}
-				agg := d.cur[key]
-				if agg == nil {
-					agg = &linkAgg{perProbe: make(map[int]*probeAgg)}
-					d.cur[key] = agg
-					d.linksSeen[key] = struct{}{}
-				}
-				pa := agg.perProbe[r.PrbID]
-				if pa == nil {
-					pa = &probeAgg{asn: asn}
-					agg.perProbe[r.PrbID] = pa
-				}
-				pa.samples = append(pa.samples, rb.RTT-ra.RTT)
-			}
-		}
+}
+
+// IngestSample folds one extracted ∆ sample into the open bin. Together with
+// BeginBin and Flush it forms the shard-scoped API: an engine shard feeds
+// only the samples whose link hashes to it, and the per-(link, bin) seeded
+// probe dropping guarantees the shard reproduces exactly what a single
+// detector would have decided for that link.
+func (d *Detector) IngestSample(s Sample) {
+	agg := d.cur[s.Link]
+	if agg == nil {
+		agg = &linkAgg{perProbe: make(map[int]*probeAgg)}
+		d.cur[s.Link] = agg
+		d.linksSeen[s.Link] = struct{}{}
 	}
+	pa := agg.perProbe[s.Probe]
+	if pa == nil {
+		pa = &probeAgg{asn: s.ASN}
+		agg.perProbe[s.Probe] = pa
+	}
+	pa.samples = append(pa.samples, s.Delta)
 }
 
 // closeBin runs steps 2–5 of §4.2 on the accumulated bin and resets it.
@@ -277,6 +337,7 @@ func (d *Detector) closeBin() []Alarm {
 		if d.cfg.SymmetricLink != nil && d.cfg.SymmetricLink(key) {
 			samples, probes, ases = collectAll(agg)
 		} else {
+			d.reseed(key)
 			samples, probes, ases = d.filterDiversity(agg)
 		}
 		if samples == nil || len(samples) < d.cfg.MinSamples {
@@ -341,6 +402,21 @@ func (d *Detector) closeBin() []Alarm {
 
 	d.cur = make(map[trace.LinkKey]*linkAgg)
 	return alarms
+}
+
+// reseed rebinds the probe-dropping PRNG to the (link, bin) about to be
+// evaluated. The stream position never leaks into the draw sequence, so any
+// partition of links across detectors reproduces the same decisions.
+func (d *Detector) reseed(key trace.LinkKey) {
+	h1 := hash.Mix64(hash.Mix64(d.cfg.Seed, uint64(d.curBin.Unix())), 0x5ca1ab1e)
+	h2 := d.cfg.Seed
+	near := key.Near.As16()
+	far := key.Far.As16()
+	for i := 0; i < 16; i += 8 {
+		h1 = hash.Fold(h1, binary.BigEndian.Uint64(near[i:]), binary.BigEndian.Uint64(far[i:]))
+		h2 = hash.Fold(h2, binary.BigEndian.Uint64(far[i:]), binary.BigEndian.Uint64(near[i:]))
+	}
+	d.pcg.Seed(h1, h2)
 }
 
 // filterDiversity applies §4.3: the link must be observed from at least

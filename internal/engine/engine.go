@@ -1,0 +1,401 @@
+// Package engine shards the paper's two detectors across CPU cores while
+// producing output bit-identical to a single sequential detector pair.
+//
+// The pipeline is: the caller's goroutine extracts per-link ∆ samples
+// (delay.ExtractSamples, §4) and per-router next-hop contributions
+// (forwarding.ExtractContributions, §5) from each chronologically ordered
+// traceroute result and routes them, by a hash of trace.LinkKey
+// respectively the router address, to one of N shards. Each shard owns a
+// private delay.Detector and forwarding.Detector fed through a bounded
+// batch channel, so map maintenance and — the expensive part — bin
+// evaluation (robust medians, Wilson CIs, Pearson correlations) run
+// concurrently across shards. When the stream crosses a bin boundary the
+// engine drains the in-flight batches, closes every shard's bin in
+// parallel, and merges the shard alarm slices deterministically (sorted by
+// bin, then link / router key — the exact order the sequential detector
+// emits). The merged slices are returned to the caller, which remains the
+// single writer into events.Aggregator.
+//
+// Determinism holds because (1) a link or router always hashes to the same
+// shard, so its state and sample order are those of a lone detector, (2)
+// the §4.3 random probe dropping is seeded per (link, bin) inside
+// delay.Detector rather than from a shared stream, and (3) the merge sort
+// restores the global key order the sequential close produces.
+package engine
+
+import (
+	"encoding/binary"
+	"net/netip"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"pinpoint/internal/delay"
+	"pinpoint/internal/forwarding"
+	"pinpoint/internal/ipmap"
+	"pinpoint/internal/timeseries"
+	"pinpoint/internal/trace"
+)
+
+// Config parameterizes the engine. Zero values give GOMAXPROCS shards and
+// the batching defaults below.
+type Config struct {
+	Delay      delay.Config
+	Forwarding forwarding.Config
+
+	// Workers is the shard count. 0 means GOMAXPROCS. The engine spawns
+	// one goroutine per shard; a 1-worker engine is still concurrent
+	// (extraction overlaps ingestion) but callers wanting the classic
+	// sequential path should use the detectors directly (core does).
+	Workers int
+
+	// BatchSize is how many traceroute results are extracted before their
+	// contributions are handed to the shards in one channel send per
+	// shard. 0 means 256.
+	BatchSize int
+
+	// QueueDepth bounds how many batches may be in flight per shard; a
+	// full queue back-pressures the caller. 0 means 8.
+	QueueDepth int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 256
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 8
+	}
+	return c
+}
+
+// Stats are engine-wide detector statistics, gathered from all shards at a
+// synchronization point.
+type Stats struct {
+	LinksSeen   int     // distinct links with ∆ samples (§4)
+	RoutersSeen int     // distinct router IPs modeled (§5)
+	AvgNextHops float64 // mean responsive next hops per reference model
+}
+
+// shardMsg is one unit of channel traffic to a shard: either an ingest
+// batch for bin Bin, or (when reply is non-nil) a synchronization request —
+// close the open bin and report alarms plus stats.
+type shardMsg struct {
+	bin      time.Time
+	samples  []delay.Sample
+	contribs []forwarding.Contribution
+
+	reply chan shardResult
+	flush bool // with reply: close the open bin before reporting
+}
+
+type shardResult struct {
+	delayAlarms []delay.Alarm
+	fwdAlarms   []forwarding.Alarm
+
+	linksSeen   int
+	routersSeen int
+	refModels   int
+	refNextHops int
+}
+
+type shard struct {
+	eng      *Engine
+	delayDet *delay.Detector
+	fwdDet   *forwarding.Detector
+	ch       chan shardMsg
+}
+
+func (s *shard) run(wg *sync.WaitGroup) {
+	defer wg.Done()
+	for msg := range s.ch {
+		if msg.reply != nil {
+			var res shardResult
+			if msg.flush {
+				res.delayAlarms = s.delayDet.Flush()
+				res.fwdAlarms = s.fwdDet.Flush()
+			}
+			res.linksSeen = s.delayDet.LinksSeen()
+			res.routersSeen = s.fwdDet.RoutersSeen()
+			res.refModels, res.refNextHops = s.fwdDet.RefStats()
+			msg.reply <- res
+			continue
+		}
+		s.delayDet.BeginBin(msg.bin)
+		s.fwdDet.BeginBin(msg.bin)
+		for _, smp := range msg.samples {
+			s.delayDet.IngestSample(smp)
+		}
+		for _, c := range msg.contribs {
+			s.fwdDet.IngestContribution(c)
+		}
+		// Recycle the consumed batch slices; the dispatcher refills them
+		// instead of growing fresh ones, keeping steady-state ingestion
+		// allocation-free on the routing path.
+		if msg.samples != nil {
+			s.eng.samplePool.Put(&msg.samples)
+		}
+		if msg.contribs != nil {
+			s.eng.contribPool.Put(&msg.contribs)
+		}
+	}
+}
+
+// Engine is the sharded analyzer. Like the detectors it replaces, it must
+// be driven from a single goroutine (Observe/Flush/stat calls); the
+// concurrency lives behind the shard channels. Close must be called to
+// release the shard goroutines.
+type Engine struct {
+	cfg      Config
+	binSize  time.Duration
+	probeASN func(int) (ipmap.ASN, bool)
+
+	shards []*shard
+	wg     sync.WaitGroup
+	reply  chan shardResult // reused for every synchronization barrier
+
+	curBin    time.Time
+	haveBin   bool
+	closed    bool
+	lastStats Stats // refreshed at every barrier; served after Close
+
+	// Per-shard buffers the caller's goroutine fills during extraction and
+	// hands off once pending reaches BatchSize results.
+	bufSamples  [][]delay.Sample
+	bufContribs [][]forwarding.Contribution
+	pending     int
+
+	// Bound once to avoid a closure allocation per result.
+	sampleSink  func(delay.Sample)
+	contribSink func(forwarding.Contribution)
+
+	// Batch slices cycle between the dispatcher and the shards: a shard
+	// puts a consumed slice back once it has ingested it, and dispatch
+	// prefers a recycled slice over allocating.
+	samplePool  sync.Pool
+	contribPool sync.Pool
+}
+
+// New returns a started Engine; probeASN resolves probe ids to AS numbers
+// for the §4.3 diversity filter, exactly as in delay.NewDetector.
+func New(cfg Config, probeASN func(int) (ipmap.ASN, bool)) *Engine {
+	cfg = cfg.withDefaults()
+	e := &Engine{
+		cfg:         cfg,
+		probeASN:    probeASN,
+		shards:      make([]*shard, cfg.Workers),
+		reply:       make(chan shardResult, cfg.Workers),
+		bufSamples:  make([][]delay.Sample, cfg.Workers),
+		bufContribs: make([][]forwarding.Contribution, cfg.Workers),
+	}
+	for i := range e.shards {
+		s := &shard{
+			eng:      e,
+			delayDet: delay.NewDetector(cfg.Delay, probeASN),
+			fwdDet:   forwarding.NewDetector(cfg.Forwarding),
+			ch:       make(chan shardMsg, cfg.QueueDepth),
+		}
+		e.shards[i] = s
+		e.wg.Add(1)
+		go s.run(&e.wg)
+	}
+	e.binSize = e.shards[0].delayDet.Config().BinSize
+	e.sampleSink = e.routeSample
+	e.contribSink = e.routeContribution
+	return e
+}
+
+// Workers returns the effective shard count.
+func (e *Engine) Workers() int { return len(e.shards) }
+
+// shardFor maps an address to its owning shard. FNV-1a over the 16-byte
+// form; the same address always lands on the same shard, which is what
+// keeps per-link and per-router state (and the order of its samples)
+// identical to a lone detector's.
+func (e *Engine) shardFor(addrs ...netip.Addr) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, a := range addrs {
+		b := a.As16()
+		for i := 0; i < 16; i += 8 {
+			h ^= binary.BigEndian.Uint64(b[i:])
+			h *= prime64
+		}
+	}
+	return int(h % uint64(len(e.shards)))
+}
+
+func (e *Engine) routeSample(s delay.Sample) {
+	i := e.shardFor(s.Link.Near, s.Link.Far)
+	e.bufSamples[i] = append(e.bufSamples[i], s)
+}
+
+func (e *Engine) routeContribution(c forwarding.Contribution) {
+	i := e.shardFor(c.Flow.Router)
+	e.bufContribs[i] = append(e.bufContribs[i], c)
+}
+
+// Observe ingests one traceroute result (chronological order required, as
+// for the detectors). When the result opens a new bin, the previous bin is
+// closed across all shards in parallel and its merged alarms are returned
+// in exactly the order a sequential detector pair would have produced.
+func (e *Engine) Observe(r trace.Result) ([]delay.Alarm, []forwarding.Alarm) {
+	if e.closed {
+		return nil, nil
+	}
+	bin := timeseries.Bin(r.Time, e.binSize)
+	var da []delay.Alarm
+	var fa []forwarding.Alarm
+	if e.haveBin && bin.After(e.curBin) {
+		da, fa = e.closeBin()
+	}
+	if !e.haveBin || bin.After(e.curBin) {
+		e.curBin = bin
+		e.haveBin = true
+	}
+	delay.ExtractSamples(r, e.probeASN, e.sampleSink)
+	forwarding.ExtractContributions(r, e.contribSink)
+	e.pending++
+	if e.pending >= e.cfg.BatchSize {
+		e.dispatch()
+	}
+	return da, fa
+}
+
+// ObserveBatch ingests a slice of chronologically ordered results,
+// accumulating any alarms released by bin closes within the slice.
+func (e *Engine) ObserveBatch(rs []trace.Result) ([]delay.Alarm, []forwarding.Alarm) {
+	var da []delay.Alarm
+	var fa []forwarding.Alarm
+	for _, r := range rs {
+		d, f := e.Observe(r)
+		da = append(da, d...)
+		fa = append(fa, f...)
+	}
+	return da, fa
+}
+
+// dispatch hands the filled per-shard buffers to the shard channels. Each
+// shard receives its batch tagged with the open bin; channel FIFO order
+// preserves the per-link sample order of a sequential run.
+func (e *Engine) dispatch() {
+	for i, s := range e.shards {
+		if len(e.bufSamples[i]) == 0 && len(e.bufContribs[i]) == 0 {
+			continue
+		}
+		s.ch <- shardMsg{bin: e.curBin, samples: e.bufSamples[i], contribs: e.bufContribs[i]}
+		if v, ok := e.samplePool.Get().(*[]delay.Sample); ok {
+			e.bufSamples[i] = (*v)[:0]
+		} else {
+			e.bufSamples[i] = nil
+		}
+		if v, ok := e.contribPool.Get().(*[]forwarding.Contribution); ok {
+			e.bufContribs[i] = (*v)[:0]
+		} else {
+			e.bufContribs[i] = nil
+		}
+	}
+	e.pending = 0
+}
+
+// barrier drains the pipeline: pending buffers are dispatched, every shard
+// receives a synchronization request, and the replies are collected. With
+// flush set each shard also closes its open bin and reports the alarms.
+func (e *Engine) barrier(flush bool) (shardResult, []delay.Alarm, []forwarding.Alarm) {
+	e.dispatch()
+	for _, s := range e.shards {
+		s.ch <- shardMsg{reply: e.reply, flush: flush}
+	}
+	var agg shardResult
+	var da []delay.Alarm
+	var fa []forwarding.Alarm
+	for range e.shards {
+		res := <-e.reply
+		da = append(da, res.delayAlarms...)
+		fa = append(fa, res.fwdAlarms...)
+		agg.linksSeen += res.linksSeen
+		agg.routersSeen += res.routersSeen
+		agg.refModels += res.refModels
+		agg.refNextHops += res.refNextHops
+	}
+	e.lastStats = Stats{LinksSeen: agg.linksSeen, RoutersSeen: agg.routersSeen}
+	if agg.refModels > 0 {
+		e.lastStats.AvgNextHops = float64(agg.refNextHops) / float64(agg.refModels)
+	}
+	return agg, da, fa
+}
+
+// closeBin closes the open bin on every shard in parallel and merges the
+// alarms into the sequential order: by bin, then link (Near, Far) for delay
+// and (Router, Dst) for forwarding. Within one close all alarms share a
+// bin, so the key sort alone restores the order a single detector's sorted
+// close loop emits — which keeps the downstream aggregator's floating-point
+// accumulation, hook order and retained-slice order bit-identical.
+func (e *Engine) closeBin() ([]delay.Alarm, []forwarding.Alarm) {
+	_, da, fa := e.barrier(true)
+	sort.Slice(da, func(i, j int) bool {
+		if !da[i].Bin.Equal(da[j].Bin) {
+			return da[i].Bin.Before(da[j].Bin)
+		}
+		if da[i].Link.Near != da[j].Link.Near {
+			return da[i].Link.Near.Less(da[j].Link.Near)
+		}
+		return da[i].Link.Far.Less(da[j].Link.Far)
+	})
+	sort.Slice(fa, func(i, j int) bool {
+		if !fa[i].Bin.Equal(fa[j].Bin) {
+			return fa[i].Bin.Before(fa[j].Bin)
+		}
+		if fa[i].Router != fa[j].Router {
+			return fa[i].Router.Less(fa[j].Router)
+		}
+		return fa[i].Dst.Less(fa[j].Dst)
+	})
+	return da, fa
+}
+
+// Flush closes the open bin (if any) across all shards and returns the
+// merged alarms. The engine stays usable: a later Observe opens a new bin.
+// After Close, Flush is a no-op.
+func (e *Engine) Flush() ([]delay.Alarm, []forwarding.Alarm) {
+	if e.closed {
+		return nil, nil
+	}
+	if !e.haveBin {
+		e.dispatch() // nothing buffered in practice, but keep the invariant
+		return nil, nil
+	}
+	e.haveBin = false
+	return e.closeBin()
+}
+
+// Stats synchronizes with all shards and returns engine-wide detector
+// statistics without closing the open bin. After Close it returns the
+// statistics gathered at the last barrier (the final Flush, typically).
+func (e *Engine) Stats() Stats {
+	if e.closed {
+		return e.lastStats
+	}
+	e.barrier(false)
+	return e.lastStats
+}
+
+// Close releases the shard goroutines. Any still-open bin is discarded;
+// call Flush first. Close is idempotent.
+func (e *Engine) Close() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	for _, s := range e.shards {
+		close(s.ch)
+	}
+	e.wg.Wait()
+}

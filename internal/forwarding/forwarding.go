@@ -111,6 +111,55 @@ type Observation struct {
 // pattern is a next-hop packet-count vector.
 type pattern map[netip.Addr]float64
 
+// Contribution is one extracted packet observation: W packets crossing
+// Flow.Router toward Flow.Dst went to next hop Hop (Unresponsive for lost
+// packets). Touch marks a router observed with no attributable packets this
+// result — it still instantiates the flow's pattern, exactly as the inline
+// ingest always did, so reference seeding is unchanged. Contributions are
+// the unit of work the sharded engine routes to the shard owning the router.
+type Contribution struct {
+	Flow  FlowKey
+	Hop   netip.Addr
+	W     float64
+	Touch bool
+}
+
+// ExtractContributions decomposes one result into next-hop contributions
+// (§5.1): for every responsive hop it records where the following hop's
+// packets went — to a responsive next hop or into the unresponsive bucket.
+// ECMP-split near hops contribute to each responder's model with weight
+// 1/len(responders) so far-hop packets are not double counted. Extraction is
+// pure: it reads only the result, so it can run on any goroutine while
+// detector state stays shard-local.
+func ExtractContributions(r trace.Result, fn func(Contribution)) {
+	for _, pair := range r.AdjacentPairs() {
+		routers := pair.Near.Responders()
+		if len(routers) == 0 {
+			continue
+		}
+		w := 1.0 / float64(len(routers))
+		for _, router := range routers {
+			key := FlowKey{Router: router, Dst: r.Dst}
+			emitted := false
+			for _, rep := range pair.Far.Replies {
+				if rep.Timeout || !rep.From.IsValid() {
+					fn(Contribution{Flow: key, Hop: Unresponsive, W: w})
+					emitted = true
+					continue
+				}
+				if rep.From == router {
+					continue // self-loop artifact
+				}
+				fn(Contribution{Flow: key, Hop: rep.From, W: w})
+				emitted = true
+			}
+			if !emitted {
+				fn(Contribution{Flow: key, Touch: true})
+			}
+		}
+	}
+}
+
 // Detector is the streaming forwarding-anomaly detector. Feed
 // chronologically ordered results with Observe; alarms for a bin are
 // returned when the stream crosses into the next bin (and by Flush).
@@ -123,16 +172,20 @@ type Detector struct {
 	cur     map[FlowKey]pattern
 	refs    map[FlowKey]pattern
 	seen    map[netip.Addr]struct{} // distinct router addresses modeled
+
+	sink func(Contribution) // bound once; avoids a closure alloc per result
 }
 
 // NewDetector returns a Detector with the given configuration.
 func NewDetector(cfg Config) *Detector {
-	return &Detector{
+	d := &Detector{
 		cfg:  cfg.withDefaults(),
 		cur:  make(map[FlowKey]pattern),
 		refs: make(map[FlowKey]pattern),
 		seen: make(map[netip.Addr]struct{}),
 	}
+	d.sink = d.IngestContribution
+	return d
 }
 
 // Config returns the effective (default-filled) configuration.
@@ -146,18 +199,25 @@ func (d *Detector) RoutersSeen() int { return len(d.seen) }
 // references — the paper's "on average forwarding models contain four
 // different next hops". The unresponsive bucket is not counted.
 func (d *Detector) AvgNextHops() float64 {
-	if len(d.refs) == 0 {
+	models, hops := d.RefStats()
+	if models == 0 {
 		return 0
 	}
-	total := 0
+	return float64(hops) / float64(models)
+}
+
+// RefStats returns the raw counts behind AvgNextHops — how many reference
+// models exist and their total responsive next hops — so the sharded engine
+// can average across shard-local detectors.
+func (d *Detector) RefStats() (models, nextHops int) {
 	for _, ref := range d.refs {
 		for a := range ref {
 			if a != Unresponsive {
-				total++
+				nextHops++
 			}
 		}
 	}
-	return float64(total) / float64(len(d.refs))
+	return len(d.refs), nextHops
 }
 
 // ReferenceFor returns a copy of the current reference pattern, for tests
@@ -200,40 +260,37 @@ func (d *Detector) Flush() []Alarm {
 	return alarms
 }
 
-// ingest records, for every responsive hop, where the following hop's
-// packets went: to a responsive next hop (identified by address) or into
-// the unresponsive bucket (§5.1). Consecutive hop indices are required, and
-// the router attribution uses the hop's distinct responders so ECMP split
-// hops contribute to each responder's model.
+// ingest extracts next-hop contributions (§5.1) and folds them into the
+// open bin.
 func (d *Detector) ingest(r trace.Result) {
-	for _, pair := range r.AdjacentPairs() {
-		routers := pair.Near.Responders()
-		if len(routers) == 0 {
-			continue
-		}
-		for _, router := range routers {
-			key := FlowKey{Router: router, Dst: r.Dst}
-			pat := d.cur[key]
-			if pat == nil {
-				pat = make(pattern)
-				d.cur[key] = pat
-				d.seen[router] = struct{}{}
-			}
-			// Weight by 1/len(routers) so a split near hop does not double
-			// count the far hop's packets.
-			w := 1.0 / float64(len(routers))
-			for _, rep := range pair.Far.Replies {
-				if rep.Timeout || !rep.From.IsValid() {
-					pat[Unresponsive] += w
-					continue
-				}
-				if rep.From == router {
-					continue // self-loop artifact
-				}
-				pat[rep.From] += w
-			}
-		}
+	ExtractContributions(r, d.sink)
+}
+
+// BeginBin opens (or asserts) the bin the next IngestContribution calls
+// belong to. It is the sharded engine's entry point: the engine closes bins
+// explicitly via Flush, so BeginBin never evaluates — it only moves the bin
+// cursor forward. Bins must be opened in chronological order.
+func (d *Detector) BeginBin(bin time.Time) {
+	if !d.haveBin || bin.After(d.curBin) {
+		d.curBin = bin
+		d.haveBin = true
 	}
+}
+
+// IngestContribution folds one extracted contribution into the open bin.
+// Together with BeginBin and Flush it forms the shard-scoped API: an engine
+// shard feeds only the contributions whose router hashes to it.
+func (d *Detector) IngestContribution(c Contribution) {
+	pat := d.cur[c.Flow]
+	if pat == nil {
+		pat = make(pattern)
+		d.cur[c.Flow] = pat
+		d.seen[c.Flow.Router] = struct{}{}
+	}
+	if c.Touch {
+		return
+	}
+	pat[c.Hop] += c.W
 }
 
 // closeBin evaluates every pattern of the bin against its reference and

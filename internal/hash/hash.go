@@ -1,0 +1,22 @@
+// Package hash provides the repo's shared 64-bit mixing primitive, used
+// wherever identifiers must map to stable pseudo-random values: the Atlas
+// platform's per-(measurement, probe) scheduling offsets and PRNG seeds,
+// and the delay detector's per-(link, bin) probe-dropping seeds. Keeping
+// one implementation guarantees the two cannot silently diverge.
+package hash
+
+// Mix64 folds v into the running hash h: FNV-style multiply with a
+// golden-ratio avalanche step.
+func Mix64(h, v uint64) uint64 {
+	h ^= v + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)
+	h *= 0x100000001b3
+	return h
+}
+
+// Fold mixes vals into seed in order.
+func Fold(seed uint64, vals ...uint64) uint64 {
+	for _, v := range vals {
+		seed = Mix64(seed, v)
+	}
+	return seed
+}

@@ -35,8 +35,13 @@
 //	analyzer.Flush()
 //	events := analyzer.Aggregator().Events(from, to)
 //
+// Setting Config.Workers (or AutoWorkers) shards the detectors across CPU
+// cores via internal/engine; the alarms, events and their order are
+// guaranteed identical to a sequential run. See DESIGN.md for the shard and
+// merge architecture.
+//
 // See examples/ for complete programs, including the paper's three case
-// studies, and EXPERIMENTS.md for the paper-versus-measured record.
+// studies; `go test -bench=.` regenerates the paper-versus-measured record.
 package pinpoint
 
 import (
@@ -51,8 +56,13 @@ import (
 
 // Config bundles the pipeline configuration; the zero value uses the
 // paper's parameters (1-hour bins, z=1.96, ≥3 probe ASes, entropy > 0.5,
-// 1 ms minimum shift, τ=−0.25, one-week magnitude windows).
+// 1 ms minimum shift, τ=−0.25, one-week magnitude windows) on the
+// sequential path. Set Workers (or AutoWorkers) for the sharded engine.
 type Config = core.Config
+
+// AutoWorkers, assigned to Config.Workers, shards the analysis across all
+// usable CPUs.
+const AutoWorkers = core.AutoWorkers
 
 // Analyzer is the end-to-end detection pipeline (§4 + §5 + §6).
 type Analyzer = core.Analyzer
