@@ -20,7 +20,9 @@ import (
 
 	"pinpoint/internal/atlas"
 	"pinpoint/internal/core"
+	"pinpoint/internal/delay"
 	"pinpoint/internal/experiments"
+	"pinpoint/internal/forwarding"
 	"pinpoint/internal/ipmap"
 	"pinpoint/internal/netsim"
 	"pinpoint/internal/trace"
@@ -185,6 +187,31 @@ func engineBenchFixture(b *testing.B) {
 	})
 	if engineBenchErr != nil {
 		b.Fatalf("engine bench fixture: %v", engineBenchErr)
+	}
+}
+
+// BenchmarkIngest isolates the sample-extraction + detector-ingest path —
+// the per-result work the identity layer (internal/ident) and the columnar
+// detector state are designed to make allocation-free. It drives the two
+// sequential detectors directly, without the engine or the aggregator, so
+// allocs/op tracks exactly the path BENCH_ident.json records.
+func BenchmarkIngest(b *testing.B) {
+	engineBenchFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dd := delay.NewDetector(delay.Config{Seed: 1}, engineBenchASN)
+		fd := forwarding.NewDetector(forwarding.Config{})
+		for _, r := range engineBenchResults {
+			dd.Observe(r)
+			fd.Observe(r)
+		}
+		dd.Flush()
+		fd.Flush()
+	}
+	perOp := b.Elapsed().Seconds() / float64(b.N)
+	if perOp > 0 {
+		b.ReportMetric(float64(len(engineBenchResults))/perOp, "results/s")
 	}
 }
 

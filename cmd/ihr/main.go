@@ -161,6 +161,7 @@ func writeJSON(w http.ResponseWriter, v interface{}) {
 func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	reg := s.analyzer.Registry()
 	writeJSON(w, map[string]interface{}{
 		"case":        s.c.Name,
 		"description": s.c.Description,
@@ -170,6 +171,12 @@ func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		"done":        s.done,
 		"delayAlarms": len(s.delayAlarms),
 		"fwdAlarms":   len(s.fwdAlarms),
+		"identities": map[string]int{
+			"addrs":   reg.Addrs(),
+			"links":   reg.Links(),
+			"flows":   reg.Flows(),
+			"routers": reg.Routers(),
+		},
 	})
 }
 

@@ -105,6 +105,9 @@ func main() {
 		first.Format("2006-01-02 15:04"), last.Format("2006-01-02 15:04"))
 	fmt.Printf("links with samples: %d; router IPs modeled: %d (workers: %d)\n",
 		a.LinksSeen(), a.RoutersSeen(), a.Workers())
+	reg := a.Registry()
+	fmt.Printf("interned identities: %d addrs, %d links, %d flows, %d routers\n",
+		reg.Addrs(), reg.Links(), reg.Flows(), reg.Routers())
 	fmt.Printf("delay alarms: %d; forwarding alarms: %d\n\n",
 		len(a.DelayAlarms()), len(a.ForwardingAlarms()))
 

@@ -22,6 +22,7 @@ import (
 	"pinpoint/internal/engine"
 	"pinpoint/internal/events"
 	"pinpoint/internal/forwarding"
+	"pinpoint/internal/ident"
 	"pinpoint/internal/ipmap"
 	"pinpoint/internal/trace"
 )
@@ -75,6 +76,13 @@ func (c Config) withDefaults() Config {
 type Analyzer struct {
 	cfg Config
 
+	// reg is the analyzer-wide identity layer: extraction interns every
+	// address/link/flow/router through it, both detection backends index
+	// their columnar state by its IDs, and the aggregator resolves alarm
+	// addresses to ASes through an ID-memoized cache. The Analyzer owns
+	// its lifecycle; it lives exactly as long as the Analyzer.
+	reg *ident.Registry
+
 	// Sequential backend (Workers ≤ 1).
 	delayDet *delay.Detector
 	fwdDet   *forwarding.Detector
@@ -99,16 +107,25 @@ type Analyzer struct {
 // §4.3 diversity filter needs it); table maps IPs to ASes for aggregation.
 func New(cfg Config, probeASN func(int) (ipmap.ASN, bool), table *ipmap.Table) *Analyzer {
 	cfg = cfg.withDefaults()
+	reg := ident.NewRegistry()
+	cfg.Delay.Registry = reg
+	cfg.Forwarding.Registry = reg
 	a := &Analyzer{
 		cfg: cfg,
+		reg: reg,
 		agg: events.NewAggregator(cfg.Events, table),
 	}
+	// Alarm addresses were interned during extraction, so aggregation can
+	// resolve AddrID→ASN through a memoized dense cache instead of walking
+	// the radix trie once per alarm.
+	a.agg.UseRegistry(reg)
 	if cfg.Workers > 1 {
 		a.eng = engine.New(engine.Config{
 			Delay:      cfg.Delay,
 			Forwarding: cfg.Forwarding,
 			Workers:    cfg.Workers,
 			BatchSize:  cfg.BatchSize,
+			Registry:   reg,
 		}, probeASN)
 	} else {
 		a.delayDet = delay.NewDetector(cfg.Delay, probeASN)
@@ -116,6 +133,10 @@ func New(cfg Config, probeASN func(int) (ipmap.ASN, bool), table *ipmap.Table) *
 	}
 	return a
 }
+
+// Registry exposes the analyzer-wide identity layer: interned address,
+// link, flow and router counts, and reverse lookup for diagnostics.
+func (a *Analyzer) Registry() *ident.Registry { return a.reg }
 
 // Observe ingests one traceroute result (results must arrive in
 // chronological order, as the platform and the Atlas stream provide them).

@@ -5,16 +5,27 @@
 // its Wilson-score confidence interval (§4.2.2), compares against an
 // exponentially smoothed reference (§4.2.4), and reports anomalies with the
 // deviation score d(∆) of Eq 6 (§4.2.3).
+//
+// The hot path flows interned IDs, not addresses: extraction interns every
+// (near, far) pair through ident.Registry once and emits ∆ samples tagged
+// with a dense LinkID; the detector keeps columnar per-link state in flat
+// slices indexed by that ID, with per-bin sample buffers whose capacity is
+// reused across bins. Steady-state ingestion therefore performs no map
+// writes and no allocations; addresses reappear only at bin close, where
+// links are evaluated in reverse-resolved (Near, Far) order so the emitted
+// alarms are bit-identical to the pre-ID implementation.
 package delay
 
 import (
 	"encoding/binary"
 	"math"
 	"math/rand/v2"
+	"slices"
 	"sort"
 	"time"
 
 	"pinpoint/internal/hash"
+	"pinpoint/internal/ident"
 	"pinpoint/internal/ipmap"
 	"pinpoint/internal/stats"
 	"pinpoint/internal/timeseries"
@@ -33,6 +44,12 @@ type Config struct {
 	MinSamples int           // minimum ∆ samples per link-bin; Appendix B: 9
 	MinDiffMS  float64       // minimum median gap to report; paper: 1 ms
 	Seed       uint64        // seeds the random probe dropping of §4.3
+
+	// Registry is the identity layer the detector interns links through.
+	// Leave nil for a private registry (the standalone sequential path);
+	// the sharded engine injects its shared registry here so the LinkIDs
+	// on routed samples resolve in every shard.
+	Registry *ident.Registry
 
 	// Observer, when non-nil, receives every evaluated link-bin observation
 	// (after diversity filtering), anomalous or not. Experiment harnesses
@@ -90,6 +107,9 @@ func (c Config) withDefaults() Config {
 	if c.MinDiffMS == 0 {
 		c.MinDiffMS = 1.0
 	}
+	if c.Registry == nil {
+		c.Registry = ident.NewRegistry()
+	}
 	return c
 }
 
@@ -124,10 +144,11 @@ type probeASNFunc func(int) (ipmap.ASN, bool)
 
 // linkRef is the smoothed normal reference of one link: the median and the
 // CI bounds are each tracked with the same exponential smoothing (§4.2.4).
+// It is embedded by value in the columnar link state.
 type linkRef struct {
-	median *stats.EWMA
-	lower  *stats.EWMA
-	upper  *stats.EWMA
+	median stats.EWMA
+	lower  stats.EWMA
+	upper  stats.EWMA
 }
 
 func (r *linkRef) ci() stats.MedianCI {
@@ -145,11 +166,13 @@ func (r *linkRef) observe(ci stats.MedianCI) {
 
 // Sample is one differential-RTT contribution (§4.2.1) extracted from a
 // traceroute result: the ∆ of one (near, far) reply combination, tagged with
-// the probe and its AS. Samples are the unit of work the sharded engine
-// routes to the shard owning Link.
+// the probe and its AS. The link is carried as an interned ident.LinkID —
+// 24 bytes per sample instead of two netip.Addrs — so samples are cheap to
+// buffer and route; the sharded engine hashes the LinkID to pick the shard
+// owning the link.
 type Sample struct {
-	Link  trace.LinkKey
-	Probe int
+	Link  ident.LinkID
+	Probe int32
 	ASN   ipmap.ASN
 	Delta float64
 }
@@ -159,25 +182,55 @@ type Sample struct {
 // over the replies is one ∆ sample of the link (x, y), giving one to nine
 // samples per probe and link. Results from probes with no resolvable AS
 // yield nothing, since the §4.3 diversity filter cannot place them.
-// Extraction is pure: it reads only the result, so it can run on any
-// goroutine while detector state stays shard-local.
-func ExtractSamples(r trace.Result, probeASN func(int) (ipmap.ASN, bool), fn func(Sample)) {
+// Extraction interns addresses and links through the caller's Interner
+// (lock-free single-owner memo over the shared registry) and emits
+// ID-tagged samples; it owns no other state, so each extracting goroutine
+// runs with its own Interner while detector state stays shard-local.
+func ExtractSamples(in *ident.Interner, r trace.Result, probeASN func(int) (ipmap.ASN, bool), fn func(Sample)) {
 	asn, ok := probeASN(r.PrbID)
 	if !ok {
 		return
 	}
-	for _, pair := range r.AdjacentPairs() {
-		for _, ra := range pair.Near.Replies {
+	prb := int32(r.PrbID)
+	for hi := 0; hi+1 < len(r.Hops); hi++ {
+		near, far := &r.Hops[hi], &r.Hops[hi+1]
+		if far.Index != near.Index+1 {
+			continue
+		}
+		// Intern each far responder once per hop pair, not once per
+		// combination. Atlas sends three packets per hop, so the stack
+		// buffer covers every realistic result.
+		var farBuf [8]ident.AddrID
+		nfar := len(far.Replies)
+		if nfar > len(farBuf) {
+			nfar = len(farBuf)
+		}
+		for j := 0; j < nfar; j++ {
+			rb := &far.Replies[j]
+			if rb.Timeout || !rb.From.IsValid() {
+				farBuf[j] = ident.ZeroAddr
+				continue
+			}
+			farBuf[j] = in.Addr(rb.From)
+		}
+		for _, ra := range near.Replies {
 			if ra.Timeout || !ra.From.IsValid() {
 				continue
 			}
-			for _, rb := range pair.Far.Replies {
+			nearID := in.Addr(ra.From)
+			for j, rb := range far.Replies {
 				if rb.Timeout || !rb.From.IsValid() || rb.From == ra.From {
 					continue
 				}
+				farID := ident.ZeroAddr
+				if j < nfar {
+					farID = farBuf[j]
+				} else {
+					farID = in.Addr(rb.From)
+				}
 				fn(Sample{
-					Link:  trace.LinkKey{Near: ra.From, Far: rb.From},
-					Probe: r.PrbID,
+					Link:  in.Link(nearID, farID),
+					Probe: prb,
 					ASN:   asn,
 					Delta: rb.RTT - ra.RTT,
 				})
@@ -186,15 +239,38 @@ func ExtractSamples(r trace.Result, probeASN func(int) (ipmap.ASN, bool), fn fun
 	}
 }
 
-// probeAgg collects one probe's ∆ samples for one link within a bin.
-type probeAgg struct {
-	asn     ipmap.ASN
-	samples []float64
+// sampleEntry is one ∆ sample as stored in the columnar per-link bin
+// buffer, in arrival order. Grouping by probe happens once, at bin close.
+type sampleEntry struct {
+	probe int32
+	asn   ipmap.ASN
+	delta float64
 }
 
-// linkAgg collects all ∆ samples for one link within a bin, per probe.
-type linkAgg struct {
-	perProbe map[int]*probeAgg
+// linkState is the columnar per-link record, indexed by ident.LinkID. The
+// entries buffer is truncated (capacity kept) when a new bin first touches
+// the link, so steady-state ingestion reuses the same backing arrays.
+type linkState struct {
+	epoch   uint32        // bin epoch of the entries buffer
+	entries []sampleEntry // this bin's ∆ samples, arrival order
+	seen    bool          // counted in linksSeen
+	hasRef  bool          // ref initialized (link passed filtering once)
+	ref     linkRef
+}
+
+// probeGroup is one probe's contiguous run in the probe-sorted entries of
+// one link-bin: entries[start:end] are its samples in arrival order.
+type probeGroup struct {
+	probe      int32
+	asn        ipmap.ASN
+	start, end int32
+}
+
+// asBucket groups the indices of one AS's probeGroups (probe-ascending),
+// the unit the §4.3 dropping loop removes probes from.
+type asBucket struct {
+	asn    ipmap.ASN
+	groups []int32 // indices into the groups scratch
 }
 
 // Detector is the streaming delay-change detector. Feed chronologically
@@ -203,6 +279,8 @@ type linkAgg struct {
 // Detector is not safe for concurrent use.
 type Detector struct {
 	cfg      Config
+	reg      *ident.Registry
+	intern   *ident.Interner
 	probeASN probeASNFunc
 
 	// Probe dropping (§4.3) draws from a PCG reseeded per (link, bin) from
@@ -215,12 +293,35 @@ type Detector struct {
 
 	curBin  time.Time
 	haveBin bool
-	cur     map[trace.LinkKey]*linkAgg
-	refs    map[trace.LinkKey]*linkRef
+	epoch   uint32 // distinguishes the open bin's entries from stale ones
+
+	// Columnar state. LinkIDs are global to the registry while a sharded
+	// detector owns only ~1/W of the links, so a dense per-detector slot
+	// table (slotOf: LinkID → index into links, −1 when unowned; 4 bytes
+	// per global ID) keeps the ~200-byte linkState records scaled to the
+	// links this detector actually ingests.
+	slotOf    []int32
+	links     []linkState
+	touched   []ident.LinkID // links with samples in the open bin
+	linksSeen int
 
 	sink func(Sample) // bound once; avoids a closure alloc per result
 
-	linksSeen map[trace.LinkKey]struct{}
+	// Bin-close scratch, reused across bins.
+	keyBuf     []linkAt
+	ordBuf     []int32
+	groupBuf   []probeGroup
+	idxBuf     []int32
+	bucketBuf  []asBucket
+	countsBuf  []int
+	samplesBuf []float64
+}
+
+// linkAt pairs a touched LinkID with its reverse-resolved key for the
+// deterministic close order.
+type linkAt struct {
+	id  ident.LinkID
+	key trace.LinkKey
 }
 
 // NewDetector returns a Detector with the given configuration; probeASN
@@ -230,13 +331,13 @@ func NewDetector(cfg Config, probeASN func(int) (ipmap.ASN, bool)) *Detector {
 	cfg = cfg.withDefaults()
 	pcg := rand.NewPCG(cfg.Seed, 0x5ca1ab1e)
 	d := &Detector{
-		cfg:       cfg,
-		probeASN:  probeASN,
-		pcg:       pcg,
-		rng:       rand.New(pcg),
-		cur:       make(map[trace.LinkKey]*linkAgg),
-		refs:      make(map[trace.LinkKey]*linkRef),
-		linksSeen: make(map[trace.LinkKey]struct{}),
+		cfg:      cfg,
+		reg:      cfg.Registry,
+		intern:   ident.NewInterner(cfg.Registry),
+		probeASN: probeASN,
+		pcg:      pcg,
+		rng:      rand.New(pcg),
+		epoch:    1,
 	}
 	d.sink = d.IngestSample
 	return d
@@ -245,9 +346,12 @@ func NewDetector(cfg Config, probeASN func(int) (ipmap.ASN, bool)) *Detector {
 // Config returns the effective (default-filled) configuration.
 func (d *Detector) Config() Config { return d.cfg }
 
+// Registry returns the identity registry the detector interns through.
+func (d *Detector) Registry() *ident.Registry { return d.reg }
+
 // LinksSeen returns how many distinct links ever produced ∆ samples — the
 // paper's "we monitored delays for 262k IPv4 links" statistic.
-func (d *Detector) LinksSeen() int { return len(d.linksSeen) }
+func (d *Detector) LinksSeen() int { return d.linksSeen }
 
 // Observe ingests one traceroute result. When the result's bin is newer
 // than the current one, the current bin is evaluated first and its alarms
@@ -280,7 +384,7 @@ func (d *Detector) Flush() []Alarm {
 // ingest extracts differential RTT samples (§4.2.1) and folds them into the
 // open bin.
 func (d *Detector) ingest(r trace.Result) {
-	ExtractSamples(r, d.probeASN, d.sink)
+	ExtractSamples(d.intern, r, d.probeASN, d.sink)
 }
 
 // BeginBin opens (or asserts) the bin the next IngestSample calls belong to.
@@ -298,49 +402,66 @@ func (d *Detector) BeginBin(bin time.Time) {
 // BeginBin and Flush it forms the shard-scoped API: an engine shard feeds
 // only the samples whose link hashes to it, and the per-(link, bin) seeded
 // probe dropping guarantees the shard reproduces exactly what a single
-// detector would have decided for that link.
+// detector would have decided for that link. In steady state this is one
+// epoch check and one append into a recycled buffer — no map, no alloc.
 func (d *Detector) IngestSample(s Sample) {
-	agg := d.cur[s.Link]
-	if agg == nil {
-		agg = &linkAgg{perProbe: make(map[int]*probeAgg)}
-		d.cur[s.Link] = agg
-		d.linksSeen[s.Link] = struct{}{}
+	li := int(s.Link)
+	if li >= len(d.slotOf) {
+		d.slotOf = ident.GrowTable(d.slotOf, li+1, -1)
 	}
-	pa := agg.perProbe[s.Probe]
-	if pa == nil {
-		pa = &probeAgg{asn: s.ASN}
-		agg.perProbe[s.Probe] = pa
+	si := d.slotOf[li]
+	if si < 0 {
+		si = int32(len(d.links))
+		d.slotOf[li] = si
+		d.links = append(d.links, linkState{})
 	}
-	pa.samples = append(pa.samples, s.Delta)
+	ls := &d.links[si]
+	if ls.epoch != d.epoch {
+		ls.epoch = d.epoch
+		ls.entries = ls.entries[:0]
+		d.touched = append(d.touched, s.Link)
+		if !ls.seen {
+			ls.seen = true
+			d.linksSeen++
+		}
+	}
+	ls.entries = append(ls.entries, sampleEntry{probe: s.Probe, asn: s.ASN, delta: s.Delta})
 }
 
 // closeBin runs steps 2–5 of §4.2 on the accumulated bin and resets it.
 func (d *Detector) closeBin() []Alarm {
 	var alarms []Alarm
-	// Deterministic iteration: sort links by string key. The probe-dropping
-	// step consumes randomness, so map order must not leak into results.
-	keys := make([]trace.LinkKey, 0, len(d.cur))
-	for k := range d.cur {
-		keys = append(keys, k)
+	// Deterministic iteration: resolve every touched LinkID back to its
+	// address pair and sort by (Near, Far). The probe-dropping step consumes
+	// randomness keyed per link, and downstream consumers accumulate floats
+	// in emission order, so the close order must stay exactly the address
+	// order the pre-ID detector used — never the (run-dependent) ID order.
+	keys := d.keyBuf[:0]
+	for _, id := range d.touched {
+		keys = append(keys, linkAt{id: id, key: d.reg.LinkKeyOf(id)})
 	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].Near != keys[j].Near {
-			return keys[i].Near.Less(keys[j].Near)
+	slices.SortFunc(keys, func(a, b linkAt) int {
+		if c := a.key.Near.Compare(b.key.Near); c != 0 {
+			return c
 		}
-		return keys[i].Far.Less(keys[j].Far)
+		return a.key.Far.Compare(b.key.Far)
 	})
 
-	for _, key := range keys {
-		agg := d.cur[key]
+	for _, lk := range keys {
+		ls := &d.links[d.slotOf[lk.id]]
+		key := lk.key
+		ord, groups := d.groupEntries(ls.entries)
 		var samples []float64
+		var ok bool
 		var probes, ases int
 		if d.cfg.SymmetricLink != nil && d.cfg.SymmetricLink(key) {
-			samples, probes, ases = collectAll(agg)
+			samples, probes, ases = d.collectAll(ls.entries, ord, groups)
+			ok = true
 		} else {
 			d.reseed(key)
-			samples, probes, ases = d.filterDiversity(agg)
+			samples, probes, ases, ok = d.filterDiversity(ls.entries, ord, groups)
 		}
-		if samples == nil || len(samples) < d.cfg.MinSamples {
+		if !ok || len(samples) < d.cfg.MinSamples {
 			continue
 		}
 		sort.Float64s(samples)
@@ -351,15 +472,15 @@ func (d *Detector) closeBin() []Alarm {
 			obs = stats.MedianWilsonSorted(samples, d.cfg.Z)
 		}
 
-		ref := d.refs[key]
-		if ref == nil {
-			ref = &linkRef{
-				median: stats.NewEWMA(d.cfg.Alpha, d.cfg.WarmupBins),
-				lower:  stats.NewEWMA(d.cfg.Alpha, d.cfg.WarmupBins),
-				upper:  stats.NewEWMA(d.cfg.Alpha, d.cfg.WarmupBins),
+		if !ls.hasRef {
+			ls.hasRef = true
+			ls.ref = linkRef{
+				median: stats.MakeEWMA(d.cfg.Alpha, d.cfg.WarmupBins),
+				lower:  stats.MakeEWMA(d.cfg.Alpha, d.cfg.WarmupBins),
+				upper:  stats.MakeEWMA(d.cfg.Alpha, d.cfg.WarmupBins),
 			}
-			d.refs[key] = ref
 		}
+		ref := &ls.ref
 
 		refCI := ref.ci()
 		anomalous := false
@@ -400,8 +521,51 @@ func (d *Detector) closeBin() []Alarm {
 		ref.observe(obs)
 	}
 
-	d.cur = make(map[trace.LinkKey]*linkAgg)
+	d.keyBuf = keys[:0]
+	d.touched = d.touched[:0]
+	d.epoch++
 	return alarms
+}
+
+// groupEntries groups a link-bin's entries by probe without moving them:
+// it sorts an index permutation by (probe, arrival index) — a total order,
+// so the type-specialized unstable sort is deterministic and effectively
+// stable, with 4-byte swaps instead of reflection-driven 16-byte moves —
+// and returns per-probe groups, probe-ascending, as ranges over that
+// permutation. Each probe's samples stay in arrival order, exactly as the
+// old per-probe append buffers kept them.
+func (d *Detector) groupEntries(entries []sampleEntry) ([]int32, []probeGroup) {
+	ord := d.ordBuf[:0]
+	for i := range entries {
+		ord = append(ord, int32(i))
+	}
+	slices.SortFunc(ord, func(a, b int32) int {
+		if pa, pb := entries[a].probe, entries[b].probe; pa != pb {
+			if pa < pb {
+				return -1
+			}
+			return 1
+		}
+		return int(a) - int(b)
+	})
+	groups := d.groupBuf[:0]
+	for i := 0; i < len(ord); {
+		p := entries[ord[i]].probe
+		j := i + 1
+		for j < len(ord) && entries[ord[j]].probe == p {
+			j++
+		}
+		groups = append(groups, probeGroup{
+			probe: p,
+			asn:   entries[ord[i]].asn,
+			start: int32(i),
+			end:   int32(j),
+		})
+		i = j
+	}
+	d.ordBuf = ord
+	d.groupBuf = groups
+	return ord, groups
 }
 
 // reseed rebinds the probe-dropping PRNG to the (link, bin) about to be
@@ -423,50 +587,81 @@ func (d *Detector) reseed(key trace.LinkKey) {
 // MinASes distinct ASes, and the probe-per-AS distribution must have
 // normalized entropy above MinEntropy — otherwise probes are randomly
 // dropped from the most-represented AS until it does. It returns the
-// surviving ∆ samples and the contributing probe/AS counts, or nil when the
-// link fails the AS-count criterion.
-func (d *Detector) filterDiversity(agg *linkAgg) (samples []float64, probes, ases int) {
-	byAS := make(map[ipmap.ASN][]int) // ASN → probe ids
-	for id, pa := range agg.perProbe {
-		byAS[pa.asn] = append(byAS[pa.asn], id)
+// surviving ∆ samples (into the reusable scratch) and the contributing
+// probe/AS counts; ok is false when the link fails the AS-count criterion.
+// The dropping decisions are bit-identical to the map-based implementation:
+// per-AS probe lists are probe-ascending and the most-represented AS breaks
+// ties on the smallest ASN, so the PRNG sees the same draw sequence.
+func (d *Detector) filterDiversity(entries []sampleEntry, ord []int32, groups []probeGroup) (samples []float64, probes, ases int, ok bool) {
+	// Bucket the probe groups per AS, ASN-ascending. Group indices within a
+	// bucket are probe-ascending because groups already are.
+	buckets := d.bucketBuf[:0]
+	idx := d.idxBuf[:0]
+	for gi := range groups {
+		idx = append(idx, int32(gi))
 	}
-	if d.cfg.DisableDiversityFilter {
-		for _, ids := range byAS {
+	slices.SortFunc(idx, func(a, b int32) int {
+		if ga, gb := groups[a].asn, groups[b].asn; ga != gb {
+			if ga < gb {
+				return -1
+			}
+			return 1
+		}
+		return int(a) - int(b) // tie-break keeps probe-ascending order stable
+	})
+	for i := 0; i < len(idx); {
+		j := i + 1
+		for j < len(idx) && groups[idx[j]].asn == groups[idx[i]].asn {
+			j++
+		}
+		buckets = append(buckets, asBucket{asn: groups[idx[i]].asn, groups: idx[i:j:j]})
+		i = j
+	}
+	d.idxBuf = idx[:0]
+	d.bucketBuf = buckets[:0]
+
+	samples = d.samplesBuf[:0]
+	collect := func() []float64 {
+		for _, b := range buckets {
+			if len(b.groups) == 0 {
+				continue
+			}
 			ases++
-			for _, id := range ids {
+			for _, gi := range b.groups {
+				g := groups[gi]
 				probes++
-				samples = append(samples, agg.perProbe[id].samples...)
+				for _, ei := range ord[g.start:g.end] {
+					samples = append(samples, entries[ei].delta)
+				}
 			}
 		}
-		return samples, probes, ases
+		d.samplesBuf = samples
+		return samples
 	}
-	if len(byAS) < d.cfg.MinASes {
-		return nil, 0, 0
+
+	if d.cfg.DisableDiversityFilter {
+		return collect(), probes, ases, true
 	}
-	// Sort probe lists for deterministic dropping.
-	for _, ids := range byAS {
-		sort.Ints(ids)
+	if len(buckets) < d.cfg.MinASes {
+		return nil, 0, 0, false
 	}
-	counts := func() []int {
-		out := make([]int, 0, len(byAS))
-		for _, ids := range byAS {
-			out = append(out, len(ids))
+	counts := d.countsBuf[:0]
+	refresh := func() []int {
+		counts = counts[:0]
+		for _, b := range buckets {
+			counts = append(counts, len(b.groups))
 		}
-		return out
+		return counts
 	}
-	for stats.NormalizedEntropy(counts()) <= d.cfg.MinEntropy {
-		// Find the most-represented AS (deterministic tie-break on ASN).
-		var maxAS ipmap.ASN
+	for stats.NormalizedEntropy(refresh()) <= d.cfg.MinEntropy {
+		// Find the most-represented AS (deterministic tie-break on ASN:
+		// buckets are ASN-ascending and the comparison is strict).
+		maxB := -1
 		maxN := -1
-		asns := make([]ipmap.ASN, 0, len(byAS))
-		for asn := range byAS {
-			asns = append(asns, asn)
-		}
-		sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
-		for _, asn := range asns {
-			if len(byAS[asn]) > maxN {
-				maxN = len(byAS[asn])
-				maxAS = asn
+		for bi := range buckets {
+			if len(buckets[bi].groups) > maxN {
+				maxN = len(buckets[bi].groups)
+				maxB = bi
 			}
 		}
 		if maxN <= 1 {
@@ -474,40 +669,44 @@ func (d *Detector) filterDiversity(agg *linkAgg) (samples []float64, probes, ase
 			// terminates before this in practice, but guard regardless.
 			break
 		}
-		ids := byAS[maxAS]
+		ids := buckets[maxB].groups
 		drop := d.rng.IntN(len(ids))
-		byAS[maxAS] = append(ids[:drop], ids[drop+1:]...)
+		buckets[maxB].groups = append(ids[:drop], ids[drop+1:]...)
 	}
-	for _, ids := range byAS {
-		if len(ids) == 0 {
-			continue
-		}
-		ases++
-		for _, id := range ids {
-			probes++
-			samples = append(samples, agg.perProbe[id].samples...)
-		}
-	}
-	return samples, probes, ases
+	d.countsBuf = counts[:0]
+	return collect(), probes, ases, true
 }
 
 // collectAll gathers every probe's samples without diversity filtering —
 // the symmetric-link path (§9 future work) where return-path ambiguity
 // does not exist.
-func collectAll(agg *linkAgg) (samples []float64, probes, ases int) {
-	asSeen := make(map[ipmap.ASN]struct{})
-	ids := make([]int, 0, len(agg.perProbe))
-	for id := range agg.perProbe {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
-	for _, id := range ids {
-		pa := agg.perProbe[id]
+func (d *Detector) collectAll(entries []sampleEntry, ord []int32, groups []probeGroup) (samples []float64, probes, ases int) {
+	samples = d.samplesBuf[:0]
+	var lastASN ipmap.ASN
+	asnSeen := d.countsBuf[:0] // reuse as a tiny distinct-ASN scratch
+	for _, g := range groups {
 		probes++
-		asSeen[pa.asn] = struct{}{}
-		samples = append(samples, pa.samples...)
+		if probes == 1 || g.asn != lastASN {
+			dup := false
+			for _, a := range asnSeen {
+				if ipmap.ASN(a) == g.asn {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				asnSeen = append(asnSeen, int(g.asn))
+			}
+			lastASN = g.asn
+		}
+		for _, ei := range ord[g.start:g.end] {
+			samples = append(samples, entries[ei].delta)
+		}
 	}
-	return samples, probes, len(asSeen)
+	ases = len(asnSeen)
+	d.countsBuf = asnSeen[:0]
+	d.samplesBuf = samples
+	return samples, probes, ases
 }
 
 // Deviation computes d(∆) of Eq 6: the gap between the observed and

@@ -211,11 +211,17 @@ func TestUpToNineSamplesPerProbe(t *testing.T) {
 	d := NewDetector(Config{Seed: 1}, testASN)
 	rng := rand.New(rand.NewPCG(6, 6))
 	d.Observe(mkResult(1, t0, 5, 7, rng))
-	agg := d.cur[trace.LinkKey{Near: nearA, Far: farB}]
-	if agg == nil {
+	li, ok := d.reg.LookupLink(trace.LinkKey{Near: nearA, Far: farB})
+	if !ok || int(li) >= len(d.slotOf) || d.slotOf[li] < 0 || d.links[d.slotOf[li]].epoch != d.epoch {
 		t.Fatal("no samples extracted")
 	}
-	if n := len(agg.perProbe[1].samples); n != 9 {
+	n := 0
+	for _, e := range d.links[d.slotOf[li]].entries {
+		if e.probe == 1 {
+			n++
+		}
+	}
+	if n != 9 {
 		t.Errorf("samples per probe = %d, want 9 (3×3 combinations)", n)
 	}
 }
@@ -231,8 +237,8 @@ func TestTimeoutsAndSelfPairsSkipped(t *testing.T) {
 		},
 	}
 	d.Observe(r)
-	if len(d.cur) != 0 {
-		t.Errorf("self-pair (same addr both hops) extracted: %v", d.cur)
+	if len(d.touched) != 0 {
+		t.Errorf("self-pair (same addr both hops) extracted: %v", d.touched)
 	}
 }
 
@@ -247,8 +253,8 @@ func TestNonAdjacentHopsNotPaired(t *testing.T) {
 		},
 	}
 	d.Observe(r)
-	if len(d.cur) != 0 {
-		t.Errorf("non-adjacent hops paired: %v", d.cur)
+	if len(d.touched) != 0 {
+		t.Errorf("non-adjacent hops paired: %v", d.touched)
 	}
 }
 
@@ -256,7 +262,7 @@ func TestUnknownProbeIgnored(t *testing.T) {
 	d := NewDetector(Config{Seed: 1}, testASN)
 	rng := rand.New(rand.NewPCG(7, 7))
 	d.Observe(mkResult(-5, t0, 5, 7, rng))
-	if len(d.cur) != 0 {
+	if len(d.touched) != 0 {
 		t.Error("result from unknown probe ingested")
 	}
 }

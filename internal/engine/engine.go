@@ -21,18 +21,26 @@
 // the §4.3 random probe dropping is seeded per (link, bin) inside
 // delay.Detector rather than from a shared stream, and (3) the merge sort
 // restores the global key order the sequential close produces.
+//
+// The engine owns (or is handed) one ident.Registry shared by extraction
+// and every shard detector: the caller's goroutine interns addresses,
+// links, flows and routers while extracting, and the samples cross the
+// shard channels as dense uint32 IDs. Shard routing hashes one uint32
+// instead of two 16-byte addresses, and the shard detectors index their
+// columnar state by the same IDs. Alarms resurface with reverse-resolved
+// addresses, so the deterministic merge is unchanged.
 package engine
 
 import (
-	"encoding/binary"
-	"net/netip"
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
 	"time"
 
 	"pinpoint/internal/delay"
 	"pinpoint/internal/forwarding"
+	"pinpoint/internal/hash"
+	"pinpoint/internal/ident"
 	"pinpoint/internal/ipmap"
 	"pinpoint/internal/timeseries"
 	"pinpoint/internal/trace"
@@ -58,6 +66,11 @@ type Config struct {
 	// QueueDepth bounds how many batches may be in flight per shard; a
 	// full queue back-pressures the caller. 0 means 8.
 	QueueDepth int
+
+	// Registry is the shared identity layer. Leave nil to let the engine
+	// create a private one; core injects the analyzer-wide registry here
+	// so aggregation can resolve alarm addresses through the same IDs.
+	Registry *ident.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -69,6 +82,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 8
+	}
+	if c.Registry == nil {
+		c.Registry = ident.NewRegistry()
 	}
 	return c
 }
@@ -152,6 +168,8 @@ func (s *shard) run(wg *sync.WaitGroup) {
 type Engine struct {
 	cfg      Config
 	binSize  time.Duration
+	reg      *ident.Registry
+	intern   *ident.Interner // dispatcher-owned memo over reg
 	probeASN func(int) (ipmap.ASN, bool)
 
 	shards []*shard
@@ -184,8 +202,14 @@ type Engine struct {
 // for the §4.3 diversity filter, exactly as in delay.NewDetector.
 func New(cfg Config, probeASN func(int) (ipmap.ASN, bool)) *Engine {
 	cfg = cfg.withDefaults()
+	// Every shard detector interns through the engine's registry, so the
+	// IDs on routed samples resolve identically everywhere.
+	cfg.Delay.Registry = cfg.Registry
+	cfg.Forwarding.Registry = cfg.Registry
 	e := &Engine{
 		cfg:         cfg,
+		reg:         cfg.Registry,
+		intern:      ident.NewInterner(cfg.Registry),
 		probeASN:    probeASN,
 		shards:      make([]*shard, cfg.Workers),
 		reply:       make(chan shardResult, cfg.Workers),
@@ -212,33 +236,25 @@ func New(cfg Config, probeASN func(int) (ipmap.ASN, bool)) *Engine {
 // Workers returns the effective shard count.
 func (e *Engine) Workers() int { return len(e.shards) }
 
-// shardFor maps an address to its owning shard. FNV-1a over the 16-byte
-// form; the same address always lands on the same shard, which is what
-// keeps per-link and per-router state (and the order of its samples)
-// identical to a lone detector's.
-func (e *Engine) shardFor(addrs ...netip.Addr) int {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
-	for _, a := range addrs {
-		b := a.As16()
-		for i := 0; i < 16; i += 8 {
-			h ^= binary.BigEndian.Uint64(b[i:])
-			h *= prime64
-		}
-	}
-	return int(h % uint64(len(e.shards)))
+// Registry returns the shared identity registry.
+func (e *Engine) Registry() *ident.Registry { return e.reg }
+
+// shardFor maps a dense interned ID to its owning shard: one 64-bit mix of
+// a uint32 instead of hashing 16-byte addresses. The same entity always
+// interns to the same ID and therefore always lands on the same shard,
+// which is what keeps per-link and per-router state (and the order of its
+// samples) identical to a lone detector's.
+func (e *Engine) shardFor(id uint32) int {
+	return int(hash.Mix64(uint64(id), 0x1d) % uint64(len(e.shards)))
 }
 
 func (e *Engine) routeSample(s delay.Sample) {
-	i := e.shardFor(s.Link.Near, s.Link.Far)
+	i := e.shardFor(uint32(s.Link))
 	e.bufSamples[i] = append(e.bufSamples[i], s)
 }
 
 func (e *Engine) routeContribution(c forwarding.Contribution) {
-	i := e.shardFor(c.Flow.Router)
+	i := e.shardFor(uint32(c.Router))
 	e.bufContribs[i] = append(e.bufContribs[i], c)
 }
 
@@ -260,8 +276,8 @@ func (e *Engine) Observe(r trace.Result) ([]delay.Alarm, []forwarding.Alarm) {
 		e.curBin = bin
 		e.haveBin = true
 	}
-	delay.ExtractSamples(r, e.probeASN, e.sampleSink)
-	forwarding.ExtractContributions(r, e.contribSink)
+	delay.ExtractSamples(e.intern, r, e.probeASN, e.sampleSink)
+	forwarding.ExtractContributions(e.intern, r, e.contribSink)
 	e.pending++
 	if e.pending >= e.cfg.BatchSize {
 		e.dispatch()
@@ -340,23 +356,23 @@ func (e *Engine) barrier(flush bool) (shardResult, []delay.Alarm, []forwarding.A
 // accumulation, hook order and retained-slice order bit-identical.
 func (e *Engine) closeBin() ([]delay.Alarm, []forwarding.Alarm) {
 	_, da, fa := e.barrier(true)
-	sort.Slice(da, func(i, j int) bool {
-		if !da[i].Bin.Equal(da[j].Bin) {
-			return da[i].Bin.Before(da[j].Bin)
+	slices.SortFunc(da, func(a, b delay.Alarm) int {
+		if c := a.Bin.Compare(b.Bin); c != 0 {
+			return c
 		}
-		if da[i].Link.Near != da[j].Link.Near {
-			return da[i].Link.Near.Less(da[j].Link.Near)
+		if c := a.Link.Near.Compare(b.Link.Near); c != 0 {
+			return c
 		}
-		return da[i].Link.Far.Less(da[j].Link.Far)
+		return a.Link.Far.Compare(b.Link.Far)
 	})
-	sort.Slice(fa, func(i, j int) bool {
-		if !fa[i].Bin.Equal(fa[j].Bin) {
-			return fa[i].Bin.Before(fa[j].Bin)
+	slices.SortFunc(fa, func(a, b forwarding.Alarm) int {
+		if c := a.Bin.Compare(b.Bin); c != 0 {
+			return c
 		}
-		if fa[i].Router != fa[j].Router {
-			return fa[i].Router.Less(fa[j].Router)
+		if c := a.Router.Compare(b.Router); c != 0 {
+			return c
 		}
-		return fa[i].Dst.Less(fa[j].Dst)
+		return a.Dst.Compare(b.Dst)
 	})
 	return da, fa
 }

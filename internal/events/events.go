@@ -14,6 +14,7 @@ import (
 
 	"pinpoint/internal/delay"
 	"pinpoint/internal/forwarding"
+	"pinpoint/internal/ident"
 	"pinpoint/internal/ipmap"
 	"pinpoint/internal/timeseries"
 )
@@ -70,6 +71,12 @@ type Aggregator struct {
 	cfg   Config
 	table *ipmap.Table
 
+	// reg + cache, when set via UseRegistry, short-circuit the per-alarm
+	// radix-trie walk: alarm addresses were interned during extraction, so
+	// AddrID→ASN resolves through a dense memo after the first lookup.
+	reg   *ident.Registry
+	cache *ipmap.Cache
+
 	delaySeries map[ipmap.ASN]*timeseries.Series
 	fwdSeries   map[ipmap.ASN]*timeseries.Series
 
@@ -90,6 +97,27 @@ func NewAggregator(cfg Config, table *ipmap.Table) *Aggregator {
 
 // Config returns the effective configuration.
 func (a *Aggregator) Config() Config { return a.cfg }
+
+// UseRegistry attaches the pipeline's identity layer: subsequent IP→AS
+// resolutions are memoized per interned AddrID (one trie walk per distinct
+// address ever, instead of one per alarm). core.New wires this up; callers
+// constructing a bare Aggregator may skip it and keep the direct path.
+func (a *Aggregator) UseRegistry(reg *ident.Registry) {
+	a.reg = reg
+	a.cache = ipmap.NewCache(a.table)
+}
+
+// lookupASN resolves an address to its AS, through the ID-memoized cache
+// when a registry is attached (falling back to the trie for addresses the
+// pipeline never interned).
+func (a *Aggregator) lookupASN(addr netip.Addr) (ipmap.ASN, bool) {
+	if a.reg != nil {
+		if id, ok := a.reg.LookupAddr(addr); ok {
+			return a.cache.Lookup(uint32(id), addr)
+		}
+	}
+	return a.table.Lookup(addr)
+}
 
 // ObserveBin tells the aggregator that analysis covered the bin containing
 // t, whether or not any alarm fired. Magnitude windows extend back to the
@@ -136,7 +164,7 @@ func (a *Aggregator) AddForwardingAlarm(al forwarding.Alarm) {
 		if h.Hop == forwarding.Unresponsive || !h.Hop.IsValid() {
 			continue
 		}
-		asn, ok := a.table.Lookup(h.Hop)
+		asn, ok := a.lookupASN(h.Hop)
 		if !ok {
 			continue
 		}
@@ -147,7 +175,7 @@ func (a *Aggregator) AddForwardingAlarm(al forwarding.Alarm) {
 func (a *Aggregator) asnsOf(addrs ...netip.Addr) []ipmap.ASN {
 	var out []ipmap.ASN
 	for _, addr := range addrs {
-		asn, ok := a.table.Lookup(addr)
+		asn, ok := a.lookupASN(addr)
 		if !ok {
 			continue
 		}

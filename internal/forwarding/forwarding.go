@@ -5,14 +5,24 @@
 // into a reference (Eq 8), flags bins whose pattern anti-correlates with the
 // reference (ρ(F, F̄) < τ, §5.2.1), and attributes the change to individual
 // next hops with the responsibility metric rᵢ (Eq 9, §5.2.2).
+//
+// Like the delay detector, the hot path flows interned IDs: extraction
+// interns routers, destinations and next hops through ident.Registry and
+// emits contributions tagged with a dense FlowID; the detector keeps
+// columnar per-flow state (current pattern and smoothed reference as small
+// (AddrID, count) vectors) in flat slices indexed by that ID, reusing the
+// buffers across bins. Addresses reappear only at bin close, where flows
+// are evaluated in reverse-resolved (Router, Dst) order so alarms are
+// bit-identical to the pre-ID implementation.
 package forwarding
 
 import (
 	"math"
 	"net/netip"
-	"sort"
+	"slices"
 	"time"
 
+	"pinpoint/internal/ident"
 	"pinpoint/internal/stats"
 	"pinpoint/internal/timeseries"
 	"pinpoint/internal/trace"
@@ -20,7 +30,8 @@ import (
 
 // Unresponsive is the pseudo next-hop address bucketing packets that got no
 // reply beyond a router (the "Z" node of Fig 4). The zero netip.Addr is
-// never a real responder, so the bucket cannot collide.
+// never a real responder, so the bucket cannot collide; it interns to
+// ident.ZeroAddr.
 var Unresponsive = netip.Addr{}
 
 // Config parameterizes the detector. NewDetector fills zero fields with the
@@ -35,6 +46,12 @@ type Config struct {
 	// needs in a bin to be evaluated; tiny vectors make Pearson meaningless.
 	// The paper does not state a value; default 9 (three traceroutes).
 	MinPackets int
+
+	// Registry is the identity layer the detector interns flows through.
+	// Leave nil for a private registry (the standalone sequential path);
+	// the sharded engine injects its shared registry here so the FlowIDs
+	// on routed contributions resolve in every shard.
+	Registry *ident.Registry
 
 	// Observer, when non-nil, receives every evaluated pattern (anomalous
 	// or not); experiment harnesses use it for Fig 13's per-AS series.
@@ -53,6 +70,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MinPackets == 0 {
 		c.MinPackets = 9
+	}
+	if c.Registry == nil {
+		c.Registry = ident.NewRegistry()
 	}
 	return c
 }
@@ -108,56 +128,88 @@ type Observation struct {
 	Packets   float64
 }
 
-// pattern is a next-hop packet-count vector.
-type pattern map[netip.Addr]float64
+// hopCount is one component of a columnar next-hop packet-count vector.
+type hopCount struct {
+	hop ident.AddrID
+	v   float64
+}
 
-// Contribution is one extracted packet observation: W packets crossing
-// Flow.Router toward Flow.Dst went to next hop Hop (Unresponsive for lost
-// packets). Touch marks a router observed with no attributable packets this
-// result — it still instantiates the flow's pattern, exactly as the inline
-// ingest always did, so reference seeding is unchanged. Contributions are
-// the unit of work the sharded engine routes to the shard owning the router.
+// Contribution is one extracted packet observation: W packets crossing the
+// flow's router toward its destination went to next hop Hop
+// (ident.ZeroAddr for lost packets). Touch marks a router observed with no
+// attributable packets this result — it still instantiates the flow's
+// pattern, exactly as the inline ingest always did, so reference seeding is
+// unchanged. The flow is carried as an interned FlowID and the router as a
+// RouterID; the sharded engine hashes the RouterID to pick the shard owning
+// the router, so all flows of one router stay colocated.
 type Contribution struct {
-	Flow  FlowKey
-	Hop   netip.Addr
-	W     float64
-	Touch bool
+	Flow   ident.FlowID
+	Router ident.RouterID
+	Hop    ident.AddrID
+	W      float64
+	Touch  bool
 }
 
 // ExtractContributions decomposes one result into next-hop contributions
 // (§5.1): for every responsive hop it records where the following hop's
 // packets went — to a responsive next hop or into the unresponsive bucket.
 // ECMP-split near hops contribute to each responder's model with weight
-// 1/len(responders) so far-hop packets are not double counted. Extraction is
-// pure: it reads only the result, so it can run on any goroutine while
-// detector state stays shard-local.
-func ExtractContributions(r trace.Result, fn func(Contribution)) {
-	for _, pair := range r.AdjacentPairs() {
-		routers := pair.Near.Responders()
+// 1/len(responders) so far-hop packets are not double counted. Extraction
+// interns addresses, routers and flows through the caller's Interner
+// (lock-free single-owner memo over the shared registry) and emits
+// ID-tagged contributions; it owns no other state, so each extracting
+// goroutine runs with its own Interner while detector state stays
+// shard-local.
+func ExtractContributions(in *ident.Interner, r trace.Result, fn func(Contribution)) {
+	var dstID ident.AddrID
+	haveDst := false
+	for hi := 0; hi+1 < len(r.Hops); hi++ {
+		near, far := &r.Hops[hi], &r.Hops[hi+1]
+		if far.Index != near.Index+1 {
+			continue
+		}
+		var rbuf [8]netip.Addr
+		routers := near.AppendResponders(rbuf[:0])
 		if len(routers) == 0 {
 			continue
 		}
+		if !haveDst {
+			dstID = in.Addr(r.Dst)
+			haveDst = true
+		}
 		w := 1.0 / float64(len(routers))
 		for _, router := range routers {
-			key := FlowKey{Router: router, Dst: r.Dst}
+			routerAddr := in.Addr(router)
+			flow := in.Flow(routerAddr, dstID)
+			routerID := in.Router(routerAddr)
 			emitted := false
-			for _, rep := range pair.Far.Replies {
+			for _, rep := range far.Replies {
 				if rep.Timeout || !rep.From.IsValid() {
-					fn(Contribution{Flow: key, Hop: Unresponsive, W: w})
+					fn(Contribution{Flow: flow, Router: routerID, Hop: ident.ZeroAddr, W: w})
 					emitted = true
 					continue
 				}
 				if rep.From == router {
 					continue // self-loop artifact
 				}
-				fn(Contribution{Flow: key, Hop: rep.From, W: w})
+				fn(Contribution{Flow: flow, Router: routerID, Hop: in.Addr(rep.From), W: w})
 				emitted = true
 			}
 			if !emitted {
-				fn(Contribution{Flow: key, Touch: true})
+				fn(Contribution{Flow: flow, Router: routerID, Touch: true})
 			}
 		}
 	}
+}
+
+// flowState is the columnar per-flow record, indexed by ident.FlowID. The
+// cur vector is truncated (capacity kept) when a new bin first touches the
+// flow; ref is the smoothed reference, nil until seeded.
+type flowState struct {
+	epoch  uint32
+	cur    []hopCount // this bin's pattern
+	hasRef bool
+	ref    []hopCount // smoothed reference (Eq 8)
 }
 
 // Detector is the streaming forwarding-anomaly detector. Feed
@@ -165,24 +217,63 @@ func ExtractContributions(r trace.Result, fn func(Contribution)) {
 // returned when the stream crosses into the next bin (and by Flush).
 // Detector is not safe for concurrent use.
 type Detector struct {
-	cfg Config
+	cfg    Config
+	reg    *ident.Registry
+	intern *ident.Interner
 
 	curBin  time.Time
 	haveBin bool
-	cur     map[FlowKey]pattern
-	refs    map[FlowKey]pattern
-	seen    map[netip.Addr]struct{} // distinct router addresses modeled
+	epoch   uint32
+
+	// Columnar state. FlowIDs are global to the registry while a sharded
+	// detector owns only ~1/W of the flows, so a dense per-detector slot
+	// table (slotOf: FlowID → index into flows, −1 when unowned) keeps the
+	// flowState records scaled to the flows this detector actually
+	// ingests.
+	slotOf  []int32
+	flows   []flowState
+	touched []ident.FlowID // flows with contributions in the open bin
+
+	routerSeen  []bool // indexed by ident.RouterID
+	routersSeen int
+
+	// Reference statistics, maintained incrementally: reference hops are
+	// only ever added (absent hops decay toward zero but stay), so the
+	// counters never need a rescan.
+	refModels   int
+	refNextHops int
 
 	sink func(Contribution) // bound once; avoids a closure alloc per result
+
+	// Bin-close scratch, reused across bins.
+	keyBuf   []flowAt
+	unionBuf []unionHop
+	fBuf     []float64
+	fbarBuf  []float64
+}
+
+// flowAt pairs a touched FlowID with its reverse-resolved addresses for the
+// deterministic close order.
+type flowAt struct {
+	id          ident.FlowID
+	router, dst netip.Addr
+}
+
+// unionHop is one next hop in the union of a bin's pattern and reference,
+// resolved for the address-ordered Pearson vectors.
+type unionHop struct {
+	addr    netip.Addr
+	f, fbar float64
 }
 
 // NewDetector returns a Detector with the given configuration.
 func NewDetector(cfg Config) *Detector {
+	cfg = cfg.withDefaults()
 	d := &Detector{
-		cfg:  cfg.withDefaults(),
-		cur:  make(map[FlowKey]pattern),
-		refs: make(map[FlowKey]pattern),
-		seen: make(map[netip.Addr]struct{}),
+		cfg:    cfg,
+		reg:    cfg.Registry,
+		intern: ident.NewInterner(cfg.Registry),
+		epoch:  1,
 	}
 	d.sink = d.IngestContribution
 	return d
@@ -191,9 +282,12 @@ func NewDetector(cfg Config) *Detector {
 // Config returns the effective (default-filled) configuration.
 func (d *Detector) Config() Config { return d.cfg }
 
+// Registry returns the identity registry the detector interns through.
+func (d *Detector) Registry() *ident.Registry { return d.reg }
+
 // RoutersSeen returns how many distinct router addresses have forwarding
 // models — the paper's "packet forwarding models for 170k IPv4 router IPs".
-func (d *Detector) RoutersSeen() int { return len(d.seen) }
+func (d *Detector) RoutersSeen() int { return d.routersSeen }
 
 // AvgNextHops returns the mean number of responsive next hops across all
 // references — the paper's "on average forwarding models contain four
@@ -210,26 +304,20 @@ func (d *Detector) AvgNextHops() float64 {
 // models exist and their total responsive next hops — so the sharded engine
 // can average across shard-local detectors.
 func (d *Detector) RefStats() (models, nextHops int) {
-	for _, ref := range d.refs {
-		for a := range ref {
-			if a != Unresponsive {
-				nextHops++
-			}
-		}
-	}
-	return len(d.refs), nextHops
+	return d.refModels, d.refNextHops
 }
 
 // ReferenceFor returns a copy of the current reference pattern, for tests
 // and diagnostics. ok is false when the flow has no reference yet.
 func (d *Detector) ReferenceFor(k FlowKey) (map[netip.Addr]float64, bool) {
-	ref, ok := d.refs[k]
-	if !ok {
+	id, ok := d.reg.LookupFlow(k.Router, k.Dst)
+	if !ok || int(id) >= len(d.slotOf) || d.slotOf[id] < 0 || !d.flows[d.slotOf[id]].hasRef {
 		return nil, false
 	}
+	ref := d.flows[d.slotOf[id]].ref
 	out := make(map[netip.Addr]float64, len(ref))
-	for a, v := range ref {
-		out[a] = v
+	for _, h := range ref {
+		out[d.reg.AddrOf(h.hop)] = h.v
 	}
 	return out, true
 }
@@ -263,7 +351,7 @@ func (d *Detector) Flush() []Alarm {
 // ingest extracts next-hop contributions (§5.1) and folds them into the
 // open bin.
 func (d *Detector) ingest(r trace.Result) {
-	ExtractContributions(r, d.sink)
+	ExtractContributions(d.intern, r, d.sink)
 }
 
 // BeginBin opens (or asserts) the bin the next IngestContribution calls
@@ -279,59 +367,89 @@ func (d *Detector) BeginBin(bin time.Time) {
 
 // IngestContribution folds one extracted contribution into the open bin.
 // Together with BeginBin and Flush it forms the shard-scoped API: an engine
-// shard feeds only the contributions whose router hashes to it.
+// shard feeds only the contributions whose router hashes to it. In steady
+// state this is one epoch check plus a scan of the flow's few next-hop
+// slots — no map, no alloc.
 func (d *Detector) IngestContribution(c Contribution) {
-	pat := d.cur[c.Flow]
-	if pat == nil {
-		pat = make(pattern)
-		d.cur[c.Flow] = pat
-		d.seen[c.Flow.Router] = struct{}{}
+	fi := int(c.Flow)
+	if fi >= len(d.slotOf) {
+		d.slotOf = ident.GrowTable(d.slotOf, fi+1, -1)
+	}
+	si := d.slotOf[fi]
+	if si < 0 {
+		si = int32(len(d.flows))
+		d.slotOf[fi] = si
+		d.flows = append(d.flows, flowState{})
+	}
+	fs := &d.flows[si]
+	if fs.epoch != d.epoch {
+		fs.epoch = d.epoch
+		fs.cur = fs.cur[:0]
+		d.touched = append(d.touched, c.Flow)
+		ri := int(c.Router)
+		if ri >= len(d.routerSeen) {
+			d.routerSeen = ident.GrowTable(d.routerSeen, ri+1, false)
+		}
+		if !d.routerSeen[ri] {
+			d.routerSeen[ri] = true
+			d.routersSeen++
+		}
 	}
 	if c.Touch {
 		return
 	}
-	pat[c.Hop] += c.W
+	for i := range fs.cur {
+		if fs.cur[i].hop == c.Hop {
+			fs.cur[i].v += c.W
+			return
+		}
+	}
+	fs.cur = append(fs.cur, hopCount{hop: c.Hop, v: c.W})
 }
 
 // closeBin evaluates every pattern of the bin against its reference and
 // then folds the bin into the reference (Eq 8).
 func (d *Detector) closeBin() []Alarm {
 	var alarms []Alarm
-	keys := make([]FlowKey, 0, len(d.cur))
-	for k := range d.cur {
-		keys = append(keys, k)
+	// Deterministic iteration: resolve every touched FlowID back to its
+	// (router, dst) addresses and sort by them — the pre-ID emission order
+	// the downstream single-writer aggregation depends on.
+	keys := d.keyBuf[:0]
+	for _, id := range d.touched {
+		router, dst := d.reg.FlowAddrsOf(id)
+		keys = append(keys, flowAt{id: id, router: router, dst: dst})
 	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].Router != keys[j].Router {
-			return keys[i].Router.Less(keys[j].Router)
+	slices.SortFunc(keys, func(a, b flowAt) int {
+		if c := a.router.Compare(b.router); c != 0 {
+			return c
 		}
-		return keys[i].Dst.Less(keys[j].Dst)
+		return a.dst.Compare(b.dst)
 	})
 
-	for _, key := range keys {
-		cur := d.cur[key]
-		ref, hasRef := d.refs[key]
+	for _, fk := range keys {
+		fs := &d.flows[d.slotOf[fk.id]]
+		cur := fs.cur
 
 		total := 0.0
-		for _, v := range cur {
-			total += v
+		for _, h := range cur {
+			total += h.v
 		}
 
-		if hasRef && total >= float64(d.cfg.MinPackets) {
-			rho, scores := Compare(cur, ref)
+		if fs.hasRef && total >= float64(d.cfg.MinPackets) {
+			rho, scores := d.compare(cur, fs.ref)
 			anomalous := !math.IsNaN(rho) && rho < d.cfg.Tau
 			if anomalous {
 				alarms = append(alarms, Alarm{
 					Bin:    d.curBin,
-					Router: key.Router,
-					Dst:    key.Dst,
+					Router: fk.router,
+					Dst:    fk.dst,
 					Rho:    rho,
 					Hops:   scores,
 				})
 			}
 			if d.cfg.Observer != nil {
 				d.cfg.Observer(Observation{
-					Bin: d.curBin, Router: key.Router, Dst: key.Dst,
+					Bin: d.curBin, Router: fk.router, Dst: fk.dst,
 					Rho: rho, Anomalous: anomalous, Packets: total,
 				})
 			}
@@ -340,65 +458,137 @@ func (d *Detector) closeBin() []Alarm {
 		// Reference update (Eq 8): F̄ ← αF + (1−α)F̄ over the union of next
 		// hops; hops unseen this bin decay, hops seen for the first time
 		// enter from zero. The first bin seeds the reference directly.
-		if !hasRef {
-			ref = make(pattern, len(cur))
-			for a, v := range cur {
-				ref[a] = v
+		if !fs.hasRef {
+			fs.ref = append(fs.ref[:0], cur...)
+			fs.hasRef = true
+			d.refModels++
+			for _, h := range cur {
+				if h.hop != ident.ZeroAddr {
+					d.refNextHops++
+				}
 			}
-			d.refs[key] = ref
 			continue
 		}
-		for a := range cur {
-			if _, ok := ref[a]; !ok {
-				ref[a] = 0
+		for _, h := range cur {
+			found := false
+			for i := range fs.ref {
+				if fs.ref[i].hop == h.hop {
+					found = true
+					break
+				}
+			}
+			if !found {
+				fs.ref = append(fs.ref, hopCount{hop: h.hop})
+				if h.hop != ident.ZeroAddr {
+					d.refNextHops++
+				}
 			}
 		}
-		for a := range ref {
-			ref[a] = d.cfg.Alpha*cur[a] + (1-d.cfg.Alpha)*ref[a]
+		for i := range fs.ref {
+			cv := 0.0
+			for _, h := range cur {
+				if h.hop == fs.ref[i].hop {
+					cv = h.v
+					break
+				}
+			}
+			fs.ref[i].v = d.cfg.Alpha*cv + (1-d.cfg.Alpha)*fs.ref[i].v
 		}
 	}
 
-	d.cur = make(map[FlowKey]pattern)
+	d.keyBuf = keys[:0]
+	d.touched = d.touched[:0]
+	d.epoch++
 	return alarms
+}
+
+// scoreUnion is the single implementation of the §5.2 arithmetic, shared
+// by the columnar hot path and the exported Compare: it sorts the union by
+// address, fills the Pearson vectors in that order (into the provided
+// scratch, which may be nil), and returns ρ and the Σ|Fᵢ−F̄ᵢ| normalizer
+// of Eq 9.
+func scoreUnion(union []unionHop, f, fbar []float64) (rho, absDiff float64, fOut, fbarOut []float64) {
+	slices.SortFunc(union, func(a, b unionHop) int { return a.addr.Compare(b.addr) })
+	f, fbar = f[:0:cap(f)], fbar[:0:cap(fbar)]
+	for _, u := range union {
+		f = append(f, u.f)
+		fbar = append(fbar, u.fbar)
+		absDiff += math.Abs(u.f - u.fbar)
+	}
+	return stats.Pearson(f, fbar), absDiff, f, fbar
+}
+
+// unionScores materializes the per-hop responsibility scores rᵢ (Eq 9)
+// over an address-sorted union.
+func unionScores(union []unionHop, rho, absDiff float64) []HopScore {
+	scores := make([]HopScore, len(union))
+	for i, u := range union {
+		r := 0.0
+		if absDiff > 0 && !math.IsNaN(rho) {
+			r = -rho * (u.f - u.fbar) / absDiff
+		}
+		scores[i] = HopScore{Hop: u.addr, Responsibility: r, Count: u.f, RefCount: u.fbar}
+	}
+	return scores
+}
+
+// compare evaluates one columnar pattern against its reference: the union
+// of next hops is resolved into the reusable scratch and handed to the
+// shared scoreUnion/unionScores core. Scores are only materialized when
+// the pattern is anomalous (the exported Compare keeps returning them
+// unconditionally for the Fig 4 worked example).
+func (d *Detector) compare(cur, ref []hopCount) (rho float64, scores []HopScore) {
+	union := d.unionBuf[:0]
+	for _, h := range cur {
+		union = append(union, unionHop{addr: d.reg.AddrOf(h.hop), f: h.v})
+	}
+	for _, h := range ref {
+		a := d.reg.AddrOf(h.hop)
+		found := false
+		for i := range union {
+			if union[i].addr == a {
+				union[i].fbar = h.v
+				found = true
+				break
+			}
+		}
+		if !found {
+			union = append(union, unionHop{addr: a, fbar: h.v})
+		}
+	}
+	rho, absDiff, f, fbar := scoreUnion(union, d.fBuf, d.fbarBuf)
+	if !math.IsNaN(rho) && rho < d.cfg.Tau {
+		scores = unionScores(union, rho, absDiff)
+	}
+	d.unionBuf = union[:0]
+	d.fBuf = f[:0]
+	d.fbarBuf = fbar[:0]
+	return rho, scores
 }
 
 // Compare computes ρ(F, F̄) over the union of next hops and the per-hop
 // responsibility scores rᵢ (Eq 9). It is exported so the Fig 4 worked
-// example and the event aggregation can reuse the exact arithmetic.
+// example and the event aggregation can reuse the exact arithmetic; it
+// shares scoreUnion/unionScores with the detector's hot path, so the two
+// cannot drift.
 func Compare(cur, ref map[netip.Addr]float64) (rho float64, scores []HopScore) {
-	addrs := make([]netip.Addr, 0, len(cur)+len(ref))
-	seen := make(map[netip.Addr]struct{}, len(cur)+len(ref))
-	for a := range cur {
-		if _, ok := seen[a]; !ok {
-			seen[a] = struct{}{}
-			addrs = append(addrs, a)
+	union := make([]unionHop, 0, len(cur)+len(ref))
+	for a, v := range cur {
+		union = append(union, unionHop{addr: a, f: v})
+	}
+	for a, v := range ref {
+		found := false
+		for i := range union {
+			if union[i].addr == a {
+				union[i].fbar = v
+				found = true
+				break
+			}
+		}
+		if !found {
+			union = append(union, unionHop{addr: a, fbar: v})
 		}
 	}
-	for a := range ref {
-		if _, ok := seen[a]; !ok {
-			seen[a] = struct{}{}
-			addrs = append(addrs, a)
-		}
-	}
-	sort.Slice(addrs, func(i, j int) bool { return addrs[i].Less(addrs[j]) })
-
-	f := make([]float64, len(addrs))
-	fbar := make([]float64, len(addrs))
-	var absDiff float64
-	for i, a := range addrs {
-		f[i] = cur[a]
-		fbar[i] = ref[a]
-		absDiff += math.Abs(f[i] - fbar[i])
-	}
-	rho = stats.Pearson(f, fbar)
-
-	scores = make([]HopScore, len(addrs))
-	for i, a := range addrs {
-		r := 0.0
-		if absDiff > 0 && !math.IsNaN(rho) {
-			r = -rho * (f[i] - fbar[i]) / absDiff
-		}
-		scores[i] = HopScore{Hop: a, Responsibility: r, Count: f[i], RefCount: fbar[i]}
-	}
-	return rho, scores
+	rho, absDiff, _, _ := scoreUnion(union, nil, nil)
+	return rho, unionScores(union, rho, absDiff)
 }

@@ -1,0 +1,391 @@
+// Package ident is the pipeline's interned identity layer: it maps the
+// entities the detectors key their state on — IP addresses, IP-level links
+// (ordered address pairs, §4), router addresses (§5) and forwarding flows
+// (router, destination pairs, §5.1) — to small dense integer IDs, with
+// reverse lookup for reporting.
+//
+// Interning moves every expensive comparison off the hot path: a
+// netip.Addr is hashed and compared once, at first sight, and from then on
+// the sample flows through extraction, shard routing and detector
+// aggregation as a uint32. Dense IDs also let the detectors replace their
+// per-key maps with slice-indexed columnar state (see internal/delay and
+// internal/forwarding), which is what makes steady-state ingestion
+// allocation-free.
+//
+// A Registry is safe for concurrent use: interning the same entity from
+// any number of goroutines returns the same ID, and reverse lookups may
+// run concurrently with interning. IDs are assigned in first-seen order,
+// so two runs over the same chronological stream produce identical IDs —
+// but nothing downstream depends on that: emission order is always
+// restored by sorting on reverse-resolved keys.
+package ident
+
+import (
+	"net/netip"
+	"sync"
+
+	"pinpoint/internal/trace"
+)
+
+// AddrID is a dense identifier for an interned IP address. The zero AddrID
+// is reserved for the zero (invalid) netip.Addr, so it can double as the
+// forwarding detector's "unresponsive" bucket.
+type AddrID uint32
+
+// ZeroAddr is the AddrID of the zero netip.Addr, reserved at registry
+// construction. forwarding.Unresponsive interns to exactly this ID.
+const ZeroAddr AddrID = 0
+
+// LinkID is a dense identifier for an interned IP-level link — an ordered
+// (near, far) address pair, the unit of the §4 delay analysis.
+type LinkID uint32
+
+// FlowID is a dense identifier for an interned forwarding flow — a
+// (router, destination) address pair, the unit of the §5 analysis.
+type FlowID uint32
+
+// RouterID is a dense identifier for an interned router address. Routers
+// get their own ID space (denser than AddrID) because the engine shards
+// forwarding state per router and the detector tracks per-router facts.
+type RouterID uint32
+
+// pairKey packs two 32-bit IDs into one map key; pair interning therefore
+// hashes 8 bytes instead of two 24-byte netip.Addrs.
+type pairKey uint64
+
+func mkPair(a, b AddrID) pairKey { return pairKey(a)<<32 | pairKey(b) }
+
+// Registry is the concurrent-safe interning table. The zero value is not
+// usable; construct with NewRegistry.
+type Registry struct {
+	mu sync.RWMutex
+
+	addrIDs map[netip.Addr]AddrID
+	addrs   []netip.Addr
+
+	linkIDs map[pairKey]LinkID
+	links   []pairKey
+
+	flowIDs map[pairKey]FlowID
+	flows   []pairKey
+
+	routerIDs map[AddrID]RouterID
+	routers   []AddrID
+}
+
+// NewRegistry returns an empty registry with the zero address pre-interned
+// as ZeroAddr.
+func NewRegistry() *Registry {
+	g := &Registry{
+		addrIDs:   make(map[netip.Addr]AddrID),
+		linkIDs:   make(map[pairKey]LinkID),
+		flowIDs:   make(map[pairKey]FlowID),
+		routerIDs: make(map[AddrID]RouterID),
+	}
+	g.addrIDs[netip.Addr{}] = ZeroAddr
+	g.addrs = append(g.addrs, netip.Addr{})
+	return g
+}
+
+// Addr interns an address, returning its stable dense ID.
+func (g *Registry) Addr(a netip.Addr) AddrID {
+	g.mu.RLock()
+	id, ok := g.addrIDs[a]
+	g.mu.RUnlock()
+	if ok {
+		return id
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if id, ok := g.addrIDs[a]; ok {
+		return id
+	}
+	id = AddrID(len(g.addrs))
+	g.addrIDs[a] = id
+	g.addrs = append(g.addrs, a)
+	return id
+}
+
+// LookupAddr returns the ID of an already-interned address without
+// interning it; ok is false when the address has never been seen.
+func (g *Registry) LookupAddr(a netip.Addr) (AddrID, bool) {
+	g.mu.RLock()
+	id, ok := g.addrIDs[a]
+	g.mu.RUnlock()
+	return id, ok
+}
+
+// AddrOf resolves an ID back to its address. It panics on IDs the registry
+// never issued, like a slice index out of range would.
+func (g *Registry) AddrOf(id AddrID) netip.Addr {
+	g.mu.RLock()
+	a := g.addrs[id]
+	g.mu.RUnlock()
+	return a
+}
+
+// Link interns the ordered address pair (near, far).
+func (g *Registry) Link(near, far AddrID) LinkID {
+	k := mkPair(near, far)
+	g.mu.RLock()
+	id, ok := g.linkIDs[k]
+	g.mu.RUnlock()
+	if ok {
+		return id
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if id, ok := g.linkIDs[k]; ok {
+		return id
+	}
+	id = LinkID(len(g.links))
+	g.linkIDs[k] = id
+	g.links = append(g.links, k)
+	return id
+}
+
+// LinkOf resolves a link ID to its endpoint address IDs.
+func (g *Registry) LinkOf(id LinkID) (near, far AddrID) {
+	g.mu.RLock()
+	k := g.links[id]
+	g.mu.RUnlock()
+	return AddrID(k >> 32), AddrID(k & 0xffffffff)
+}
+
+// LinkKeyOf resolves a link ID to the trace.LinkKey reports carry.
+func (g *Registry) LinkKeyOf(id LinkID) trace.LinkKey {
+	g.mu.RLock()
+	k := g.links[id]
+	near := g.addrs[AddrID(k>>32)]
+	far := g.addrs[AddrID(k&0xffffffff)]
+	g.mu.RUnlock()
+	return trace.LinkKey{Near: near, Far: far}
+}
+
+// LookupLink returns the ID of an already-interned link without interning;
+// ok is false when either endpoint or the pair is unknown.
+func (g *Registry) LookupLink(key trace.LinkKey) (LinkID, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	near, ok := g.addrIDs[key.Near]
+	if !ok {
+		return 0, false
+	}
+	far, ok := g.addrIDs[key.Far]
+	if !ok {
+		return 0, false
+	}
+	id, ok := g.linkIDs[mkPair(near, far)]
+	return id, ok
+}
+
+// Flow interns the (router, destination) pair of one forwarding pattern.
+func (g *Registry) Flow(router, dst AddrID) FlowID {
+	k := mkPair(router, dst)
+	g.mu.RLock()
+	id, ok := g.flowIDs[k]
+	g.mu.RUnlock()
+	if ok {
+		return id
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if id, ok := g.flowIDs[k]; ok {
+		return id
+	}
+	id = FlowID(len(g.flows))
+	g.flowIDs[k] = id
+	g.flows = append(g.flows, k)
+	return id
+}
+
+// FlowOf resolves a flow ID to its (router, destination) address IDs.
+func (g *Registry) FlowOf(id FlowID) (router, dst AddrID) {
+	g.mu.RLock()
+	k := g.flows[id]
+	g.mu.RUnlock()
+	return AddrID(k >> 32), AddrID(k & 0xffffffff)
+}
+
+// FlowAddrsOf resolves a flow ID to the (router, destination) addresses.
+func (g *Registry) FlowAddrsOf(id FlowID) (router, dst netip.Addr) {
+	g.mu.RLock()
+	k := g.flows[id]
+	router = g.addrs[AddrID(k>>32)]
+	dst = g.addrs[AddrID(k&0xffffffff)]
+	g.mu.RUnlock()
+	return router, dst
+}
+
+// LookupFlow returns the ID of an already-interned flow without interning.
+func (g *Registry) LookupFlow(router, dst netip.Addr) (FlowID, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	r, ok := g.addrIDs[router]
+	if !ok {
+		return 0, false
+	}
+	d, ok := g.addrIDs[dst]
+	if !ok {
+		return 0, false
+	}
+	id, ok := g.flowIDs[mkPair(r, d)]
+	return id, ok
+}
+
+// Router interns an address into the router ID space.
+func (g *Registry) Router(a AddrID) RouterID {
+	g.mu.RLock()
+	id, ok := g.routerIDs[a]
+	g.mu.RUnlock()
+	if ok {
+		return id
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if id, ok := g.routerIDs[a]; ok {
+		return id
+	}
+	id = RouterID(len(g.routers))
+	g.routerIDs[a] = id
+	g.routers = append(g.routers, a)
+	return id
+}
+
+// RouterAddrOf resolves a router ID back to its address ID.
+func (g *Registry) RouterAddrOf(id RouterID) AddrID {
+	g.mu.RLock()
+	a := g.routers[id]
+	g.mu.RUnlock()
+	return a
+}
+
+// GrowTable extends a dense ID-indexed side table to n entries, filling
+// the new entries with fill. Capacity doubles (with a small floor) so
+// repeated one-ID extensions amortize to O(1); both detectors size their
+// columnar slot tables with it.
+func GrowTable[T any](s []T, n int, fill T) []T {
+	if c := cap(s); n > c {
+		if 2*c > n {
+			n = 2 * c
+		}
+		if n < 64 {
+			n = 64
+		}
+		grown := make([]T, len(s), n)
+		copy(grown, s)
+		s = grown
+	}
+	for len(s) < n {
+		s = append(s, fill)
+	}
+	return s
+}
+
+// Interner is a single-goroutine memo in front of a shared Registry. The
+// extraction hot path interns every address of every reply; paying two
+// atomic operations per lookup (the registry's RWMutex fast path) costs
+// more than the map hit itself. An Interner gives the owning goroutine
+// plain non-atomic map hits and falls through to the locked registry only
+// on first sight of an entity, so steady-state interning is lock-free
+// while the registry stays safe for every other goroutine.
+//
+// An Interner is NOT safe for concurrent use; create one per extracting
+// goroutine over the same Registry. IDs are identical across interners by
+// construction (the registry assigns them).
+type Interner struct {
+	reg     *Registry
+	addrs   map[netip.Addr]AddrID
+	links   map[pairKey]LinkID
+	flows   map[pairKey]FlowID
+	routers map[AddrID]RouterID
+}
+
+// NewInterner returns an empty memo over reg.
+func NewInterner(reg *Registry) *Interner {
+	return &Interner{
+		reg:     reg,
+		addrs:   map[netip.Addr]AddrID{{}: ZeroAddr},
+		links:   make(map[pairKey]LinkID),
+		flows:   make(map[pairKey]FlowID),
+		routers: make(map[AddrID]RouterID),
+	}
+}
+
+// Registry returns the shared registry behind the memo.
+func (in *Interner) Registry() *Registry { return in.reg }
+
+// Addr interns an address through the memo.
+func (in *Interner) Addr(a netip.Addr) AddrID {
+	if id, ok := in.addrs[a]; ok {
+		return id
+	}
+	id := in.reg.Addr(a)
+	in.addrs[a] = id
+	return id
+}
+
+// Link interns the ordered address pair (near, far) through the memo.
+func (in *Interner) Link(near, far AddrID) LinkID {
+	k := mkPair(near, far)
+	if id, ok := in.links[k]; ok {
+		return id
+	}
+	id := in.reg.Link(near, far)
+	in.links[k] = id
+	return id
+}
+
+// Flow interns the (router, destination) pair through the memo.
+func (in *Interner) Flow(router, dst AddrID) FlowID {
+	k := mkPair(router, dst)
+	if id, ok := in.flows[k]; ok {
+		return id
+	}
+	id := in.reg.Flow(router, dst)
+	in.flows[k] = id
+	return id
+}
+
+// Router interns an address into the router ID space through the memo.
+func (in *Interner) Router(a AddrID) RouterID {
+	if id, ok := in.routers[a]; ok {
+		return id
+	}
+	id := in.reg.Router(a)
+	in.routers[a] = id
+	return id
+}
+
+// Addrs returns how many addresses have been interned (including the
+// reserved zero address).
+func (g *Registry) Addrs() int {
+	g.mu.RLock()
+	n := len(g.addrs)
+	g.mu.RUnlock()
+	return n
+}
+
+// Links returns how many links have been interned.
+func (g *Registry) Links() int {
+	g.mu.RLock()
+	n := len(g.links)
+	g.mu.RUnlock()
+	return n
+}
+
+// Flows returns how many forwarding flows have been interned.
+func (g *Registry) Flows() int {
+	g.mu.RLock()
+	n := len(g.flows)
+	g.mu.RUnlock()
+	return n
+}
+
+// Routers returns how many router addresses have been interned.
+func (g *Registry) Routers() int {
+	g.mu.RLock()
+	n := len(g.routers)
+	g.mu.RUnlock()
+	return n
+}

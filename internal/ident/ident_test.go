@@ -1,0 +1,234 @@
+package ident
+
+import (
+	"fmt"
+	"net/netip"
+	"sync"
+	"testing"
+
+	"pinpoint/internal/trace"
+)
+
+func addr(i int) netip.Addr {
+	return netip.AddrFrom4([4]byte{10, byte(i >> 16), byte(i >> 8), byte(i)})
+}
+
+func TestZeroAddrReserved(t *testing.T) {
+	g := NewRegistry()
+	if got := g.Addr(netip.Addr{}); got != ZeroAddr {
+		t.Fatalf("zero addr interned to %d, want %d", got, ZeroAddr)
+	}
+	if got := g.AddrOf(ZeroAddr); got != (netip.Addr{}) {
+		t.Fatalf("AddrOf(ZeroAddr) = %v, want zero addr", got)
+	}
+	if g.Addrs() != 1 {
+		t.Fatalf("fresh registry Addrs() = %d, want 1 (the reserved zero)", g.Addrs())
+	}
+}
+
+func TestInternRoundTrips(t *testing.T) {
+	g := NewRegistry()
+	a, b := addr(1), addr(2)
+	ida, idb := g.Addr(a), g.Addr(b)
+	if ida == idb {
+		t.Fatal("distinct addresses got the same ID")
+	}
+	if g.Addr(a) != ida || g.Addr(b) != idb {
+		t.Fatal("re-interning changed the ID")
+	}
+	if g.AddrOf(ida) != a || g.AddrOf(idb) != b {
+		t.Fatal("AddrOf does not round-trip")
+	}
+
+	lid := g.Link(ida, idb)
+	if got := g.Link(ida, idb); got != lid {
+		t.Fatal("re-interning link changed the ID")
+	}
+	if rid := g.Link(idb, ida); rid == lid {
+		t.Fatal("reversed link shares the ID of the forward link")
+	}
+	near, far := g.LinkOf(lid)
+	if near != ida || far != idb {
+		t.Fatalf("LinkOf = (%d, %d), want (%d, %d)", near, far, ida, idb)
+	}
+	if key := g.LinkKeyOf(lid); key != (trace.LinkKey{Near: a, Far: b}) {
+		t.Fatalf("LinkKeyOf = %v", key)
+	}
+	if got, ok := g.LookupLink(trace.LinkKey{Near: a, Far: b}); !ok || got != lid {
+		t.Fatalf("LookupLink = %d, %v", got, ok)
+	}
+	if _, ok := g.LookupLink(trace.LinkKey{Near: a, Far: addr(99)}); ok {
+		t.Fatal("LookupLink interned an unknown endpoint")
+	}
+
+	fid := g.Flow(ida, idb)
+	fr, fd := g.FlowOf(fid)
+	if fr != ida || fd != idb {
+		t.Fatalf("FlowOf = (%d, %d)", fr, fd)
+	}
+	if ra, da := g.FlowAddrsOf(fid); ra != a || da != b {
+		t.Fatalf("FlowAddrsOf = (%v, %v)", ra, da)
+	}
+	if got, ok := g.LookupFlow(a, b); !ok || got != fid {
+		t.Fatalf("LookupFlow = %d, %v", got, ok)
+	}
+
+	rid := g.Router(ida)
+	if g.Router(ida) != rid {
+		t.Fatal("re-interning router changed the ID")
+	}
+	if g.RouterAddrOf(rid) != ida {
+		t.Fatal("RouterAddrOf does not round-trip")
+	}
+
+	if g.Addrs() != 3 || g.Links() != 2 || g.Flows() != 1 || g.Routers() != 1 {
+		t.Fatalf("counts = %d/%d/%d/%d", g.Addrs(), g.Links(), g.Flows(), g.Routers())
+	}
+}
+
+func TestLookupAddrDoesNotIntern(t *testing.T) {
+	g := NewRegistry()
+	if _, ok := g.LookupAddr(addr(7)); ok {
+		t.Fatal("LookupAddr hit an address never interned")
+	}
+	if g.Addrs() != 1 {
+		t.Fatal("LookupAddr interned as a side effect")
+	}
+	id := g.Addr(addr(7))
+	if got, ok := g.LookupAddr(addr(7)); !ok || got != id {
+		t.Fatalf("LookupAddr after intern = %d, %v", got, ok)
+	}
+}
+
+// TestConcurrentInterningStableIDs hammers one registry from many
+// goroutines interning overlapping entity sets, then asserts every
+// goroutine observed the same ID for the same entity and that reverse
+// lookup agrees. Run under -race this also proves the synchronization.
+func TestConcurrentInterningStableIDs(t *testing.T) {
+	g := NewRegistry()
+	const workers = 8
+	const n = 500
+
+	type view struct {
+		addrs   [n]AddrID
+		links   [n]LinkID
+		flows   [n]FlowID
+		routers [n]RouterID
+	}
+	views := make([]view, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			v := &views[w]
+			// Interleave orders per worker so insertion races are real.
+			for i := 0; i < n; i++ {
+				k := (i*7 + w*13) % n
+				a := g.Addr(addr(k))
+				b := g.Addr(addr(k + n))
+				v.addrs[k] = a
+				v.links[k] = g.Link(a, b)
+				v.flows[k] = g.Flow(a, b)
+				v.routers[k] = g.Router(a)
+				// Concurrent readers must always see consistent state.
+				if g.AddrOf(a) != addr(k) {
+					t.Errorf("worker %d: AddrOf mismatch for %v", w, addr(k))
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	for w := 1; w < workers; w++ {
+		if views[w] != views[0] {
+			t.Fatalf("worker %d observed different IDs than worker 0", w)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if g.AddrOf(views[0].addrs[i]) != addr(i) {
+			t.Fatalf("reverse lookup of addr %d does not round-trip", i)
+		}
+		near, far := g.LinkOf(views[0].links[i])
+		if near != views[0].addrs[i] || g.AddrOf(far) != addr(i+n) {
+			t.Fatalf("reverse lookup of link %d does not round-trip", i)
+		}
+	}
+	if g.Addrs() != 2*n+1 || g.Links() != n || g.Flows() != n || g.Routers() != n {
+		t.Fatalf("counts = %d/%d/%d/%d", g.Addrs(), g.Links(), g.Flows(), g.Routers())
+	}
+}
+
+// TestInternerMatchesRegistry: the single-owner memo must hand out exactly
+// the registry's IDs, including entities another interner created first.
+func TestInternerMatchesRegistry(t *testing.T) {
+	g := NewRegistry()
+	in1 := NewInterner(g)
+	in2 := NewInterner(g)
+	if in1.Registry() != g {
+		t.Fatal("Registry() does not return the shared registry")
+	}
+	for i := 0; i < 100; i++ {
+		a, b := addr(i), addr(i+100)
+		ida := in1.Addr(a)
+		if in2.Addr(a) != ida || g.Addr(a) != ida {
+			t.Fatalf("interners disagree on addr %d", i)
+		}
+		idb := in2.Addr(b)
+		if in1.Link(ida, idb) != in2.Link(ida, idb) {
+			t.Fatalf("interners disagree on link %d", i)
+		}
+		if in1.Flow(ida, idb) != in2.Flow(ida, idb) {
+			t.Fatalf("interners disagree on flow %d", i)
+		}
+		if in1.Router(ida) != in2.Router(ida) {
+			t.Fatalf("interners disagree on router %d", i)
+		}
+	}
+	// Memo hits must not re-consult the registry's counts.
+	if g.Addrs() != 201 {
+		t.Fatalf("Addrs = %d, want 201", g.Addrs())
+	}
+}
+
+func BenchmarkInternHit(b *testing.B) {
+	g := NewRegistry()
+	a := addr(1)
+	g.Addr(a)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Addr(a)
+	}
+}
+
+func BenchmarkInternerHit(b *testing.B) {
+	g := NewRegistry()
+	in := NewInterner(g)
+	a := addr(1)
+	in.Addr(a)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in.Addr(a)
+	}
+}
+
+func BenchmarkInternMiss(b *testing.B) {
+	g := NewRegistry()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Addr(addr(i))
+	}
+}
+
+func ExampleRegistry() {
+	g := NewRegistry()
+	near := g.Addr(netip.MustParseAddr("192.0.2.1"))
+	far := g.Addr(netip.MustParseAddr("192.0.2.2"))
+	link := g.Link(near, far)
+	fmt.Println(g.LinkKeyOf(link))
+	// Output: 192.0.2.1>192.0.2.2
+}

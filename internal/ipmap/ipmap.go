@@ -12,13 +12,16 @@ import (
 	"fmt"
 	"net/netip"
 	"sort"
+	"strconv"
 )
 
 // ASN is an autonomous system number. Zero means "unknown".
 type ASN uint32
 
-// String renders the conventional "ASxxxx" form.
-func (a ASN) String() string { return fmt.Sprintf("AS%d", uint32(a)) }
+// String renders the conventional "ASxxxx" form. strconv instead of
+// fmt.Sprintf: aggregation summaries and reports format thousands of these
+// and the reflection path allocates several times per call.
+func (a ASN) String() string { return "AS" + strconv.FormatUint(uint64(a), 10) }
 
 type node struct {
 	children [2]*node
@@ -135,6 +138,57 @@ func (t *Table) Entries() []Entry {
 	walk(t.v6, [16]byte{}, 0, false)
 	sort.Slice(out, func(i, j int) bool { return out[i].Prefix.String() < out[j].Prefix.String() })
 	return out
+}
+
+// Cache memoizes Lookup results by a dense uint32 identifier (an
+// ident.AddrID in practice — ipmap stays ident-agnostic so the dependency
+// only points one way). The first lookup for an id walks the radix trie;
+// every later lookup is one slice index. Aggregation resolves the same few
+// alarm addresses every bin, so the trie walk amortizes to zero.
+//
+// The cache assumes id→addr is stable (interned) and the table is no
+// longer mutated — the same contract concurrent Table lookups already
+// require. Cache itself is not safe for concurrent use; the single-writer
+// aggregation stage owns it.
+type Cache struct {
+	table *Table
+	memo  []memoEntry
+}
+
+type memoEntry struct {
+	asn   ASN
+	state uint8 // 0 = unresolved, 1 = hit, 2 = miss
+}
+
+// NewCache returns an empty memoizing cache over the table.
+func NewCache(t *Table) *Cache { return &Cache{table: t} }
+
+// Lookup resolves addr's ASN, memoized under id. The addr is consulted
+// only on the first call for a given id.
+func (c *Cache) Lookup(id uint32, addr netip.Addr) (ASN, bool) {
+	if int(id) < len(c.memo) {
+		switch e := c.memo[id]; e.state {
+		case 1:
+			return e.asn, true
+		case 2:
+			return 0, false
+		}
+	} else {
+		n := int(id) + 1
+		if n < 2*len(c.memo) {
+			n = 2 * len(c.memo)
+		}
+		grown := make([]memoEntry, n)
+		copy(grown, c.memo)
+		c.memo = grown
+	}
+	asn, ok := c.table.Lookup(addr)
+	e := memoEntry{asn: asn, state: 2}
+	if ok {
+		e.state = 1
+	}
+	c.memo[id] = e
+	return asn, ok
 }
 
 // bit returns the i-th most significant bit of the address (0-indexed within

@@ -33,6 +33,16 @@ func NewEWMA(alpha float64, warmup int) *EWMA {
 	return &EWMA{Alpha: alpha, warmupN: warmup}
 }
 
+// MakeEWMA is NewEWMA by value, for embedding in columnar detector state
+// (flat arrays of per-link references) without a pointer indirection per
+// smoothed component.
+func MakeEWMA(alpha float64, warmup int) EWMA {
+	if warmup < 1 {
+		warmup = 1
+	}
+	return EWMA{Alpha: alpha, warmupN: warmup}
+}
+
 // Observe feeds one measurement and returns the updated reference value.
 // During warm-up the returned value is the running median of the
 // observations so far.

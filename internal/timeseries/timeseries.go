@@ -39,27 +39,25 @@ func New(binSize time.Duration) *Series {
 // BinSize returns the series' bin duration.
 func (s *Series) BinSize() time.Duration { return s.binSize }
 
-// Add accumulates v into the bin containing t.
-func (s *Series) Add(t time.Time, v float64) {
+// at returns a pointer to the value of the bin containing t, appending a
+// zero-valued point when the bin has never been written. Add and Set share
+// this lookup-or-append step; the pointer is only valid until the next
+// mutation.
+func (s *Series) at(t time.Time) *float64 {
 	b := Bin(t, s.binSize)
 	if i, ok := s.index[b]; ok {
-		s.points[i].V += v
-		return
+		return &s.points[i].V
 	}
 	s.index[b] = len(s.points)
-	s.points = append(s.points, Point{T: b, V: v})
+	s.points = append(s.points, Point{T: b})
+	return &s.points[len(s.points)-1].V
 }
 
+// Add accumulates v into the bin containing t.
+func (s *Series) Add(t time.Time, v float64) { *s.at(t) += v }
+
 // Set replaces the value of the bin containing t.
-func (s *Series) Set(t time.Time, v float64) {
-	b := Bin(t, s.binSize)
-	if i, ok := s.index[b]; ok {
-		s.points[i].V = v
-		return
-	}
-	s.index[b] = len(s.points)
-	s.points = append(s.points, Point{T: b, V: v})
-}
+func (s *Series) Set(t time.Time, v float64) { *s.at(t) = v }
 
 // Value returns the value of the bin containing t; ok is false when the bin
 // has never been written.

@@ -32,23 +32,31 @@ type Hop struct {
 // Responders returns the distinct responding addresses of the hop, in
 // first-seen order. Timeouts are skipped.
 func (h Hop) Responders() []netip.Addr {
-	var out []netip.Addr
+	return h.AppendResponders(nil)
+}
+
+// AppendResponders appends the distinct responding addresses of the hop to
+// dst in first-seen order and returns the extended slice. Passing a
+// stack-backed scratch slice (`var buf [8]netip.Addr; h.AppendResponders(buf[:0])`)
+// keeps the hot extraction path allocation-free.
+func (h Hop) AppendResponders(dst []netip.Addr) []netip.Addr {
+	base := len(dst)
 	for _, r := range h.Replies {
 		if r.Timeout || !r.From.IsValid() {
 			continue
 		}
 		dup := false
-		for _, a := range out {
+		for _, a := range dst[base:] {
 			if a == r.From {
 				dup = true
 				break
 			}
 		}
 		if !dup {
-			out = append(out, r.From)
+			dst = append(dst, r.From)
 		}
 	}
-	return out
+	return dst
 }
 
 // Unresponsive reports whether every packet of the hop timed out.
@@ -111,8 +119,8 @@ func (r Result) Reached() bool {
 	if len(r.Hops) == 0 {
 		return false
 	}
-	for _, a := range r.Hops[len(r.Hops)-1].Responders() {
-		if a == r.Dst {
+	for _, rep := range r.Hops[len(r.Hops)-1].Replies {
+		if !rep.Timeout && rep.From.IsValid() && rep.From == r.Dst {
 			return true
 		}
 	}
@@ -150,10 +158,21 @@ type AdjacentHopPair struct {
 // unresponsive router hides its links from the paper's delay analysis).
 func (r Result) AdjacentPairs() []AdjacentHopPair {
 	var out []AdjacentHopPair
+	r.VisitAdjacentPairs(func(p AdjacentHopPair) {
+		out = append(out, p)
+	})
+	return out
+}
+
+// VisitAdjacentPairs calls fn for every consecutive hop pair with strictly
+// consecutive TTL indices, in hop order — AdjacentPairs without the slice
+// allocation. Note the extractors (delay §4.2.1, forwarding §5.1) apply
+// the same adjacency rule with their own index loops to keep scratch
+// buffers closure-free; changing the rule means changing it there too.
+func (r Result) VisitAdjacentPairs(fn func(AdjacentHopPair)) {
 	for i := 0; i+1 < len(r.Hops); i++ {
 		if r.Hops[i+1].Index == r.Hops[i].Index+1 {
-			out = append(out, AdjacentHopPair{Near: r.Hops[i], Far: r.Hops[i+1]})
+			fn(AdjacentHopPair{Near: r.Hops[i], Far: r.Hops[i+1]})
 		}
 	}
-	return out
 }
