@@ -13,6 +13,7 @@ package pinpoint_test
 // dataset.
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -139,6 +140,57 @@ func BenchmarkAbl03ASCancellation(b *testing.B) {
 // baselines live in BENCH_engine.json. On a single-core host the rows
 // should be within noise of each other — the speedup needs real cores.
 
+// benchStart and benchPlatform define the one benchmark campaign both the
+// engine and pipeline fixtures share (the recorded baselines in
+// BENCH_engine.json and BENCH_pipeline.json assume the same workload):
+// seed-42 topology, all stub probes, one builtin root measurement, three
+// anchoring measurements, 24 hours. Only the scenario differs per fixture.
+var benchStart = time.Date(2015, 6, 1, 0, 0, 0, 0, time.UTC)
+
+func benchPlatform(scenario *netsim.Scenario) (*atlas.Platform, error) {
+	topo, err := netsim.Generate(netsim.TopoConfig{
+		Seed: 42, Tier1: 3, Transit: 8, Stub: 24,
+		Roots: 1, RootInstances: 4, Anchors: 4,
+	})
+	if err != nil {
+		return nil, err
+	}
+	net, err := topo.Build(scenario)
+	if err != nil {
+		return nil, err
+	}
+	platform := atlas.NewPlatform(net, 42, netsim.TracerouteOpts{})
+	platform.AddProbes(topo.ProbeSites())
+	platform.AddBuiltin(topo.Roots[0].Addr)
+	var ids []int
+	for _, pr := range platform.Probes() {
+		ids = append(ids, pr.ID)
+	}
+	for _, a := range topo.Anchors[:3] {
+		platform.AddAnchoring(a.Addr, ids)
+	}
+	return platform, nil
+}
+
+// benchCongestion recreates the engine fixture's 2-hour congestion event on
+// the root's first instance link.
+func benchCongestion(topoSeed uint64) (*netsim.Scenario, error) {
+	topo, err := netsim.Generate(netsim.TopoConfig{
+		Seed: topoSeed, Tier1: 3, Transit: 8, Stub: 24,
+		Roots: 1, RootInstances: 4, Anchors: 4,
+	})
+	if err != nil {
+		return nil, err
+	}
+	root := topo.Roots[0]
+	return netsim.NewScenario(netsim.Event{
+		Name: "congestion", Kind: netsim.EventCongestion,
+		From: root.Sites[0], To: root.Instances[0], Both: true,
+		ExtraDelayMS: 80, Loss: 0.02,
+		Start: benchStart.Add(12 * time.Hour), End: benchStart.Add(14 * time.Hour),
+	}), nil
+}
+
 var (
 	engineBenchOnce    sync.Once
 	engineBenchResults []trace.Result
@@ -150,40 +202,19 @@ var (
 func engineBenchFixture(b *testing.B) {
 	b.Helper()
 	engineBenchOnce.Do(func() {
-		topo, err := netsim.Generate(netsim.TopoConfig{
-			Seed: 42, Tier1: 3, Transit: 8, Stub: 24,
-			Roots: 1, RootInstances: 4, Anchors: 4,
-		})
+		scenario, err := benchCongestion(42)
 		if err != nil {
 			engineBenchErr = err
 			return
 		}
-		start := time.Date(2015, 6, 1, 0, 0, 0, 0, time.UTC)
-		root := topo.Roots[0]
-		scenario := netsim.NewScenario(netsim.Event{
-			Name: "congestion", Kind: netsim.EventCongestion,
-			From: root.Sites[0], To: root.Instances[0], Both: true,
-			ExtraDelayMS: 80, Loss: 0.02,
-			Start: start.Add(12 * time.Hour), End: start.Add(14 * time.Hour),
-		})
-		net, err := topo.Build(scenario)
+		platform, err := benchPlatform(scenario)
 		if err != nil {
 			engineBenchErr = err
 			return
 		}
-		platform := atlas.NewPlatform(net, 42, netsim.TracerouteOpts{})
-		platform.AddProbes(topo.ProbeSites())
-		platform.AddBuiltin(root.Addr)
-		var ids []int
-		for _, pr := range platform.Probes() {
-			ids = append(ids, pr.ID)
-		}
-		for _, a := range topo.Anchors[:3] {
-			platform.AddAnchoring(a.Addr, ids)
-		}
-		engineBenchResults, engineBenchErr = platform.Collect(start, start.Add(24*time.Hour))
+		engineBenchResults, engineBenchErr = platform.Collect(benchStart, benchStart.Add(24*time.Hour))
 		engineBenchASN = platform.ProbeASN
-		engineBenchTable = net.Prefixes()
+		engineBenchTable = platform.Net().Prefixes()
 	})
 	if engineBenchErr != nil {
 		b.Fatalf("engine bench fixture: %v", engineBenchErr)
@@ -212,6 +243,56 @@ func BenchmarkIngest(b *testing.B) {
 	perOp := b.Elapsed().Seconds() / float64(b.N)
 	if perOp > 0 {
 		b.ReportMetric(float64(len(engineBenchResults))/perOp, "results/s")
+	}
+}
+
+// End-to-end fused pipeline: generation AND analysis, scaled together. Each
+// op regenerates the 24h campaign through Analyzer.RunPlatform with w
+// generator workers feeding w engine shards (workers=1 is fully sequential:
+// heap scheduler → legacy detector pair on one goroutine). The parallel
+// stream is bit-identical to sequential (internal/atlas and internal/core
+// equivalence tests), so rows differ only in wall time. results/s is the
+// headline; baselines live in BENCH_pipeline.json. On a single-core host
+// the rows measure coordination overhead, not speedup.
+
+var (
+	pipelineBenchOnce sync.Once
+	pipelineBenchPlat *atlas.Platform
+	pipelineBenchErr  error
+)
+
+func pipelineBenchFixture(b *testing.B) {
+	b.Helper()
+	pipelineBenchOnce.Do(func() {
+		pipelineBenchPlat, pipelineBenchErr = benchPlatform(nil)
+	})
+	if pipelineBenchErr != nil {
+		b.Fatalf("pipeline bench fixture: %v", pipelineBenchErr)
+	}
+}
+
+func BenchmarkPipeline(b *testing.B) {
+	pipelineBenchFixture(b)
+	start, end := benchStart, benchStart.Add(24*time.Hour)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			total := 0
+			for i := 0; i < b.N; i++ {
+				pipelineBenchPlat.SetWorkers(workers)
+				a := core.New(core.Config{Workers: workers},
+					pipelineBenchPlat.ProbeASN, pipelineBenchPlat.Net().Prefixes())
+				if err := a.RunPlatform(context.Background(), pipelineBenchPlat, start, end); err != nil {
+					b.Fatal(err)
+				}
+				total = a.Results()
+				a.Close()
+			}
+			perOp := b.Elapsed().Seconds() / float64(b.N)
+			if perOp > 0 {
+				b.ReportMetric(float64(total)/perOp, "results/s")
+			}
+		})
 	}
 }
 

@@ -32,11 +32,9 @@ func main() {
 	metaPath := flag.String("meta", "", "metadata JSON output path (default <out>.meta.json)")
 	flag.Parse()
 
-	scale := experiments.Quick
-	if *scaleName == "full" {
-		scale = experiments.Full
-	} else if *scaleName != "quick" {
-		log.Fatalf("unknown scale %q", *scaleName)
+	scale, err := experiments.ParseScale(*scaleName)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	c, err := experiments.NewCase(*caseName, scale)

@@ -31,11 +31,9 @@ func main() {
 	dotDir := flag.String("dot", "", "directory for alarm-graph DOT output (F8, F12)")
 	flag.Parse()
 
-	scale := experiments.Quick
-	if *scaleName == "full" {
-		scale = experiments.Full
-	} else if *scaleName != "quick" {
-		log.Fatalf("unknown scale %q", *scaleName)
+	scale, err := experiments.ParseScale(*scaleName)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	want := map[string]bool{}

@@ -33,6 +33,7 @@ import (
 	"pinpoint/internal/experiments"
 	"pinpoint/internal/forwarding"
 	"pinpoint/internal/ipmap"
+	"pinpoint/internal/trace"
 )
 
 type server struct {
@@ -74,11 +75,12 @@ func main() {
 	scaleName := flag.String("scale", "quick", "workload scale: quick or full")
 	addr := flag.String("addr", ":8080", "HTTP listen address")
 	workers := flag.Int("workers", 0, "analysis worker shards (0 = all CPUs, 1 = sequential)")
+	genWorkers := flag.Int("gen-workers", 0, "measurement generator workers (0 = all CPUs, 1 = sequential)")
 	flag.Parse()
 
-	scale := experiments.Quick
-	if *scaleName == "full" {
-		scale = experiments.Full
+	scale, err := experiments.ParseScale(*scaleName)
+	if err != nil {
+		log.Fatal(err)
 	}
 	c, err := experiments.NewCase(*caseName, scale)
 	if err != nil {
@@ -110,31 +112,37 @@ func main() {
 	}
 	s.analyzer = a
 
+	c.Platform.SetWorkers(*genWorkers)
 	go func() {
-		// Batched delivery: measurement generation overlaps analysis, and
-		// the analyzer pays one channel receive per batch, not per result.
-		batches, errc := c.Platform.StreamBatches(context.Background(), c.Start, c.End, 0)
-		for rs := range batches {
-			// The lock covers the analyzer and aggregator mutation too:
-			// handlers read them (Events, magnitudes) under RLock, so
-			// writing outside the lock would be a data race on the series
-			// maps. Measurement generation still overlaps analysis — the
-			// platform fills the next batches while this one is ingested.
+		// Fused pipeline: the platform's generator workers produce
+		// chronologically reordered chunks and this goroutine ingests each
+		// one directly — no intermediate channel hop or relay goroutine.
+		// The lock covers the analyzer and aggregator mutation: handlers
+		// read them (Events, magnitudes) under RLock, so writing outside
+		// the lock would be a data race on the series maps. Generation
+		// still overlaps analysis — the generator workers run ahead within
+		// their reorder window while this chunk is ingested.
+		t0 := time.Now()
+		err := c.Platform.RunChunks(context.Background(), c.Start, c.End, 0, func(rs []trace.Result) error {
 			s.mu.Lock()
 			s.results += len(rs)
 			a.ObserveBatch(rs)
 			s.mu.Unlock()
-		}
+			return nil
+		})
 		s.mu.Lock()
 		a.Flush()
 		a.Close()
 		s.done = true
 		s.mu.Unlock()
-		if err := <-errc; err != nil {
+		if err != nil {
 			log.Printf("analysis run failed: %v", err)
 			return
 		}
-		log.Printf("analysis complete: %d results (%d workers)", s.results, a.Workers())
+		elapsed := time.Since(t0)
+		log.Printf("analysis complete: %d results in %s (%.0f results/s; %d engine workers, %d generator workers)",
+			s.results, elapsed.Round(time.Millisecond), float64(s.results)/elapsed.Seconds(),
+			a.Workers(), c.Platform.Workers())
 	}()
 
 	mux := http.NewServeMux()

@@ -1,15 +1,19 @@
 // Command pinpoint analyzes a traceroute dataset offline: it runs the full
 // detection pipeline (differential-RTT delay changes, forwarding anomalies,
 // per-AS aggregation) over a JSONL stream and prints alarms, per-AS
-// magnitudes, and major events.
+// magnitudes, and major events. With -case it instead generates one of the
+// built-in scenarios and analyzes it in place through the fused pipeline
+// (parallel generator workers feeding the sharded engine directly).
 //
 // Usage:
 //
 //	pinpoint -in ddos.jsonl -meta ddos.jsonl.meta.json
 //	atlasgen -case leak | pinpoint -meta leak.meta.json
+//	pinpoint -case ddos -scale quick -gen-workers 4 -workers 4
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -21,6 +25,7 @@ import (
 
 	"pinpoint/internal/atlas"
 	"pinpoint/internal/core"
+	"pinpoint/internal/experiments"
 	"pinpoint/internal/report"
 	"pinpoint/internal/timeseries"
 	"pinpoint/internal/trace"
@@ -31,7 +36,10 @@ func main() {
 	log.SetPrefix("pinpoint: ")
 
 	in := flag.String("in", "-", "results JSONL input path (- for stdin)")
-	metaPath := flag.String("meta", "", "metadata JSON path (required)")
+	metaPath := flag.String("meta", "", "metadata JSON path (required unless -case)")
+	caseName := flag.String("case", "", "generate and analyze a scenario (quiet, ddos, leak, ixp) instead of reading JSONL")
+	scaleName := flag.String("scale", "quick", "workload scale for -case: quick or full")
+	genWorkers := flag.Int("gen-workers", 0, "generator workers for -case (0 = all CPUs, 1 = sequential)")
 	threshold := flag.Float64("threshold", 10, "event magnitude threshold")
 	window := flag.Duration("window", 7*24*time.Hour, "magnitude sliding window")
 	workers := flag.Int("workers", 0, "analysis worker shards (0 = all CPUs, 1 = sequential)")
@@ -41,68 +49,98 @@ func main() {
 	dotAround := flag.String("dot-around", "", "restrict the DOT graph to the component containing this IP")
 	flag.Parse()
 
-	if *metaPath == "" {
-		log.Fatal("-meta is required (probe and prefix mappings)")
-	}
-	mf, err := os.Open(*metaPath)
-	if err != nil {
-		log.Fatal(err)
-	}
-	meta, err := atlas.ReadMetadata(mf)
-	mf.Close()
-	if err != nil {
-		log.Fatal(err)
-	}
-	table, err := meta.Table()
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	var r io.Reader = os.Stdin
-	if *in != "-" {
-		f, err := os.Open(*in)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer f.Close()
-		r = f
-	}
-
 	cfg := core.Config{RetainAlarms: true, Workers: *workers}
 	if cfg.Workers == 0 {
 		cfg.Workers = core.AutoWorkers
 	}
 	cfg.Events.Threshold = *threshold
 	cfg.Events.Window = *window
-	a := core.New(cfg, meta.ProbeASN(), table)
-	defer a.Close()
 
-	tr := trace.NewReader(r)
-	var first, last time.Time
-	batch := make([]trace.Result, 0, atlas.DefaultBatchSize)
-	for {
-		res, err := tr.Read()
-		if err == io.EOF {
-			break
-		}
+	var (
+		a           *core.Analyzer
+		first, last time.Time
+		elapsed     time.Duration
+	)
+	if *caseName != "" {
+		scale, err := experiments.ParseScale(*scaleName)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if first.IsZero() {
-			first = res.Time
+		c, err := experiments.NewCase(*caseName, scale)
+		if err != nil {
+			log.Fatal(err)
 		}
-		last = res.Time
-		batch = append(batch, res)
-		if len(batch) == cap(batch) {
-			a.ObserveBatch(batch)
-			batch = batch[:0]
+		c.Platform.SetWorkers(*genWorkers)
+		a = core.New(cfg, c.Platform.ProbeASN, c.Net.Prefixes())
+		defer a.Close()
+		t0 := time.Now()
+		if err := a.RunPlatform(context.Background(), c.Platform, c.Start, c.End); err != nil {
+			log.Fatal(err)
 		}
-	}
-	a.ObserveBatch(batch)
-	a.Flush()
+		elapsed = time.Since(t0)
+		first, last = c.Start, c.End
+		fmt.Printf("case %s (%s), fused pipeline: %d generator workers\n",
+			c.Name, c.Description, c.Platform.Workers())
+	} else {
+		if *metaPath == "" {
+			log.Fatal("-meta is required (probe and prefix mappings)")
+		}
+		mf, err := os.Open(*metaPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		meta, err := atlas.ReadMetadata(mf)
+		mf.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		table, err := meta.Table()
+		if err != nil {
+			log.Fatal(err)
+		}
 
-	fmt.Printf("processed %d results, %s .. %s\n", a.Results(),
-		first.Format("2006-01-02 15:04"), last.Format("2006-01-02 15:04"))
+		var r io.Reader = os.Stdin
+		if *in != "-" {
+			f, err := os.Open(*in)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			r = f
+		}
+
+		a = core.New(cfg, meta.ProbeASN(), table)
+		defer a.Close()
+
+		tr := trace.NewReader(r)
+		t0 := time.Now()
+		batch := make([]trace.Result, 0, atlas.DefaultBatchSize)
+		for {
+			res, err := tr.Read()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				log.Fatal(err)
+			}
+			if first.IsZero() {
+				first = res.Time
+			}
+			last = res.Time
+			batch = append(batch, res)
+			if len(batch) == cap(batch) {
+				a.ObserveBatch(batch)
+				batch = batch[:0]
+			}
+		}
+		a.ObserveBatch(batch)
+		a.Flush()
+		elapsed = time.Since(t0)
+	}
+
+	fmt.Printf("processed %d results, %s .. %s (%.0f results/s end-to-end)\n",
+		a.Results(), first.Format("2006-01-02 15:04"), last.Format("2006-01-02 15:04"),
+		float64(a.Results())/elapsed.Seconds())
 	fmt.Printf("links with samples: %d; router IPs modeled: %d (workers: %d)\n",
 		a.LinksSeen(), a.RoutersSeen(), a.Workers())
 	reg := a.Registry()
@@ -163,6 +201,7 @@ func main() {
 		g := a.Graph(first, last.Add(time.Hour))
 		var around netip.Addr
 		if *dotAround != "" {
+			var err error
 			around, err = netip.ParseAddr(*dotAround)
 			if err != nil {
 				log.Fatalf("-dot-around: %v", err)

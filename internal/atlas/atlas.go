@@ -6,6 +6,14 @@
 //
 // The platform replaces the paper's 2.8-billion-traceroute dataset; scale is
 // a config knob, the result schema and cadences are the paper's.
+//
+// Generation is deterministic and parallelizable: every (measurement,
+// probe, firing time) task is independently seeded via hash.Fold, an
+// incremental min-heap scheduler emits tasks in exact chronological order
+// using O(streams) memory, and with SetWorkers(n > 1) the tasks execute on
+// n goroutines while a sequence-numbered reorder buffer restores the
+// chronological stream — bit-identical to a sequential run for any worker
+// count.
 package atlas
 
 import (
@@ -13,7 +21,8 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"net/netip"
-	"sort"
+	"runtime"
+	"sync"
 	"time"
 
 	"pinpoint/internal/hash"
@@ -82,37 +91,52 @@ type Measurement struct {
 
 // Platform schedules measurements over a simulated network.
 type Platform struct {
-	net    *netsim.Net
-	seed   uint64
-	opts   netsim.TracerouteOpts
-	probes map[int]Probe
-	order  []int // probe IDs in insertion order
-	msms   []Measurement
-	nextID int
+	net     *netsim.Net
+	seed    uint64
+	opts    netsim.TracerouteOpts
+	probes  []Probe // dense: probes[i].ID == i+1
+	msms    []Measurement
+	nextID  int
+	workers int // generator goroutines; <= 1 is sequential
 }
 
 // NewPlatform returns an empty platform over the given network. The seed
 // determines all measurement noise; equal seeds give bit-identical streams.
 func NewPlatform(n *netsim.Net, seed uint64, opts netsim.TracerouteOpts) *Platform {
 	return &Platform{
-		net:    n,
-		seed:   seed,
-		opts:   opts.Defaults(),
-		probes: make(map[int]Probe),
-		nextID: 5000, // Atlas-like measurement IDs start at 5000
+		net:     n,
+		seed:    seed,
+		opts:    opts.Defaults(),
+		nextID:  5000, // Atlas-like measurement IDs start at 5000
+		workers: 1,
 	}
 }
 
 // Net returns the underlying network.
 func (p *Platform) Net() *netsim.Net { return p.net }
 
+// SetWorkers sets how many goroutines Run, RunChunks, Stream and
+// StreamBatches execute traceroutes on. n <= 0 means GOMAXPROCS; 1 (the
+// default) is sequential. Every task is independently seeded and a reorder
+// buffer restores chronological emission, so the result stream is
+// bit-identical for every worker count.
+func (p *Platform) SetWorkers(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	p.workers = n
+}
+
+// Workers returns the configured generator worker count.
+func (p *Platform) Workers() int { return p.workers }
+
 // AddProbe attaches a probe to a router, deriving its ASN from the router's
-// operator AS. Probe IDs are assigned sequentially from 1.
+// operator AS. Probe IDs are assigned sequentially from 1; the platform
+// stores probes densely by ID, so hot-path lookups are slice indexing.
 func (p *Platform) AddProbe(router netsim.RouterID, anchor bool) Probe {
 	id := len(p.probes) + 1
 	pr := Probe{ID: id, Router: router, ASN: p.net.Router(router).AS, Anchor: anchor}
-	p.probes[id] = pr
-	p.order = append(p.order, id)
+	p.probes = append(p.probes, pr)
 	return pr
 }
 
@@ -125,47 +149,48 @@ func (p *Platform) AddProbes(routers []netsim.RouterID) []Probe {
 	return out
 }
 
-// Probes returns all probes in insertion order.
+// Probes returns all probes in ID order.
 func (p *Platform) Probes() []Probe {
-	out := make([]Probe, 0, len(p.order))
-	for _, id := range p.order {
-		out = append(out, p.probes[id])
-	}
+	out := make([]Probe, len(p.probes))
+	copy(out, p.probes)
 	return out
 }
 
 // Probe returns the probe with the given id.
 func (p *Platform) Probe(id int) (Probe, bool) {
-	pr, ok := p.probes[id]
-	return pr, ok
+	if id < 1 || id > len(p.probes) {
+		return Probe{}, false
+	}
+	return p.probes[id-1], true
 }
 
 // SetProbeWindow bounds a probe's connectivity to [from, to); measurements
 // outside the window are not scheduled. It returns false for unknown probes.
 func (p *Platform) SetProbeWindow(id int, from, to time.Time) bool {
-	pr, ok := p.probes[id]
-	if !ok {
+	if id < 1 || id > len(p.probes) {
 		return false
 	}
-	pr.ConnectedFrom, pr.ConnectedTo = from, to
-	p.probes[id] = pr
+	p.probes[id-1].ConnectedFrom, p.probes[id-1].ConnectedTo = from, to
 	return true
 }
 
 // ProbeASN resolves a probe id to its AS number; the delay analyzer's
 // probe-diversity filter (§4.3) keys on this.
 func (p *Platform) ProbeASN(id int) (ipmap.ASN, bool) {
-	pr, ok := p.probes[id]
-	if !ok {
+	if id < 1 || id > len(p.probes) {
 		return 0, false
 	}
-	return pr.ASN, true
+	return p.probes[id-1].ASN, true
 }
 
 // AddBuiltin registers a builtin measurement: every probe traceroutes the
 // target every 30 minutes (cf. the root-server measurements of §2).
 func (p *Platform) AddBuiltin(target netip.Addr) Measurement {
-	return p.addMeasurement(Builtin, target, BuiltinInterval, p.order)
+	ids := make([]int, len(p.probes))
+	for i := range p.probes {
+		ids[i] = i + 1
+	}
+	return p.addMeasurement(Builtin, target, BuiltinInterval, ids)
 }
 
 // AddAnchoring registers an anchoring measurement from the given probes
@@ -201,84 +226,385 @@ func (p *Platform) hash(vals ...uint64) uint64 {
 	return hash.Fold(p.seed, vals...)
 }
 
-type task struct {
+// --- Incremental schedule ------------------------------------------------
+
+// genTask is one (measurement, probe) firing.
+type genTask struct {
 	at    time.Time
-	msm   int // index into p.msms
-	probe int // probe ID
+	msm   int32 // index into p.msms
+	probe int32 // probe ID
 }
 
-// tasksBetween generates all (measurement, probe) firings within [from, to),
-// sorted chronologically. Each probe fires at a stable per-(msm,probe)
-// offset within the interval, spreading load like the real platform.
-func (p *Platform) tasksBetween(from, to time.Time) []task {
-	var out []task
+// cursor is one (measurement, probe) stream's next firing. Firing times lie
+// on the absolute grid {k·interval + offset}, so cursors are independent of
+// where the run window starts.
+type cursor struct {
+	at       time.Time
+	interval time.Duration
+	msm      int32
+	probe    int32
+}
+
+// cursorLess orders cursors by (firing time, measurement index, probe ID) —
+// exactly the chronological order the platform emits results in.
+func cursorLess(a, b cursor) bool {
+	if !a.at.Equal(b.at) {
+		return a.at.Before(b.at)
+	}
+	if a.msm != b.msm {
+		return a.msm < b.msm
+	}
+	return a.probe < b.probe
+}
+
+// scheduler is an incremental min-heap over per-(measurement, probe) firing
+// cursors. Unlike the old materialize-and-sort generator it needs
+// O(streams) memory for arbitrarily long campaigns and emits the next task
+// in O(log streams), with no per-chunk re-sorting.
+type scheduler struct {
+	p  *Platform
+	to time.Time
+	h  []cursor // min-heap ordered by cursorLess
+}
+
+// newScheduler builds the heap. Probe IDs are validated here rather than at
+// measurement registration so callers may register measurements before
+// attaching the probes they reference; by run time every ID must resolve.
+func (p *Platform) newScheduler(from, to time.Time) (*scheduler, error) {
+	s := &scheduler{p: p, to: to}
 	for mi, m := range p.msms {
 		for _, prb := range m.Probes {
-			meta := p.probes[prb]
+			if prb < 1 || prb > len(p.probes) {
+				return nil, fmt.Errorf("atlas: measurement %d references unknown probe %d", m.ID, prb)
+			}
 			off := time.Duration(p.hash(uint64(m.ID), uint64(prb), 0xa11a5) % uint64(m.Interval))
 			// First firing at or after from.
 			start := from.Truncate(m.Interval).Add(off)
 			for start.Before(from) {
 				start = start.Add(m.Interval)
 			}
-			for at := start; at.Before(to); at = at.Add(m.Interval) {
-				if !meta.connectedAt(at) {
-					continue
-				}
-				out = append(out, task{at: at, msm: mi, probe: prb})
+			if !start.Before(to) {
+				continue
 			}
+			s.h = append(s.h, cursor{at: start, interval: m.Interval, msm: int32(mi), probe: int32(prb)})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if !out[i].at.Equal(out[j].at) {
-			return out[i].at.Before(out[j].at)
-		}
-		if out[i].msm != out[j].msm {
-			return out[i].msm < out[j].msm
-		}
-		return out[i].probe < out[j].probe
-	})
-	return out
+	for i := len(s.h)/2 - 1; i >= 0; i-- {
+		s.down(i)
+	}
+	return s, nil
 }
+
+func (s *scheduler) down(i int) {
+	for {
+		l := 2*i + 1
+		if l >= len(s.h) {
+			return
+		}
+		least := l
+		if r := l + 1; r < len(s.h) && cursorLess(s.h[r], s.h[l]) {
+			least = r
+		}
+		if !cursorLess(s.h[least], s.h[i]) {
+			return
+		}
+		s.h[i], s.h[least] = s.h[least], s.h[i]
+		i = least
+	}
+}
+
+// next pops the chronologically next firing of a connected probe, advancing
+// its stream cursor. ok is false when the schedule is exhausted.
+func (s *scheduler) next() (genTask, bool) {
+	for len(s.h) > 0 {
+		c := s.h[0]
+		t := genTask{at: c.at, msm: c.msm, probe: c.probe}
+		if nxt := c.at.Add(c.interval); nxt.Before(s.to) {
+			s.h[0].at = nxt
+			s.down(0)
+		} else {
+			last := len(s.h) - 1
+			s.h[0] = s.h[last]
+			s.h = s.h[:last]
+			s.down(0)
+		}
+		// Disconnected probes skip the firing but keep their cadence.
+		if s.p.probes[t.probe-1].connectedAt(t.at) {
+			return t, true
+		}
+	}
+	return genTask{}, false
+}
+
+// exec runs one task. The per-task reseed leaves the PCG in exactly the
+// state rand.NewPCG(h1, h2) constructs, so every task's noise stream is a
+// pure function of (seed, measurement, probe, firing time) — the property
+// that makes tasks freely distributable across workers.
+func (p *Platform) exec(sc *netsim.TracerouteScratch, pcg *rand.PCG, rng *rand.Rand, t genTask) (trace.Result, error) {
+	m := p.msms[t.msm]
+	pr := p.probes[t.probe-1]
+	pcg.Seed(
+		p.hash(uint64(m.ID), uint64(t.probe), uint64(t.at.UnixNano())),
+		p.hash(uint64(t.at.UnixNano()), uint64(m.ID)),
+	)
+	parisID := int(p.hash(uint64(m.ID), uint64(t.probe)) % 16)
+	res, err := p.net.TracerouteWith(sc, pr.Router, m.Target, t.at, parisID, rng, p.opts)
+	if err != nil {
+		return trace.Result{}, fmt.Errorf("atlas: msm %d probe %d: %w", m.ID, pr.ID, err)
+	}
+	res.MsmID = m.ID
+	res.PrbID = pr.ID
+	return res, nil
+}
+
+// --- Running -------------------------------------------------------------
+
+// genChunkSize is how many tasks Run groups per unit of worker handoff when
+// parallel. Chunk boundaries never affect results (tasks are independently
+// seeded), only amortization.
+const genChunkSize = 64
 
 // Run executes all scheduled measurements in [from, to) in chronological
 // order, invoking fn for each result. Returning a non-nil error from fn
-// aborts the run. Results are bit-identical for equal platform seeds.
-//
-// The generation is chunked by day so arbitrarily long campaigns run in
-// bounded memory.
+// aborts the run. Results are bit-identical for equal platform seeds,
+// regardless of SetWorkers.
 func (p *Platform) Run(from, to time.Time, fn func(trace.Result) error) error {
-	const chunk = 24 * time.Hour
-	// One PRNG reseeded per task: Seed(h1, h2) leaves the PCG in exactly
-	// the state NewPCG(h1, h2) constructs, so the stream is bit-identical
-	// to the old per-task allocation while producing none.
+	if p.workers > 1 {
+		return p.runPar(context.Background(), from, to, genChunkSize, true, func(rs []trace.Result) error {
+			for _, r := range rs {
+				if err := fn(r); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}
+	return p.runSeq(from, to, fn)
+}
+
+func (p *Platform) runSeq(from, to time.Time, fn func(trace.Result) error) error {
+	sched, err := p.newScheduler(from, to)
+	if err != nil {
+		return err
+	}
+	// One PRNG reseeded per task, one scratch for every traceroute's
+	// working memory: the steady-state producer loop allocates only the
+	// emitted results.
 	pcg := rand.NewPCG(0, 0)
 	rng := rand.New(pcg)
-	for cs := from; cs.Before(to); cs = cs.Add(chunk) {
-		ce := cs.Add(chunk)
-		if ce.After(to) {
-			ce = to
+	var sc netsim.TracerouteScratch
+	for {
+		t, ok := sched.next()
+		if !ok {
+			return nil
 		}
-		for _, t := range p.tasksBetween(cs, ce) {
-			m := p.msms[t.msm]
-			pr := p.probes[t.probe]
-			pcg.Seed(
-				p.hash(uint64(m.ID), uint64(t.probe), uint64(t.at.UnixNano())),
-				p.hash(uint64(t.at.UnixNano()), uint64(m.ID)),
-			)
-			parisID := int(p.hash(uint64(m.ID), uint64(t.probe)) % 16)
-			res, err := p.net.Traceroute(pr.Router, m.Target, t.at, parisID, rng, p.opts)
-			if err != nil {
-				return fmt.Errorf("atlas: msm %d probe %d: %w", m.ID, t.probe, err)
-			}
-			res.MsmID = m.ID
-			res.PrbID = pr.ID
-			if err := fn(res); err != nil {
-				return err
-			}
+		res, err := p.exec(&sc, pcg, rng, t)
+		if err != nil {
+			return err
+		}
+		if err := fn(res); err != nil {
+			return err
 		}
 	}
+}
+
+// RunChunks executes the campaign like Run but delivers results in
+// chronological chunks of up to chunkSize (0 = DefaultBatchSize; the final
+// chunk may be short). Chunk boundaries depend only on chunkSize, so the
+// grouping — like the results — is identical for every worker count. The
+// chunks are freshly allocated; fn may retain them. This is the fused
+// producer API: core.Analyzer.RunPlatform feeds these chunks straight into
+// the sharded engine without an intermediate channel hop.
+func (p *Platform) RunChunks(ctx context.Context, from, to time.Time, chunkSize int, fn func([]trace.Result) error) error {
+	if chunkSize <= 0 {
+		chunkSize = DefaultBatchSize
+	}
+	if p.workers > 1 {
+		return p.runPar(ctx, from, to, chunkSize, false, fn)
+	}
+	chunk := make([]trace.Result, 0, chunkSize)
+	err := p.runSeq(from, to, func(r trace.Result) error {
+		chunk = append(chunk, r)
+		if len(chunk) >= chunkSize {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			out := chunk
+			chunk = make([]trace.Result, 0, chunkSize)
+			return fn(out)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if len(chunk) > 0 {
+		return fn(chunk)
+	}
 	return nil
+}
+
+// taskChunk and resultChunk carry sequence numbers: the producer assigns
+// them in schedule order, workers execute out of order, and the emitter's
+// reorder buffer releases chunks strictly by sequence. tasks is the pooled
+// pointer itself so workers return it to the pool without allocating a new
+// slice header.
+type taskChunk struct {
+	seq   uint64
+	tasks *[]genTask
+}
+
+type resultChunk struct {
+	seq     uint64
+	results []trace.Result
+	err     error // first task error; results holds the tasks before it
+}
+
+// taskBufPool recycles producer task buffers once a worker has drained them.
+var taskBufPool = sync.Pool{New: func() any { return new([]genTask) }}
+
+// runPar is the parallel producer: one scheduler goroutine cuts the
+// chronological task stream into fixed-size chunks, workers execute chunks
+// concurrently (each with its own PRNG and traceroute scratch), and the
+// caller's goroutine reorders completed chunks by sequence number and emits
+// them — so emission order, chunk grouping and every byte of every result
+// match the sequential path. A window semaphore bounds in-flight chunks,
+// back-pressuring the scheduler when emission (or the consumer behind it)
+// is the bottleneck.
+// emitPartial controls error-path parity with the sequential harnesses: Run
+// calls fn per result up to the failing task (emitPartial true), while
+// RunChunks discards the partially filled chunk an error interrupts
+// (emitPartial false) — either way the consumed stream is identical to the
+// corresponding sequential path.
+func (p *Platform) runPar(ctx context.Context, from, to time.Time, chunkSize int, emitPartial bool, emit func([]trace.Result) error) error {
+	sched, err := p.newScheduler(from, to)
+	if err != nil {
+		return err
+	}
+	workers := p.workers
+	ctx2, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	tasks := make(chan taskChunk, workers)
+	results := make(chan resultChunk, workers)
+	window := make(chan struct{}, 4*workers) // in-flight chunk bound
+
+	// Producer: the only goroutine touching the schedule heap, so task
+	// order and chunk contents are deterministic regardless of workers.
+	go func() {
+		defer close(tasks)
+		var seq uint64
+		buf := taskBufPool.Get().(*[]genTask)
+		*buf = (*buf)[:0]
+		for {
+			t, ok := sched.next()
+			if !ok {
+				break
+			}
+			*buf = append(*buf, t)
+			if len(*buf) < chunkSize {
+				continue
+			}
+			select {
+			case window <- struct{}{}:
+			case <-ctx2.Done():
+				return
+			}
+			select {
+			case tasks <- taskChunk{seq: seq, tasks: buf}:
+			case <-ctx2.Done():
+				return
+			}
+			seq++
+			buf = taskBufPool.Get().(*[]genTask)
+			*buf = (*buf)[:0]
+		}
+		if len(*buf) == 0 {
+			taskBufPool.Put(buf)
+			return
+		}
+		select {
+		case window <- struct{}{}:
+		case <-ctx2.Done():
+			return
+		}
+		select {
+		case tasks <- taskChunk{seq: seq, tasks: buf}:
+		case <-ctx2.Done():
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			pcg := rand.NewPCG(0, 0)
+			rng := rand.New(pcg)
+			var sc netsim.TracerouteScratch
+			for tc := range tasks {
+				rc := resultChunk{seq: tc.seq, results: make([]trace.Result, 0, len(*tc.tasks))}
+				for _, t := range *tc.tasks {
+					res, err := p.exec(&sc, pcg, rng, t)
+					if err != nil {
+						rc.err = err
+						break
+					}
+					rc.results = append(rc.results, res)
+				}
+				*tc.tasks = (*tc.tasks)[:0]
+				taskBufPool.Put(tc.tasks)
+				select {
+				case results <- rc:
+				case <-ctx2.Done():
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Reorder and emit on the caller's goroutine. pending holds completed
+	// chunks that arrived ahead of sequence; its size is bounded by the
+	// window semaphore.
+	var (
+		next    uint64
+		runErr  error
+		pending = make(map[uint64]resultChunk, 4*workers)
+	)
+	for rc := range results {
+		pending[rc.seq] = rc
+		for runErr == nil {
+			c, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			next++
+			<-window // chunk leaves flight; scheduler may refill
+			if len(c.results) > 0 && (c.err == nil || emitPartial) {
+				if err := emit(c.results); err != nil {
+					runErr = err
+				}
+			}
+			if runErr == nil && c.err != nil {
+				runErr = c.err
+			}
+		}
+		if runErr != nil {
+			cancel() // stop producer and workers; results will close
+		}
+	}
+	if runErr == nil {
+		runErr = ctx.Err()
+	}
+	return runErr
 }
 
 // Collect runs the platform and gathers all results into a slice (intended
@@ -318,7 +644,8 @@ func (p *Platform) Stream(ctx context.Context, from, to time.Time) (<-chan trace
 	return ch, errc
 }
 
-// DefaultBatchSize is the StreamBatches batch size when the caller passes 0.
+// DefaultBatchSize is the batch size RunChunks and StreamBatches use when
+// the caller passes 0.
 const DefaultBatchSize = 256
 
 // StreamBatches is Stream with batched delivery: results are grouped into
@@ -330,38 +657,19 @@ const DefaultBatchSize = 256
 // context is canceled; a run error is delivered on the error channel
 // (buffered, at most one).
 func (p *Platform) StreamBatches(ctx context.Context, from, to time.Time, batchSize int) (<-chan []trace.Result, <-chan error) {
-	if batchSize <= 0 {
-		batchSize = DefaultBatchSize
-	}
 	ch := make(chan []trace.Result, 8)
 	errc := make(chan error, 1)
 	go func() {
 		defer close(ch)
 		defer close(errc)
-		batch := make([]trace.Result, 0, batchSize)
-		flush := func() error {
-			if len(batch) == 0 {
-				return nil
-			}
-			out := batch
-			batch = make([]trace.Result, 0, batchSize)
+		err := p.RunChunks(ctx, from, to, batchSize, func(rs []trace.Result) error {
 			select {
-			case ch <- out:
+			case ch <- rs:
 				return nil
 			case <-ctx.Done():
 				return ctx.Err()
 			}
-		}
-		err := p.Run(from, to, func(r trace.Result) error {
-			batch = append(batch, r)
-			if len(batch) >= batchSize {
-				return flush()
-			}
-			return nil
 		})
-		if err == nil {
-			err = flush()
-		}
 		if err != nil && ctx.Err() == nil {
 			errc <- err
 		}

@@ -10,7 +10,9 @@
 // backends: the classic sequential detector pair (Workers ≤ 1) and the
 // sharded concurrent engine of internal/engine (Workers > 1). Both produce
 // bit-identical alarms, events and series; the engine simply spreads
-// ingestion and bin evaluation across cores.
+// ingestion and bin evaluation across cores. RunPlatform additionally
+// fuses a parallel atlas.Platform generator into the engine with no
+// intermediate channel hop — the full producer/consumer pipeline.
 package core
 
 import (
@@ -18,6 +20,7 @@ import (
 	"runtime"
 	"time"
 
+	"pinpoint/internal/atlas"
 	"pinpoint/internal/delay"
 	"pinpoint/internal/engine"
 	"pinpoint/internal/events"
@@ -263,6 +266,24 @@ func (a *Analyzer) RunBatches(ctx context.Context, batches <-chan []trace.Result
 			return ctx.Err()
 		}
 	}
+}
+
+// RunPlatform runs a measurement campaign through the fused pipeline: the
+// platform's generator workers produce chronologically reordered result
+// chunks which are ingested on this goroutine — extraction, interning and
+// shard routing happen directly on each chunk as it is emitted, with no
+// intermediate channel hop or relay goroutine between producer and engine
+// (compare StreamBatches + RunBatches, which pay one). Backpressure is
+// end-to-end: a slow engine stalls emission, which stalls the generator's
+// reorder window, which stalls its scheduler. Flush runs in all exit paths;
+// the context error is returned when canceled.
+func (a *Analyzer) RunPlatform(ctx context.Context, p *atlas.Platform, from, to time.Time) error {
+	err := p.RunChunks(ctx, from, to, a.cfg.BatchSize, func(rs []trace.Result) error {
+		a.ObserveBatch(rs)
+		return nil
+	})
+	a.Flush()
+	return err
 }
 
 // Results returns how many traceroute results have been ingested.

@@ -31,6 +31,19 @@ func (s Scale) String() string {
 	return "full"
 }
 
+// ParseScale resolves a scale name ("quick" or "full") — the single parser
+// behind every CLI's -scale flag.
+func ParseScale(name string) (Scale, error) {
+	switch name {
+	case "quick":
+		return Quick, nil
+	case "full":
+		return Full, nil
+	default:
+		return Quick, fmt.Errorf("experiments: unknown scale %q (valid: quick, full)", name)
+	}
+}
+
 // Claim is one paper statement checked against the reproduction.
 type Claim struct {
 	Name     string

@@ -296,7 +296,6 @@ func (b *Builder) Build(scenario *Scenario) (*Net, error) {
 		services: b.services,
 		prefixes: &b.prefixes,
 		scenario: scenario,
-		trees:    make(map[treeKey]*towardTree),
 	}
 	for _, e := range b.edges {
 		n.out[e.From] = append(n.out[e.From], e.ID)

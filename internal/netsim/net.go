@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/netip"
 	"sync"
+	"sync/atomic"
 
 	"pinpoint/internal/ipmap"
 )
@@ -47,8 +48,10 @@ type Edge struct {
 }
 
 // Net is an immutable simulated network. Build one with a Builder and then
-// query it concurrently; route trees are cached per (root, epoch) under a
-// mutex.
+// query it concurrently; route trees are cached per (root, epoch) in an
+// immutable copy-on-write map, so steady-state lookups are lock-free — the
+// parallel measurement generator hits this cache from every worker on every
+// traceroute, and a mutex here shows up immediately in profiles.
 type Net struct {
 	routers  []Router
 	edges    []Edge
@@ -59,8 +62,9 @@ type Net struct {
 	prefixes *ipmap.Table
 	scenario *Scenario
 
-	mu    sync.Mutex
-	trees map[treeKey]*towardTree
+	treeMu  sync.Mutex                              // serializes cache misses
+	trees   atomic.Pointer[map[treeKey]*towardTree] // immutable snapshot
+	scratch sync.Pool                               // *TracerouteScratch for Traceroute
 }
 
 // NumRouters returns the number of routers.
@@ -163,21 +167,34 @@ type towardTree struct {
 const inf = 1e18
 
 // towardTree computes (or returns the cached) shortest-path tree toward
-// root under the routing weights active at the given epoch.
+// root under the routing weights active at the given epoch. The fast path
+// is one atomic load and a map read on an immutable snapshot; misses take a
+// mutex, recompute, and publish a copied map (RCU), so concurrent readers
+// never contend once the epoch's trees are warm.
 func (n *Net) towardTree(root RouterID, epoch uint64) *towardTree {
 	key := treeKey{root: root, epoch: epoch}
-	n.mu.Lock()
-	if t, ok := n.trees[key]; ok {
-		n.mu.Unlock()
-		return t
+	if m := n.trees.Load(); m != nil {
+		if t, ok := (*m)[key]; ok {
+			return t
+		}
 	}
-	n.mu.Unlock()
 
+	n.treeMu.Lock()
+	defer n.treeMu.Unlock()
+	var cur map[treeKey]*towardTree
+	if m := n.trees.Load(); m != nil {
+		cur = *m
+		if t, ok := cur[key]; ok {
+			return t
+		}
+	}
 	t := n.computeTowardTree(root, epoch)
-
-	n.mu.Lock()
-	n.trees[key] = t
-	n.mu.Unlock()
+	next := make(map[treeKey]*towardTree, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
+	}
+	next[key] = t
+	n.trees.Store(&next)
 	return t
 }
 
@@ -272,17 +289,25 @@ func (t *towardTree) next(u RouterID, flow int) (RouterID, bool) {
 // excluding u itself. ok is false when the root is unreachable; the returned
 // prefix is then the walk up to the dead end.
 func (t *towardTree) pathFrom(u RouterID, flow int) (path []RouterID, ok bool) {
+	return t.appendPathFrom(nil, u, flow)
+}
+
+// appendPathFrom is pathFrom appending into a caller-owned buffer: the hot
+// traceroute path hands in a scratch slice so the walk allocates nothing in
+// steady state. The walked routers (excluding u) are appended to dst.
+func (t *towardTree) appendPathFrom(dst []RouterID, u RouterID, flow int) (path []RouterID, ok bool) {
+	base := len(dst)
 	cur := u
 	for cur != t.root {
 		nxt, have := t.next(cur, flow)
 		if !have {
-			return path, false
+			return dst, false
 		}
-		path = append(path, nxt)
+		dst = append(dst, nxt)
 		cur = nxt
-		if len(path) > 1024 {
+		if len(dst)-base > 1024 {
 			panic(fmt.Sprintf("netsim: routing loop walking toward %d from %d", t.root, u))
 		}
 	}
-	return path, true
+	return dst, true
 }

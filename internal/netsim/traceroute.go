@@ -36,12 +36,25 @@ func (o TracerouteOpts) Defaults() TracerouteOpts {
 	return o
 }
 
-// Traceroute simulates one Paris traceroute from a probe-hosting router to a
-// destination address (a service address or a router interface address) at
-// the given instant. The Paris flow identifier pins ECMP decisions, so
-// repeated calls with the same id traverse the same path (modulo scenario
-// epochs). The caller supplies the PRNG, which fully determines the noise.
-func (n *Net) Traceroute(probe RouterID, dst netip.Addr, at time.Time, parisID int, rng *rand.Rand, opts TracerouteOpts) (trace.Result, error) {
+// TracerouteScratch holds the working memory of one traceroute: the forward
+// and return path walks and the backing arrays for the result's hops and
+// replies. A scratch is single-owner (one goroutine at a time); the parallel
+// measurement generator keeps one per worker. Buffers grow to the campaign's
+// high-water mark and are then reused, making steady-state traceroutes
+// allocation-free on the simulation side.
+type TracerouteScratch struct {
+	path    []RouterID    // forward path, probe first
+	retPath []RouterID    // per-packet return path, replying router first
+	hops    []trace.Hop   // reused hop headers
+	replies []trace.Reply // one backing array for every hop's replies
+}
+
+// TracerouteInto runs one traceroute using (and aliasing) the scratch: the
+// returned Result's Hops and Replies point into scratch-owned arrays and are
+// valid only until the scratch's next traceroute. It is the zero-allocation
+// core; use Traceroute or TracerouteWith when the result must own its
+// memory.
+func (n *Net) TracerouteInto(sc *TracerouteScratch, probe RouterID, dst netip.Addr, at time.Time, parisID int, rng *rand.Rand, opts TracerouteOpts) (trace.Result, error) {
 	opts = opts.Defaults()
 	if !validRouter(probe, len(n.routers)) {
 		return trace.Result{}, fmt.Errorf("netsim: traceroute from unknown router %d", probe)
@@ -76,8 +89,10 @@ func (n *Net) Traceroute(probe RouterID, dst netip.Addr, at time.Time, parisID i
 		fwd = n.towardTree(dstRouter, epoch)
 	}
 
-	path, reached := fwd.pathFrom(probe, parisID)
-	full := append([]RouterID{probe}, path...)
+	sc.path = append(sc.path[:0], probe)
+	var reached bool
+	sc.path, reached = fwd.appendPathFrom(sc.path, probe, parisID)
+	full := sc.path
 
 	ret := n.towardTree(probe, epoch)
 
@@ -89,23 +104,36 @@ func (n *Net) Traceroute(probe RouterID, dst netip.Addr, at time.Time, parisID i
 		ParisID: parisID,
 	}
 
+	// Reserve the worst-case reply capacity up front so every hop's Replies
+	// subslices one stable backing array (no mid-run growth, no aliasing of
+	// two generations).
+	if need := opts.MaxTTL * opts.PacketsPerHop; cap(sc.replies) < need {
+		sc.replies = make([]trace.Reply, 0, need)
+	}
+	if cap(sc.hops) < opts.MaxTTL {
+		sc.hops = make([]trace.Hop, 0, opts.MaxTTL)
+	}
+	sc.replies = sc.replies[:0]
+	sc.hops = sc.hops[:0]
+
 	gap := 0
 	lastIdx := len(full) - 1
 	for i := 1; i <= opts.MaxTTL; i++ {
-		hop := trace.Hop{Index: i}
+		hopStart := len(sc.replies)
 		if i <= lastIdx {
 			target := full[i]
 			for p := 0; p < opts.PacketsPerHop; p++ {
-				hop.Replies = append(hop.Replies, n.probeHop(full, i, target, dst, dstRouter, ret, at, rng, opts))
+				sc.replies = append(sc.replies, n.probeHop(sc, full, i, target, dst, dstRouter, ret, at, rng, opts))
 			}
 		} else {
 			// Beyond the routable path (a routing dead end): packets vanish
 			// and the hop is pure timeouts, until the gap limit trips.
 			for p := 0; p < opts.PacketsPerHop; p++ {
-				hop.Replies = append(hop.Replies, trace.Reply{Timeout: true})
+				sc.replies = append(sc.replies, trace.Reply{Timeout: true})
 			}
 		}
-		res.Hops = append(res.Hops, hop)
+		hop := trace.Hop{Index: i, Replies: sc.replies[hopStart:len(sc.replies):len(sc.replies)]}
+		sc.hops = append(sc.hops, hop)
 
 		if i <= lastIdx && full[i] == dstRouter && reached {
 			break
@@ -119,12 +147,52 @@ func (n *Net) Traceroute(probe RouterID, dst netip.Addr, at time.Time, parisID i
 			gap = 0
 		}
 	}
+	res.Hops = sc.hops
 	return res, nil
+}
+
+// TracerouteWith runs one traceroute through the scratch and copies the
+// result out into exactly-sized, caller-owned memory (two allocations: the
+// hop slice and one shared reply backing array). This is what the parallel
+// generator's workers call: all the intermediate garbage — path walks,
+// per-packet return paths, slice growth — stays in the per-worker scratch.
+func (n *Net) TracerouteWith(sc *TracerouteScratch, probe RouterID, dst netip.Addr, at time.Time, parisID int, rng *rand.Rand, opts TracerouteOpts) (trace.Result, error) {
+	res, err := n.TracerouteInto(sc, probe, dst, at, parisID, rng, opts)
+	if err != nil {
+		return res, err
+	}
+	hops := make([]trace.Hop, len(res.Hops))
+	backing := make([]trace.Reply, 0, len(sc.replies))
+	for i, h := range res.Hops {
+		start := len(backing)
+		backing = append(backing, h.Replies...)
+		hops[i] = trace.Hop{Index: h.Index, Replies: backing[start:len(backing):len(backing)]}
+	}
+	res.Hops = hops
+	return res, nil
+}
+
+// Traceroute simulates one Paris traceroute from a probe-hosting router to a
+// destination address (a service address or a router interface address) at
+// the given instant. The Paris flow identifier pins ECMP decisions, so
+// repeated calls with the same id traverse the same path (modulo scenario
+// epochs). The caller supplies the PRNG, which fully determines the noise.
+// The returned Result owns its memory; working buffers come from a pooled
+// scratch, so callers issuing many traceroutes from one goroutine should
+// hold their own TracerouteScratch and use TracerouteWith instead.
+func (n *Net) Traceroute(probe RouterID, dst netip.Addr, at time.Time, parisID int, rng *rand.Rand, opts TracerouteOpts) (trace.Result, error) {
+	sc, _ := n.scratch.Get().(*TracerouteScratch)
+	if sc == nil {
+		sc = &TracerouteScratch{}
+	}
+	res, err := n.TracerouteWith(sc, probe, dst, at, parisID, rng, opts)
+	n.scratch.Put(sc)
+	return res, err
 }
 
 // probeHop simulates one packet probing hop index i (router target) of the
 // forward path and returns the resulting reply or timeout.
-func (n *Net) probeHop(full []RouterID, i int, target RouterID, dst netip.Addr, dstRouter RouterID, ret *towardTree, at time.Time, rng *rand.Rand, opts TracerouteOpts) trace.Reply {
+func (n *Net) probeHop(sc *TracerouteScratch, full []RouterID, i int, target RouterID, dst netip.Addr, dstRouter RouterID, ret *towardTree, at time.Time, rng *rand.Rand, opts TracerouteOpts) trace.Reply {
 	// Forward leg over links full[0..i].
 	fwdMS, ok := n.legDelay(full[:i+1], at, rng)
 	if !ok {
@@ -147,11 +215,12 @@ func (n *Net) probeHop(full []RouterID, i int, target RouterID, dst netip.Addr, 
 	// Return leg: the ICMP reply routes back independently. Its flow key is
 	// fixed per (replying router, probe), not per Paris id: return-path ECMP
 	// hashes on the reply's own header fields.
-	retPath, reachedProbe := ret.pathFrom(target, int(target)*2654435761)
+	sc.retPath = append(sc.retPath[:0], target)
+	retFull, reachedProbe := ret.appendPathFrom(sc.retPath, target, int(target)*2654435761)
+	sc.retPath = retFull
 	if !reachedProbe {
 		return trace.Reply{Timeout: true}
 	}
-	retFull := append([]RouterID{target}, retPath...)
 	retMS, okRet := n.legDelay(retFull, at, rng)
 	if !okRet {
 		return trace.Reply{Timeout: true}

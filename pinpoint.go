@@ -37,8 +37,11 @@
 //
 // Setting Config.Workers (or AutoWorkers) shards the detectors across CPU
 // cores via internal/engine; the alarms, events and their order are
-// guaranteed identical to a sequential run. See DESIGN.md for the shard and
-// merge architecture.
+// guaranteed identical to a sequential run. The measurement platform
+// parallelizes the same way (atlas.Platform.SetWorkers), and
+// Analyzer.RunPlatform fuses generator workers and engine shards into one
+// backpressured pipeline. See DESIGN.md for the shard, merge and reorder
+// architecture.
 //
 // See examples/ for complete programs, including the paper's three case
 // studies; `go test -bench=.` regenerates the paper-versus-measured record.
