@@ -1,21 +1,26 @@
 // Command atlasgen generates a synthetic Atlas-like traceroute dataset for
 // one of the built-in scenarios (the quiet baseline or one of the paper's
-// three case studies) and writes it as JSON Lines plus a metadata sidecar
-// (probe→AS and prefix→AS mappings needed for offline analysis).
+// three case studies) and writes it as NDJSON — gzip-compressed when the
+// output path ends in .gz — plus a metadata sidecar (probe→AS and
+// prefix→AS mappings needed for offline analysis). Generation can run on
+// several workers; the emitted stream is bit-identical for any count.
 //
 // Usage:
 //
-//	atlasgen -case ddos -scale quick -out ddos.jsonl -meta ddos.meta.json
+//	atlasgen -case ddos -scale quick -out ddos.ndjson -meta ddos.meta.json
+//	atlasgen -case ddos -o ddos.ndjson.gz -gen-workers 4
 //
-// The output is consumed by cmd/pinpoint.
+// The output is consumed by cmd/pinpoint (and cmd/ihr's -input mode).
 package main
 
 import (
+	"compress/gzip"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"strings"
 
 	"pinpoint/internal/atlas"
 	"pinpoint/internal/experiments"
@@ -28,8 +33,10 @@ func main() {
 
 	caseName := flag.String("case", "quiet", "scenario: quiet, ddos, leak or ixp")
 	scaleName := flag.String("scale", "quick", "workload scale: quick or full")
-	out := flag.String("out", "-", "results JSONL output path (- for stdout)")
+	out := flag.String("out", "-", "results NDJSON output path (- for stdout; a .gz suffix compresses)")
+	flag.StringVar(out, "o", "-", "shorthand for -out")
 	metaPath := flag.String("meta", "", "metadata JSON output path (default <out>.meta.json)")
+	genWorkers := flag.Int("gen-workers", 1, "generator workers (0 = all CPUs, 1 = sequential)")
 	flag.Parse()
 
 	scale, err := experiments.ParseScale(*scaleName)
@@ -41,15 +48,21 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	c.Platform.SetWorkers(*genWorkers)
 
 	var w io.Writer = os.Stdout
+	var file *os.File
 	if *out != "-" {
-		f, err := os.Create(*out)
+		file, err = os.Create(*out)
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer f.Close()
-		w = f
+		w = file
+	}
+	var zw *gzip.Writer
+	if strings.HasSuffix(*out, ".gz") {
+		zw = gzip.NewWriter(w)
+		w = zw
 	}
 	if *metaPath == "" && *out != "-" {
 		*metaPath = *out + ".meta.json"
@@ -67,6 +80,16 @@ func main() {
 	if err := tw.Flush(); err != nil {
 		log.Fatal(err)
 	}
+	if zw != nil {
+		if err := zw.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if file != nil {
+		if err := file.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	if *metaPath != "" {
 		f, err := os.Create(*metaPath)
@@ -81,8 +104,9 @@ func main() {
 		}
 	}
 
-	fmt.Fprintf(os.Stderr, "atlasgen: %s (%s): %d traceroutes, %s .. %s\n",
-		c.Name, c.Description, n, c.Start.Format("2006-01-02 15:04"), c.End.Format("2006-01-02 15:04"))
+	fmt.Fprintf(os.Stderr, "atlasgen: %s (%s): %d traceroutes, %s .. %s (%d generator workers)\n",
+		c.Name, c.Description, n, c.Start.Format("2006-01-02 15:04"), c.End.Format("2006-01-02 15:04"),
+		c.Platform.Workers())
 	for _, win := range c.EventWindows {
 		fmt.Fprintf(os.Stderr, "atlasgen: injected event %s .. %s\n",
 			win[0].Format("2006-01-02 15:04"), win[1].Format("15:04"))

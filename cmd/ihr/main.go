@@ -6,6 +6,11 @@
 // Usage:
 //
 //	ihr -case ddos -scale quick -addr :8080
+//	ihr -case ddos -input ddos.ndjson.gz -decode-workers 4
+//
+// With -input the server replays an NDJSON dump (e.g. from atlasgen)
+// through the parallel ingest pipeline instead of generating live; the
+// -case still supplies the probe/prefix metadata and the display window.
 //
 // Endpoints:
 //
@@ -24,6 +29,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"runtime"
 	"strconv"
 	"sync"
 	"time"
@@ -32,9 +38,27 @@ import (
 	"pinpoint/internal/delay"
 	"pinpoint/internal/experiments"
 	"pinpoint/internal/forwarding"
+	"pinpoint/internal/ingest"
 	"pinpoint/internal/ipmap"
 	"pinpoint/internal/trace"
 )
+
+// runtimeWorkers resolves the 0 = all-CPUs flag convention for reporting.
+func runtimeWorkers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// splitPaths parses the -input list, rejecting an effectively empty one.
+func splitPaths(s string) []string {
+	out := ingest.SplitPaths(s)
+	if len(out) == 0 {
+		log.Fatal("-input lists no dump paths")
+	}
+	return out
+}
 
 type server struct {
 	mu       sync.RWMutex
@@ -71,11 +95,13 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("ihr: ")
 
-	caseName := flag.String("case", "ddos", "scenario: quiet, ddos, leak or ixp")
+	caseName := flag.String("case", "ddos", "scenario: quiet, ddos, leak or ixp (with -input, supplies the metadata)")
 	scaleName := flag.String("scale", "quick", "workload scale: quick or full")
 	addr := flag.String("addr", ":8080", "HTTP listen address")
 	workers := flag.Int("workers", 0, "analysis worker shards (0 = all CPUs, 1 = sequential)")
 	genWorkers := flag.Int("gen-workers", 0, "measurement generator workers (0 = all CPUs, 1 = sequential)")
+	input := flag.String("input", "", "comma-separated NDJSON dump paths to analyze instead of live generation (.gz ok, - for stdin)")
+	decodeWorkers := flag.Int("decode-workers", 0, "NDJSON decode workers for -input (0 = all CPUs, 1 = sequential)")
 	flag.Parse()
 
 	scale, err := experiments.ParseScale(*scaleName)
@@ -114,22 +140,34 @@ func main() {
 
 	c.Platform.SetWorkers(*genWorkers)
 	go func() {
-		// Fused pipeline: the platform's generator workers produce
-		// chronologically reordered chunks and this goroutine ingests each
-		// one directly — no intermediate channel hop or relay goroutine.
-		// The lock covers the analyzer and aggregator mutation: handlers
-		// read them (Events, magnitudes) under RLock, so writing outside
-		// the lock would be a data race on the series maps. Generation
-		// still overlaps analysis — the generator workers run ahead within
-		// their reorder window while this chunk is ingested.
-		t0 := time.Now()
-		err := c.Platform.RunChunks(context.Background(), c.Start, c.End, 0, func(rs []trace.Result) error {
+		// Both sources feed chronologically ordered batches straight into
+		// ObserveBatch on this goroutine — fused generation (parallel
+		// generator workers, no intermediate channel hop) or dump replay
+		// (parallel NDJSON decode workers behind a reorder buffer). The
+		// lock covers the analyzer and aggregator mutation: handlers read
+		// them (Events, magnitudes) under RLock, so writing outside the
+		// lock would be a data race on the series maps. Producers still
+		// overlap analysis — they run ahead within their reorder window
+		// while this batch is ingested.
+		ingestBatch := func(rs []trace.Result) error {
 			s.mu.Lock()
 			s.results += len(rs)
 			a.ObserveBatch(rs)
 			s.mu.Unlock()
 			return nil
-		})
+		}
+		t0 := time.Now()
+		var err error
+		var producer string
+		if *input != "" {
+			var st ingest.Stats
+			st, err = ingest.Files(context.Background(), splitPaths(*input),
+				ingest.Options{Workers: *decodeWorkers}, ingestBatch)
+			producer = fmt.Sprintf("%d decode workers, %d dump lines", runtimeWorkers(*decodeWorkers), st.Lines)
+		} else {
+			err = c.Platform.RunChunks(context.Background(), c.Start, c.End, 0, ingestBatch)
+			producer = fmt.Sprintf("%d generator workers", c.Platform.Workers())
+		}
 		s.mu.Lock()
 		a.Flush()
 		a.Close()
@@ -140,9 +178,9 @@ func main() {
 			return
 		}
 		elapsed := time.Since(t0)
-		log.Printf("analysis complete: %d results in %s (%.0f results/s; %d engine workers, %d generator workers)",
+		log.Printf("analysis complete: %d results in %s (%.0f results/s; %d engine workers, %s)",
 			s.results, elapsed.Round(time.Millisecond), float64(s.results)/elapsed.Seconds(),
-			a.Workers(), c.Platform.Workers())
+			a.Workers(), producer)
 	}()
 
 	mux := http.NewServeMux()

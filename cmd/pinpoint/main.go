@@ -1,22 +1,28 @@
 // Command pinpoint analyzes a traceroute dataset offline: it runs the full
 // detection pipeline (differential-RTT delay changes, forwarding anomalies,
-// per-AS aggregation) over a JSONL stream and prints alarms, per-AS
+// per-AS aggregation) over an NDJSON dump and prints alarms, per-AS
 // magnitudes, and major events. With -case it instead generates one of the
 // built-in scenarios and analyzes it in place through the fused pipeline
-// (parallel generator workers feeding the sharded engine directly).
+// (parallel generator workers feeding the sharded engine directly); -case
+// combined with -input replays a dump of that scenario (e.g. from
+// atlasgen) through the parallel ingest pipeline, with the case supplying
+// the probe and prefix metadata — no sidecar file needed.
+//
+// Dumps may be gzip-compressed (auto-detected), read from stdin (-), and
+// -input accepts a comma-separated list replayed as one stream.
 //
 // Usage:
 //
-//	pinpoint -in ddos.jsonl -meta ddos.jsonl.meta.json
+//	pinpoint -in ddos.ndjson -meta ddos.ndjson.meta.json
 //	atlasgen -case leak | pinpoint -meta leak.meta.json
 //	pinpoint -case ddos -scale quick -gen-workers 4 -workers 4
+//	pinpoint -case ddos -input ddos.ndjson.gz -decode-workers 4
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"io"
 	"log"
 	"net/netip"
 	"os"
@@ -26,20 +32,34 @@ import (
 	"pinpoint/internal/atlas"
 	"pinpoint/internal/core"
 	"pinpoint/internal/experiments"
+	"pinpoint/internal/ingest"
+	"pinpoint/internal/ipmap"
 	"pinpoint/internal/report"
 	"pinpoint/internal/timeseries"
 	"pinpoint/internal/trace"
 )
 
+// splitPaths parses the -input list, rejecting an effectively empty one.
+func splitPaths(s string) []string {
+	out := ingest.SplitPaths(s)
+	if len(out) == 0 {
+		log.Fatal("-input lists no dump paths")
+	}
+	return out
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("pinpoint: ")
 
-	in := flag.String("in", "-", "results JSONL input path (- for stdin)")
-	metaPath := flag.String("meta", "", "metadata JSON path (required unless -case)")
-	caseName := flag.String("case", "", "generate and analyze a scenario (quiet, ddos, leak, ixp) instead of reading JSONL")
+	in := flag.String("in", "-", "results NDJSON input path (- for stdin; gzip auto-detected)")
+	input := flag.String("input", "", "comma-separated dump paths to replay (NDJSON, .gz ok, - for stdin); with -case the case supplies the metadata")
+	metaPath := flag.String("meta", "", "metadata JSON path (required for dump input unless -case)")
+	caseName := flag.String("case", "", "generate and analyze a scenario (quiet, ddos, leak, ixp) — or, with -input, supply its metadata for a dump replay")
 	scaleName := flag.String("scale", "quick", "workload scale for -case: quick or full")
 	genWorkers := flag.Int("gen-workers", 0, "generator workers for -case (0 = all CPUs, 1 = sequential)")
+	decodeWorkers := flag.Int("decode-workers", 0, "NDJSON decode workers for dump input (0 = all CPUs, 1 = sequential)")
+	skipBad := flag.Bool("skip-bad", false, "tolerate undecodable dump lines (skipped count is reported) instead of aborting")
 	threshold := flag.Float64("threshold", 10, "event magnitude threshold")
 	window := flag.Duration("window", 7*24*time.Hour, "magnitude sliding window")
 	workers := flag.Int("workers", 0, "analysis worker shards (0 = all CPUs, 1 = sequential)")
@@ -61,18 +81,53 @@ func main() {
 		first, last time.Time
 		elapsed     time.Duration
 	)
+	var c *experiments.Case
 	if *caseName != "" {
 		scale, err := experiments.ParseScale(*scaleName)
 		if err != nil {
 			log.Fatal(err)
 		}
-		c, err := experiments.NewCase(*caseName, scale)
+		c, err = experiments.NewCase(*caseName, scale)
 		if err != nil {
 			log.Fatal(err)
 		}
+	}
+
+	if *input != "" && *in != "-" {
+		log.Fatal("-in and -input are mutually exclusive; list every dump in -input")
+	}
+	if c != nil && *in != "-" {
+		log.Fatal("-case generates its own data; use -input to replay a dump of the case")
+	}
+
+	// replay analyzes one or more NDJSON dumps through the parallel ingest
+	// pipeline (gzip auto-detected, ordered reorder-buffer delivery).
+	replay := func(paths []string, probeASN func(int) (ipmap.ASN, bool), table *ipmap.Table) {
+		a = core.New(cfg, probeASN, table)
+		opts := ingest.Options{Workers: *decodeWorkers}
+		if *skipBad {
+			opts.OnError = func(*ingest.LineError) error { return nil }
+		}
+		t0 := time.Now()
+		st, err := a.RunFiles(context.Background(), paths, opts, func(rs []trace.Result) {
+			if first.IsZero() {
+				first = rs[0].Time
+			}
+			last = rs[len(rs)-1].Time
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		elapsed = time.Since(t0)
+		fmt.Printf("ingested %d lines (%d results, %d skipped) from %d dump(s)\n",
+			st.Lines, st.Results, st.Skipped, len(paths))
+	}
+
+	switch {
+	case c != nil && *input == "":
+		// Fused mode: generate and analyze in place.
 		c.Platform.SetWorkers(*genWorkers)
 		a = core.New(cfg, c.Platform.ProbeASN, c.Net.Prefixes())
-		defer a.Close()
 		t0 := time.Now()
 		if err := a.RunPlatform(context.Background(), c.Platform, c.Start, c.End); err != nil {
 			log.Fatal(err)
@@ -81,7 +136,12 @@ func main() {
 		first, last = c.Start, c.End
 		fmt.Printf("case %s (%s), fused pipeline: %d generator workers\n",
 			c.Name, c.Description, c.Platform.Workers())
-	} else {
+	case c != nil:
+		// Mixed mode: replay a dump of the scenario; the case supplies the
+		// probe and prefix metadata instead of a -meta sidecar.
+		fmt.Printf("case %s (%s), dump replay\n", c.Name, c.Description)
+		replay(splitPaths(*input), c.Platform.ProbeASN, c.Net.Prefixes())
+	default:
 		if *metaPath == "" {
 			log.Fatal("-meta is required (probe and prefix mappings)")
 		}
@@ -98,45 +158,13 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-
-		var r io.Reader = os.Stdin
-		if *in != "-" {
-			f, err := os.Open(*in)
-			if err != nil {
-				log.Fatal(err)
-			}
-			defer f.Close()
-			r = f
+		paths := []string{*in}
+		if *input != "" {
+			paths = splitPaths(*input)
 		}
-
-		a = core.New(cfg, meta.ProbeASN(), table)
-		defer a.Close()
-
-		tr := trace.NewReader(r)
-		t0 := time.Now()
-		batch := make([]trace.Result, 0, atlas.DefaultBatchSize)
-		for {
-			res, err := tr.Read()
-			if err == io.EOF {
-				break
-			}
-			if err != nil {
-				log.Fatal(err)
-			}
-			if first.IsZero() {
-				first = res.Time
-			}
-			last = res.Time
-			batch = append(batch, res)
-			if len(batch) == cap(batch) {
-				a.ObserveBatch(batch)
-				batch = batch[:0]
-			}
-		}
-		a.ObserveBatch(batch)
-		a.Flush()
-		elapsed = time.Since(t0)
+		replay(paths, meta.ProbeASN(), table)
 	}
+	defer a.Close()
 
 	fmt.Printf("processed %d results, %s .. %s (%.0f results/s end-to-end)\n",
 		a.Results(), first.Format("2006-01-02 15:04"), last.Format("2006-01-02 15:04"),

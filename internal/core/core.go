@@ -17,6 +17,7 @@ package core
 
 import (
 	"context"
+	"io"
 	"runtime"
 	"time"
 
@@ -26,6 +27,7 @@ import (
 	"pinpoint/internal/events"
 	"pinpoint/internal/forwarding"
 	"pinpoint/internal/ident"
+	"pinpoint/internal/ingest"
 	"pinpoint/internal/ipmap"
 	"pinpoint/internal/trace"
 )
@@ -284,6 +286,52 @@ func (a *Analyzer) RunPlatform(ctx context.Context, p *atlas.Platform, from, to 
 	})
 	a.Flush()
 	return err
+}
+
+// RunReader is the ingestion twin of RunPlatform: it streams an NDJSON
+// traceroute dump from r (gzip auto-detected) through the parallel decoder
+// of internal/ingest and ingests every ordered batch on this goroutine —
+// decode workers run ahead within their reorder window while the engine
+// ingests behind, with the same determinism guarantee as the fused
+// generator: analysis output is bit-identical for every decode worker
+// count. When opts.ChunkSize is 0 the engine's batch size is used, so
+// delivered batches match the extraction batches downstream. Flush runs in
+// all exit paths; decode statistics are returned alongside any run error.
+//
+// Optional onBatch observers run after each batch is ingested (e.g. to
+// track result timestamps); callers that must wrap ObserveBatch itself in
+// a lock (cmd/ihr) drive ingest.Decode/Files directly instead.
+func (a *Analyzer) RunReader(ctx context.Context, r io.Reader, opts ingest.Options, onBatch ...func([]trace.Result)) (ingest.Stats, error) {
+	return a.runIngest(opts, onBatch, func(o ingest.Options, fn func([]trace.Result) error) (ingest.Stats, error) {
+		return ingest.Decode(ctx, r, o, fn)
+	})
+}
+
+// RunFiles is RunReader over one or more dump files replayed in order as a
+// single logical stream ("-" reads stdin; gzip is auto-detected per file).
+func (a *Analyzer) RunFiles(ctx context.Context, paths []string, opts ingest.Options, onBatch ...func([]trace.Result)) (ingest.Stats, error) {
+	return a.runIngest(opts, onBatch, func(o ingest.Options, fn func([]trace.Result) error) (ingest.Stats, error) {
+		return ingest.Files(ctx, paths, o, fn)
+	})
+}
+
+// runIngest is the single implementation behind RunReader and RunFiles:
+// engine-sized batches, ingestion + observers per ordered batch, Flush on
+// every exit path.
+func (a *Analyzer) runIngest(opts ingest.Options, onBatch []func([]trace.Result),
+	decode func(ingest.Options, func([]trace.Result) error) (ingest.Stats, error)) (ingest.Stats, error) {
+	if opts.ChunkSize <= 0 {
+		opts.ChunkSize = a.cfg.BatchSize // 0 falls through to ingest's default
+	}
+	st, err := decode(opts, func(rs []trace.Result) error {
+		a.ObserveBatch(rs)
+		for _, ob := range onBatch {
+			ob(rs)
+		}
+		return nil
+	})
+	a.Flush()
+	return st, err
 }
 
 // Results returns how many traceroute results have been ingested.

@@ -1,0 +1,558 @@
+// Package ingest is the streaming wire-format ingestion pipeline: it reads
+// RIPE Atlas-format NDJSON traceroute dumps (plain or gzip, single file,
+// stdin or multi-file) and decodes them into trace.Result batches — the
+// real-data twin of the internal/atlas measurement generator, and the
+// second parallel producer that can feed the sharded engine.
+//
+// Parallel decoding preserves the determinism guarantee of the rest of the
+// pipeline: a single chunker goroutine cuts the line stream into
+// sequence-numbered chunks of whole lines, N workers decode chunks
+// concurrently, and a window-bounded reorder buffer releases decoded
+// batches strictly in input order. The delivered stream — batch boundaries
+// included — is bit-identical to a sequential decode for every worker
+// count, because chunk cutting is a function of the input alone and decode
+// work carries no cross-line state.
+//
+// Real dumps are full of measurement artifacts (timeouts, late and error
+// packets, replies without RTTs); the per-reply leniency lives in
+// trace.Result's wire decoder, while this package's error policy
+// (Options.OnError) governs whole lines that fail to decode at all:
+// by default the first bad line aborts the stream with a *LineError, or a
+// caller-supplied hook may count/log and skip it. Policy decisions are made
+// at delivery time on the ordered stream, so they too are independent of
+// the worker count.
+package ingest
+
+import (
+	"bufio"
+	"compress/gzip"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"pinpoint/internal/trace"
+)
+
+// DefaultChunkSize is how many lines one decode chunk — and hence one
+// delivered batch — holds when Options.ChunkSize is 0. It matches the
+// engine's default extraction batch, so a default ingest run hands the
+// analyzer engine-sized batches.
+const DefaultChunkSize = 256
+
+// MaxLineBytes bounds a single NDJSON line, matching trace.NewReader. An
+// oversized line is drained (the stream stays aligned on the next newline)
+// and reported through the error policy as a *LineError wrapping
+// ErrLineTooLong, so a lenient OnError can skip it and keep going.
+const MaxLineBytes = 16 * 1024 * 1024
+
+// ErrLineTooLong reports a line exceeding MaxLineBytes; it reaches the
+// error policy wrapped in a *LineError.
+var ErrLineTooLong = fmt.Errorf("line exceeds the %d MiB limit", MaxLineBytes/(1024*1024))
+
+// Stats summarizes one ingestion run. When a run aborts early, Lines and
+// Bytes count what the chunker had scanned — with parallel workers that can
+// be slightly ahead of what was delivered.
+type Stats struct {
+	Lines   int   // physical lines scanned, including blank and failed ones
+	Results int   // results delivered to the consumer
+	Skipped int   // non-blank lines dropped by the error policy
+	Bytes   int64 // decompressed payload bytes scanned (line terminators excluded)
+}
+
+// LineError locates a decode (or validation) failure in the input stream.
+type LineError struct {
+	File string // input name ("-" for stdin, "<reader>" for Decode)
+	Line int    // 1-based line number within File
+	Err  error
+}
+
+// Error implements error.
+func (e *LineError) Error() string {
+	return fmt.Sprintf("ingest: %s:%d: %v", e.File, e.Line, e.Err)
+}
+
+// Unwrap exposes the underlying decode error for errors.Is/As.
+func (e *LineError) Unwrap() error { return e.Err }
+
+// Options configures an ingestion run. The zero value decodes with
+// GOMAXPROCS workers, engine-sized batches and a strict error policy.
+type Options struct {
+	// Workers is how many goroutines decode chunks concurrently. 0 means
+	// GOMAXPROCS; 1 decodes inline on the caller's goroutine with no
+	// goroutines at all. The delivered stream is identical for every value.
+	Workers int
+
+	// ChunkSize is how many non-blank lines are decoded per chunk; each
+	// chunk yields at most one delivered batch (bad lines shrink it).
+	// 0 means DefaultChunkSize.
+	ChunkSize int
+
+	// Validate additionally rejects results that decode but violate the
+	// structural invariants of trace.Result.Validate (valid endpoints,
+	// ascending hop indices); the violation is reported through the same
+	// error policy as a decode failure.
+	Validate bool
+
+	// OnError is the per-line error policy, invoked in input order. nil
+	// aborts the stream at the first bad line (the run error is a
+	// *LineError). A non-nil hook returning nil skips the line and
+	// continues; returning an error aborts the stream with that error.
+	// On abort, the batch of the chunk containing the offending line is
+	// withheld, so consumers never observe results past an abort point.
+	OnError func(*LineError) error
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.ChunkSize <= 0 {
+		o.ChunkSize = DefaultChunkSize
+	}
+	return o
+}
+
+// Decode streams NDJSON traceroute results from r (gzip auto-detected by
+// magic bytes), delivering them in input order as batches to fn. A non-nil
+// error from fn aborts the run and is returned.
+func Decode(ctx context.Context, r io.Reader, opts Options, fn func([]trace.Result) error) (Stats, error) {
+	return run(ctx, []source{{name: "<reader>", r: r}}, opts, fn)
+}
+
+// File decodes one dump file. Path "-" reads stdin; gzip is auto-detected
+// regardless of the file name.
+func File(ctx context.Context, path string, opts Options, fn func([]trace.Result) error) (Stats, error) {
+	return Files(ctx, []string{path}, opts, fn)
+}
+
+// SplitPaths splits a comma-separated dump-path list (the CLIs' -input
+// syntax), trimming whitespace and dropping empty segments so a trailing
+// comma cannot become an opaque open("") failure mid-run. The result may
+// be empty; callers decide how to reject that.
+func SplitPaths(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Files decodes several dumps in order as one logical stream (per-file
+// gzip detection, per-file line numbering in errors). Files are opened
+// lazily as the stream reaches them, so an unreadable later file surfaces
+// only after the preceding files' results were delivered — the same
+// behavior as catting the files through one reader.
+func Files(ctx context.Context, paths []string, opts Options, fn func([]trace.Result) error) (Stats, error) {
+	srcs := make([]source, len(paths))
+	for i, p := range paths {
+		srcs[i] = source{name: p}
+	}
+	return run(ctx, srcs, opts, fn)
+}
+
+// source is one named input: either an already-open reader (Decode) or a
+// path the chunker opens when the stream reaches it.
+type source struct {
+	name string
+	r    io.Reader
+}
+
+// lineChunk is the unit of worker handoff: up to ChunkSize non-blank lines
+// copied out of the reader's buffer (read slices die on the next read),
+// with their 1-based line numbers for error attribution. errs carries
+// read-level per-line failures the chunker itself detected (oversized
+// lines); decode workers merge them with decode failures in line order.
+type lineChunk struct {
+	seq   uint64
+	file  string
+	buf   []byte // concatenated line payloads
+	ends  []int  // end offset of line i in buf
+	lines []int  // line number of line i within file
+	errs  []LineError
+}
+
+// chunkPool recycles chunk buffers once a decode worker has drained them.
+var chunkPool = sync.Pool{New: func() any { return new(lineChunk) }}
+
+// decodedChunk is a worker's output: the chunk's results in line order plus
+// any per-line failures, keyed by the chunk's sequence number for reorder.
+type decodedChunk struct {
+	seq     uint64
+	results []trace.Result
+	errs    []LineError
+}
+
+// decodeChunk decodes every line of c. Results go into a fresh slice — the
+// consumer may retain delivered batches, mirroring atlas.RunChunks — and
+// failures (the chunker's read-level ones plus decode ones) become
+// LineErrors in line order.
+func decodeChunk(c *lineChunk, validate bool) ([]trace.Result, []LineError) {
+	results := make([]trace.Result, 0, len(c.ends))
+	var errs []LineError
+	if len(c.errs) > 0 {
+		errs = append(errs, c.errs...)
+	}
+	start := 0
+	for i, end := range c.ends {
+		line := c.buf[start:end]
+		start = end
+		var res trace.Result
+		err := json.Unmarshal(line, &res)
+		if err == nil && validate {
+			err = res.Validate()
+		}
+		if err != nil {
+			errs = append(errs, LineError{File: c.file, Line: c.lines[i], Err: err})
+			continue
+		}
+		results = append(results, res)
+	}
+	// Chunker and decode errors each arrive line-ascending; restore the
+	// global line order across the two lists (at most one error per line,
+	// so the sort is deterministic).
+	if len(c.errs) > 0 && len(errs) > len(c.errs) {
+		sort.Slice(errs, func(i, j int) bool { return errs[i].Line < errs[j].Line })
+	}
+	return results, errs
+}
+
+// deliver applies the error policy (in line order) and hands the chunk's
+// batch to fn. It runs on the ordered stream — the caller's goroutine —
+// for every worker count, which is what makes abort/skip decisions and
+// Stats deterministic.
+func deliver(st *Stats, opts Options, results []trace.Result, errs []LineError, fn func([]trace.Result) error) error {
+	for i := range errs {
+		if opts.OnError == nil {
+			return &errs[i]
+		}
+		if err := opts.OnError(&errs[i]); err != nil {
+			return err
+		}
+		st.Skipped++
+	}
+	if len(results) == 0 {
+		return nil
+	}
+	st.Results += len(results)
+	return fn(results)
+}
+
+// chunker owns the read side: it opens sources, detects gzip, scans lines
+// and cuts sequence-numbered chunks. Exactly one goroutine runs it, so
+// chunk contents and sequence are a function of the input alone, never of
+// scheduling — the root of the worker-count equivalence guarantee.
+type chunker struct {
+	srcs  []source
+	size  int
+	seq   uint64
+	lines int
+	bytes int64
+	err   error // first open/read error; reported after ordered delivery
+}
+
+// run scans all sources, calling emit for each cut chunk. emit returning
+// false stops the scan. Sequence numbers are assigned at emission, so the
+// emitted sequence is contiguous even when a source ends on an empty chunk.
+func (ck *chunker) run(emit func(*lineChunk) bool) {
+	numbered := func(c *lineChunk) bool {
+		c.seq = ck.seq
+		ck.seq++
+		return emit(c)
+	}
+	for _, src := range ck.srcs {
+		if !ck.scan(src, numbered) {
+			return
+		}
+	}
+}
+
+// scan chunks one source. It returns false when emission was stopped or a
+// read error ended the stream; complete lines scanned before a read error
+// are still emitted (the error surfaces after their ordered delivery).
+func (ck *chunker) scan(src source, emit func(*lineChunk) bool) bool {
+	r := src.r
+	var closers []io.Closer
+	defer func() {
+		for _, c := range closers {
+			c.Close()
+		}
+	}()
+	if r == nil {
+		if src.name == "-" {
+			r = os.Stdin
+		} else {
+			f, err := os.Open(src.name)
+			if err != nil {
+				ck.err = fmt.Errorf("ingest: %w", err)
+				return false
+			}
+			closers = append(closers, f)
+			r = f
+		}
+	}
+	// One buffered reader serves both the gzip magic peek and, for plain
+	// sources, line scanning itself — no second copy through a nested
+	// bufio on the chunker, the pipeline's serial stage. Only decompressed
+	// gzip output needs its own line buffer.
+	lr := bufio.NewReaderSize(r, 256*1024)
+	if magic, err := lr.Peek(2); err == nil && magic[0] == 0x1f && magic[1] == 0x8b {
+		zr, err := gzip.NewReader(lr)
+		if err != nil {
+			ck.err = fmt.Errorf("ingest: %s: %w", src.name, err)
+			return false
+		}
+		closers = append(closers, zr)
+		lr = bufio.NewReaderSize(zr, 256*1024)
+	}
+	line := 0
+	c := newChunk(src.name)
+	flush := func() bool {
+		if len(c.ends) == 0 && len(c.errs) == 0 {
+			return true
+		}
+		out := c
+		c = newChunk(src.name)
+		return emit(out)
+	}
+	full := func() bool { return len(c.ends) >= ck.size || len(c.errs) >= ck.size }
+	var acc []byte // continuation buffer for lines spanning reader buffers
+	for {
+		frag, rerr := lr.ReadSlice('\n')
+		if rerr == bufio.ErrBufferFull {
+			acc = append(acc, frag...)
+			if len(acc) <= MaxLineBytes {
+				continue
+			}
+			// Oversized line: drain to the next newline so the stream stays
+			// aligned, report it through the error policy, keep scanning.
+			drained := int64(len(acc))
+			acc = acc[:0]
+			for rerr == bufio.ErrBufferFull {
+				frag, rerr = lr.ReadSlice('\n')
+				drained += int64(len(frag))
+			}
+			if rerr == nil {
+				drained-- // the newline terminator is not payload
+			}
+			line++
+			ck.lines++
+			ck.bytes += drained
+			c.errs = append(c.errs, LineError{File: src.name, Line: line, Err: ErrLineTooLong})
+			if full() && !flush() {
+				chunkPool.Put(c)
+				return false
+			}
+			if rerr == io.EOF {
+				break
+			}
+			if rerr != nil {
+				ck.err = fmt.Errorf("ingest: %s: %w", src.name, rerr)
+				break
+			}
+			continue
+		}
+		if rerr != nil && rerr != io.EOF {
+			// Read/decompression failure mid-line (e.g. truncated gzip):
+			// the trailing fragment is not a complete line — drop it so the
+			// stream error surfaces instead of a phantom JSON failure on a
+			// line that never existed in the input.
+			ck.err = fmt.Errorf("ingest: %s: %w", src.name, rerr)
+			break
+		}
+		b := frag
+		if rerr == nil {
+			b = b[:len(b)-1] // strip the newline
+		}
+		if len(acc) > 0 {
+			acc = append(acc, b...)
+			b = acc
+		}
+		if n := len(b); n > 0 && b[n-1] == '\r' { // CRLF dumps
+			b = b[:n-1]
+		}
+		if len(b) > 0 || rerr == nil {
+			line++
+			ck.lines++
+			ck.bytes += int64(len(b))
+			if len(b) > MaxLineBytes {
+				// The final fragment pushed the line over the limit (the
+				// in-flight check above only fires between buffer refills).
+				c.errs = append(c.errs, LineError{File: src.name, Line: line, Err: ErrLineTooLong})
+			} else if len(b) > 0 {
+				c.buf = append(c.buf, b...)
+				c.ends = append(c.ends, len(c.buf))
+				c.lines = append(c.lines, line)
+			}
+			if full() && !flush() {
+				chunkPool.Put(c)
+				return false
+			}
+		}
+		acc = acc[:0]
+		if rerr == io.EOF {
+			break
+		}
+	}
+	if !flush() {
+		chunkPool.Put(c)
+		return false
+	}
+	chunkPool.Put(c)
+	return ck.err == nil
+}
+
+func newChunk(file string) *lineChunk {
+	c := chunkPool.Get().(*lineChunk)
+	c.file = file
+	c.buf = c.buf[:0]
+	c.ends = c.ends[:0]
+	c.lines = c.lines[:0]
+	c.errs = c.errs[:0]
+	return c
+}
+
+func run(ctx context.Context, srcs []source, opts Options, fn func([]trace.Result) error) (Stats, error) {
+	opts = opts.withDefaults()
+	ck := &chunker{srcs: srcs, size: opts.ChunkSize}
+	if opts.Workers == 1 {
+		return runSeq(ctx, ck, opts, fn)
+	}
+	return runPar(ctx, ck, opts, fn)
+}
+
+// runSeq is the inline path: chunk, decode and deliver on the caller's
+// goroutine. It shares the chunker and the delivery policy with runPar, so
+// the two paths cannot drift apart.
+func runSeq(ctx context.Context, ck *chunker, opts Options, fn func([]trace.Result) error) (Stats, error) {
+	var (
+		st     Stats
+		runErr error
+	)
+	ck.run(func(c *lineChunk) bool {
+		if err := ctx.Err(); err != nil {
+			runErr = err
+			chunkPool.Put(c)
+			return false
+		}
+		results, errs := decodeChunk(c, opts.Validate)
+		chunkPool.Put(c)
+		if err := deliver(&st, opts, results, errs, fn); err != nil {
+			runErr = err
+			return false
+		}
+		return true
+	})
+	st.Lines, st.Bytes = ck.lines, ck.bytes
+	if runErr == nil {
+		runErr = ck.err
+	}
+	if runErr == nil {
+		runErr = ctx.Err()
+	}
+	return st, runErr
+}
+
+// runPar is the parallel path, mirroring the atlas generator's topology in
+// the opposite direction: one chunker goroutine cuts sequence-numbered line
+// chunks, workers decode them concurrently, and the caller's goroutine
+// reorders completed chunks by sequence and delivers them — so delivery
+// order, batch grouping and every byte of every result match the
+// sequential path. A window semaphore bounds in-flight chunks (and with
+// them the reorder buffer), back-pressuring the chunker when the consumer
+// is the bottleneck.
+func runPar(ctx context.Context, ck *chunker, opts Options, fn func([]trace.Result) error) (Stats, error) {
+	workers := opts.Workers
+	ctx2, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	tasks := make(chan *lineChunk, workers)
+	results := make(chan *decodedChunk, workers)
+	window := make(chan struct{}, 4*workers) // in-flight chunk bound
+
+	go func() {
+		defer close(tasks)
+		ck.run(func(c *lineChunk) bool {
+			select {
+			case window <- struct{}{}:
+			case <-ctx2.Done():
+				chunkPool.Put(c)
+				return false
+			}
+			select {
+			case tasks <- c:
+				return true
+			case <-ctx2.Done():
+				chunkPool.Put(c)
+				return false
+			}
+		})
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range tasks {
+				dc := &decodedChunk{seq: c.seq}
+				dc.results, dc.errs = decodeChunk(c, opts.Validate)
+				chunkPool.Put(c)
+				select {
+				case results <- dc:
+				case <-ctx2.Done():
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Reorder and deliver on the caller's goroutine. pending holds chunks
+	// that decoded ahead of sequence; its size is bounded by the window.
+	var (
+		st      Stats
+		next    uint64
+		runErr  error
+		pending = make(map[uint64]*decodedChunk, 4*workers)
+	)
+	for dc := range results {
+		pending[dc.seq] = dc
+		for runErr == nil {
+			c, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			next++
+			<-window // chunk leaves flight; chunker may refill
+			if err := deliver(&st, opts, c.results, c.errs, fn); err != nil {
+				runErr = err
+			}
+		}
+		if runErr != nil {
+			cancel() // stop chunker and workers; results will close
+		}
+	}
+	// The chunker exited before tasks closed, which happened before the
+	// workers exited, which happened before results closed — so its
+	// counters and read error are safely visible here.
+	st.Lines, st.Bytes = ck.lines, ck.bytes
+	if runErr == nil {
+		runErr = ck.err
+	}
+	if runErr == nil {
+		runErr = ctx.Err()
+	}
+	return st, runErr
+}

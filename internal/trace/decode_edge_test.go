@@ -1,0 +1,219 @@
+package trace
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+)
+
+// TestDecodeArtifacts is the table-driven artifact suite: every measurement
+// artifact class observed in real Atlas dumps (cf. Viger et al. on
+// traceroute measurement artifacts) either decodes to the documented value
+// or fails with a typed error — never silently wrong, never a panic.
+func TestDecodeArtifacts(t *testing.T) {
+	type replyWant struct {
+		timeout bool
+		from    string
+		rtt     float64
+	}
+	cases := []struct {
+		name  string
+		line  string // full wire line
+		hops  int    // expected hop count (when no error)
+		reply *replyWant
+		// error expectations (mutually exclusive with the above)
+		wantErr   bool
+		addrField string // non-empty: expect *AddrError with this Field
+		syntaxErr bool   // expect *json.SyntaxError
+		typeErr   bool   // expect *json.UnmarshalTypeError
+	}{
+		{
+			name:  "timeout marker",
+			line:  `{"src_addr":"1.1.1.1","dst_addr":"2.2.2.2","result":[{"hop":1,"result":[{"x":"*"}]}]}`,
+			hops:  1,
+			reply: &replyWant{timeout: true},
+		},
+		{
+			name:  "nonstandard x marker still a timeout",
+			line:  `{"src_addr":"1.1.1.1","dst_addr":"2.2.2.2","result":[{"hop":1,"result":[{"x":"?"}]}]}`,
+			hops:  1,
+			reply: &replyWant{timeout: true},
+		},
+		{
+			name:  "missing rtt degrades to timeout",
+			line:  `{"src_addr":"1.1.1.1","dst_addr":"2.2.2.2","result":[{"hop":1,"result":[{"from":"3.3.3.3"}]}]}`,
+			hops:  1,
+			reply: &replyWant{timeout: true},
+		},
+		{
+			name:  "late packet degrades to timeout",
+			line:  `{"src_addr":"1.1.1.1","dst_addr":"2.2.2.2","result":[{"hop":1,"result":[{"from":"3.3.3.3","late":2}]}]}`,
+			hops:  1,
+			reply: &replyWant{timeout: true},
+		},
+		{
+			name:  "err field degrades to timeout even with rtt",
+			line:  `{"src_addr":"1.1.1.1","dst_addr":"2.2.2.2","result":[{"hop":1,"result":[{"err":"N - network unreachable","from":"3.3.3.3","rtt":4.5}]}]}`,
+			hops:  1,
+			reply: &replyWant{timeout: true},
+		},
+		{
+			name:  "negative rtt clock artifact degrades to timeout",
+			line:  `{"src_addr":"1.1.1.1","dst_addr":"2.2.2.2","result":[{"hop":1,"result":[{"from":"3.3.3.3","rtt":-0.25}]}]}`,
+			hops:  1,
+			reply: &replyWant{timeout: true},
+		},
+		{
+			name:  "zero rtt is kept",
+			line:  `{"src_addr":"1.1.1.1","dst_addr":"2.2.2.2","result":[{"hop":1,"result":[{"from":"3.3.3.3","rtt":0}]}]}`,
+			hops:  1,
+			reply: &replyWant{from: "3.3.3.3", rtt: 0},
+		},
+		{
+			name:  "ttl and size compat fields ignored",
+			line:  `{"src_addr":"1.1.1.1","dst_addr":"2.2.2.2","result":[{"hop":1,"result":[{"from":"3.3.3.3","rtt":1.5,"ttl":63,"size":28}]}]}`,
+			hops:  1,
+			reply: &replyWant{from: "3.3.3.3", rtt: 1.5},
+		},
+		{
+			name: "unresponsive hop gap preserved",
+			line: `{"src_addr":"1.1.1.1","dst_addr":"2.2.2.2","result":[` +
+				`{"hop":1,"result":[{"from":"3.3.3.3","rtt":1}]},` +
+				`{"hop":2,"result":[{"x":"*"},{"x":"*"},{"x":"*"}]},` +
+				`{"hop":5,"result":[{"from":"2.2.2.2","rtt":9}]}]}`,
+			hops: 3,
+		},
+		{
+			name: "empty reply set decodes to empty unresponsive hop",
+			line: `{"src_addr":"1.1.1.1","dst_addr":"2.2.2.2","result":[{"hop":1,"result":[]}]}`,
+			hops: 1,
+		},
+		{
+			name:      "malformed source address",
+			line:      `{"src_addr":"nope","dst_addr":"2.2.2.2","result":[]}`,
+			wantErr:   true,
+			addrField: "src_addr",
+		},
+		{
+			name:      "malformed destination address",
+			line:      `{"src_addr":"1.1.1.1","dst_addr":"512.0.0.1","result":[]}`,
+			wantErr:   true,
+			addrField: "dst_addr",
+		},
+		{
+			name:      "malformed reply address",
+			line:      `{"src_addr":"1.1.1.1","dst_addr":"2.2.2.2","result":[{"hop":1,"result":[{"from":"bad","rtt":5}]}]}`,
+			wantErr:   true,
+			addrField: "from",
+		},
+		{
+			name:      "missing addresses",
+			line:      `{"msm_id":5001,"result":[]}`,
+			wantErr:   true,
+			addrField: "src_addr",
+		},
+		{
+			name:      "null document",
+			line:      `null`,
+			wantErr:   true,
+			addrField: "src_addr",
+		},
+		{
+			name:      "truncated line",
+			line:      `{"src_addr":"1.1.1.1","dst_addr":"2.2.`,
+			wantErr:   true,
+			syntaxErr: true,
+		},
+		{
+			name:    "wrong field type",
+			line:    `{"msm_id":"not a number","src_addr":"1.1.1.1","dst_addr":"2.2.2.2","result":[]}`,
+			wantErr: true,
+			typeErr: true,
+		},
+		{
+			name:    "rtt wrong type",
+			line:    `{"src_addr":"1.1.1.1","dst_addr":"2.2.2.2","result":[{"hop":1,"result":[{"from":"3.3.3.3","rtt":"fast"}]}]}`,
+			wantErr: true,
+			typeErr: true,
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var r Result
+			err := json.Unmarshal([]byte(tc.line), &r)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("decoded without error: %+v", r)
+				}
+				if tc.addrField != "" {
+					var ae *AddrError
+					if !errors.As(err, &ae) {
+						t.Fatalf("err = %v, want *AddrError", err)
+					}
+					if ae.Field != tc.addrField {
+						t.Errorf("AddrError.Field = %q, want %q", ae.Field, tc.addrField)
+					}
+				}
+				if tc.syntaxErr {
+					var se *json.SyntaxError
+					if !errors.As(err, &se) {
+						t.Errorf("err = %v, want *json.SyntaxError", err)
+					}
+				}
+				if tc.typeErr {
+					var te *json.UnmarshalTypeError
+					if !errors.As(err, &te) {
+						t.Errorf("err = %v, want *json.UnmarshalTypeError", err)
+					}
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			if len(r.Hops) != tc.hops {
+				t.Fatalf("hops = %d, want %d", len(r.Hops), tc.hops)
+			}
+			if tc.reply != nil {
+				if len(r.Hops[0].Replies) != 1 {
+					t.Fatalf("replies = %d, want 1", len(r.Hops[0].Replies))
+				}
+				rep := r.Hops[0].Replies[0]
+				if rep.Timeout != tc.reply.timeout {
+					t.Errorf("Timeout = %v, want %v", rep.Timeout, tc.reply.timeout)
+				}
+				if tc.reply.timeout {
+					if rep.From.IsValid() || rep.RTT != 0 {
+						t.Errorf("timeout reply carries data: %+v", rep)
+					}
+				} else {
+					if rep.From.String() != tc.reply.from || rep.RTT != tc.reply.rtt {
+						t.Errorf("reply = %+v, want from=%s rtt=%g", rep, tc.reply.from, tc.reply.rtt)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDecodeArtifactGapAdjacency pins the analysis-plane consequence of an
+// unresponsive-hop gap: non-consecutive hop indices break link adjacency,
+// exactly as an unresponsive router hides its links from the delay method.
+func TestDecodeArtifactGapAdjacency(t *testing.T) {
+	line := `{"src_addr":"1.1.1.1","dst_addr":"2.2.2.2","result":[` +
+		`{"hop":1,"result":[{"from":"3.3.3.1","rtt":1}]},` +
+		`{"hop":2,"result":[{"from":"3.3.3.2","rtt":2}]},` +
+		`{"hop":4,"result":[{"from":"3.3.3.4","rtt":4}]}]}`
+	var r Result
+	if err := json.Unmarshal([]byte(line), &r); err != nil {
+		t.Fatal(err)
+	}
+	pairs := r.AdjacentPairs()
+	if len(pairs) != 1 {
+		t.Fatalf("adjacent pairs = %d, want 1 (the 1→2 pair; 2→4 is a gap)", len(pairs))
+	}
+	if pairs[0].Near.Index != 1 || pairs[0].Far.Index != 2 {
+		t.Errorf("pair = %d→%d, want 1→2", pairs[0].Near.Index, pairs[0].Far.Index)
+	}
+}

@@ -1,0 +1,59 @@
+package trace
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// FuzzDecodeResult fuzzes the Atlas wire decoder with two invariants:
+//
+//  1. the decoder never panics — malformed input must fail with an error,
+//     and artifact-laden input (timeouts, late/err packets, missing RTTs)
+//     must degrade per the documented leniency rules, and
+//  2. whatever the decoder accepts it round-trips: encoding the decoded
+//     result and decoding it again yields the identical structure (decode
+//     is a normalization, so decode∘encode is the identity on its image).
+//
+// The checked-in corpus under testdata/fuzz/FuzzDecodeResult holds lines
+// drawn from atlasgen output; the seeds below add hand-written artifact
+// cases from real-dump pathologies.
+func FuzzDecodeResult(f *testing.F) {
+	seeds := []string{
+		// Canonical atlasgen-style line.
+		`{"msm_id":5001,"prb_id":42,"timestamp":1448866800,"src_addr":"10.0.0.1","dst_addr":"193.0.14.129","paris_id":3,"result":[{"hop":1,"result":[{"from":"10.0.0.254","rtt":0.52},{"x":"*"}]}]}`,
+		// IPv6 with compat fields.
+		`{"src_addr":"2001:db8::1","dst_addr":"2001:db8::2","result":[{"hop":1,"result":[{"from":"2001:db8::3","rtt":1.25,"ttl":63,"size":28}]}]}`,
+		// Artifact zoo: late packet, err entry, negative RTT.
+		`{"src_addr":"1.1.1.1","dst_addr":"2.2.2.2","result":[{"hop":1,"result":[{"from":"3.3.3.3","late":2},{"err":"N - network unreachable","from":"3.3.3.3","rtt":4.5},{"from":"3.3.3.3","rtt":-1}]}]}`,
+		// Unresponsive gap and empty reply sets.
+		`{"src_addr":"1.1.1.1","dst_addr":"2.2.2.2","result":[{"hop":1,"result":[]},{"hop":4,"result":[{"x":"*"},{"x":"*"}]}]}`,
+		// Degenerate documents.
+		`{"src_addr":"1.1.1.1","dst_addr":"2.2.2.2","result":[]}`,
+		`null`,
+		`{}`,
+		`{"timestamp":-9223372036854775808,"src_addr":"::","dst_addr":"0.0.0.0","result":[{"hop":-1,"result":[{"from":"::ffff:1.2.3.4","rtt":5e-324}]}]}`,
+		// Zoned IPv6 and v4-mapped addresses.
+		`{"src_addr":"fe80::1%eth0","dst_addr":"255.255.255.255","result":[{"hop":1,"result":[{"from":"fe80::2%0","rtt":1e3}]}]}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var r Result
+		if err := json.Unmarshal(data, &r); err != nil {
+			return // rejected input; the only obligation is not panicking
+		}
+		b, err := json.Marshal(r)
+		if err != nil {
+			t.Fatalf("accepted result failed to encode: %v\ninput: %q", err, data)
+		}
+		var r2 Result
+		if err := json.Unmarshal(b, &r2); err != nil {
+			t.Fatalf("re-decode of own encoding failed: %v\nencoded: %s", err, b)
+		}
+		if !reflect.DeepEqual(r, r2) {
+			t.Fatalf("round-trip not stable:\ninput: %q\nfirst:  %#v\nsecond: %#v", data, r, r2)
+		}
+	})
+}

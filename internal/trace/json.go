@@ -73,6 +73,22 @@ func (r Result) MarshalJSON() ([]byte, error) {
 	return json.Marshal(w)
 }
 
+// AddrError reports a malformed address field in the wire format. It is
+// returned (wrapped) by Result.UnmarshalJSON and matched with errors.As.
+type AddrError struct {
+	Field string // "src_addr", "dst_addr" or "from"
+	Value string
+	Err   error
+}
+
+// Error implements error.
+func (e *AddrError) Error() string {
+	return fmt.Sprintf("trace: bad %s %q: %v", e.Field, e.Value, e.Err)
+}
+
+// Unwrap exposes the underlying netip parse error.
+func (e *AddrError) Unwrap() error { return e.Err }
+
 // UnmarshalJSON decodes the Atlas-like wire format.
 func (r *Result) UnmarshalJSON(data []byte) error {
 	var w wireResult
@@ -81,11 +97,11 @@ func (r *Result) UnmarshalJSON(data []byte) error {
 	}
 	src, err := netip.ParseAddr(w.SrcAddr)
 	if err != nil {
-		return fmt.Errorf("trace: bad src_addr %q: %w", w.SrcAddr, err)
+		return &AddrError{Field: "src_addr", Value: w.SrcAddr, Err: err}
 	}
 	dst, err := netip.ParseAddr(w.DstAddr)
 	if err != nil {
-		return fmt.Errorf("trace: bad dst_addr %q: %w", w.DstAddr, err)
+		return &AddrError{Field: "dst_addr", Value: w.DstAddr, Err: err}
 	}
 	out := Result{
 		MsmID:   w.MsmID,
@@ -103,17 +119,18 @@ func (r *Result) UnmarshalJSON(data []byte) error {
 				h.Replies = append(h.Replies, Reply{Timeout: true})
 				continue
 			}
-			// Real Atlas dumps contain error entries ("err") and entries
-			// with an address but no RTT (ICMP errors); both carry no
-			// usable delay sample, so they degrade to timeouts rather than
-			// rejecting the whole result.
-			if len(rep.Err) > 0 || rep.From == "" || rep.RTT == nil {
+			// Real Atlas dumps contain error entries ("err"), entries with
+			// an address but no RTT (late packets, ICMP errors), and clock
+			// artifacts like negative RTTs; none carries a usable delay
+			// sample, so they degrade to timeouts rather than rejecting the
+			// whole result.
+			if len(rep.Err) > 0 || rep.From == "" || rep.RTT == nil || *rep.RTT < 0 {
 				h.Replies = append(h.Replies, Reply{Timeout: true})
 				continue
 			}
 			from, err := netip.ParseAddr(rep.From)
 			if err != nil {
-				return fmt.Errorf("trace: bad reply address %q: %w", rep.From, err)
+				return &AddrError{Field: "from", Value: rep.From, Err: err}
 			}
 			h.Replies = append(h.Replies, Reply{From: from, RTT: *rep.RTT})
 		}
@@ -176,7 +193,11 @@ func (w *Writer) Write(r Result) error {
 // writer.
 func (w *Writer) Flush() error { return w.bw.Flush() }
 
-// Reader reads results from a JSONL stream.
+// Reader reads results from a JSONL stream. It is the straight-line
+// reference decoder: internal/ingest's parallel pipeline is asserted
+// equivalent to it (production callers use ingest for gzip, multi-file and
+// worker support; this stays the independent implementation the
+// equivalence tests compare against).
 type Reader struct {
 	sc   *bufio.Scanner
 	line int
