@@ -12,34 +12,37 @@
 // through the parallel ingest pipeline instead of generating live; the
 // -case still supplies the probe/prefix metadata and the display window.
 //
-// Endpoints:
+// Endpoints (see internal/serve for filters, pagination, ETag and SSE):
 //
-//	GET /api/status            analysis progress
+//	GET /api/status            analysis progress and run outcome
 //	GET /api/alarms/delay      delay-change alarms
 //	GET /api/alarms/forwarding forwarding anomalies
 //	GET /api/events            major per-AS events
 //	GET /api/magnitude?asn=N   hourly magnitude series for one AS
+//	GET /api/stream            SSE delta stream (one event per closed bin)
 //	GET /                      human-readable summary
+//
+// Serving is decoupled from analysis by the snapshot read model of
+// internal/serve: handlers never take a lock the ingest loop holds, so
+// heavy read traffic cannot stall the pipeline and a heavy batch cannot
+// stall readers. SIGINT/SIGTERM shut the server down gracefully.
 package main
 
 import (
 	"context"
-	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
-	"net/http"
+	"os/signal"
 	"runtime"
-	"strconv"
-	"sync"
+	"syscall"
 	"time"
 
 	"pinpoint/internal/core"
-	"pinpoint/internal/delay"
 	"pinpoint/internal/experiments"
-	"pinpoint/internal/forwarding"
 	"pinpoint/internal/ingest"
-	"pinpoint/internal/ipmap"
+	"pinpoint/internal/serve"
 	"pinpoint/internal/trace"
 )
 
@@ -51,44 +54,15 @@ func runtimeWorkers(n int) int {
 	return n
 }
 
-// splitPaths parses the -input list, rejecting an effectively empty one.
-func splitPaths(s string) []string {
+// parseInputs parses the -input list. An -input that was given but lists no
+// usable path is a flag error and must be rejected before the server starts
+// listening — not with a log.Fatal from inside the ingest goroutine.
+func parseInputs(s string) ([]string, error) {
 	out := ingest.SplitPaths(s)
 	if len(out) == 0 {
-		log.Fatal("-input lists no dump paths")
+		return nil, errors.New("-input lists no dump paths")
 	}
-	return out
-}
-
-type server struct {
-	mu       sync.RWMutex
-	analyzer *core.Analyzer
-	c        *experiments.Case
-	done     bool
-	results  int
-
-	delayAlarms []delayAlarmJSON
-	fwdAlarms   []fwdAlarmJSON
-}
-
-type delayAlarmJSON struct {
-	Bin       time.Time `json:"bin"`
-	Link      string    `json:"link"`
-	MedianMS  float64   `json:"median_ms"`
-	RefMS     float64   `json:"reference_ms"`
-	ShiftMS   float64   `json:"shift_ms"`
-	Deviation float64   `json:"deviation"`
-	Probes    int       `json:"probes"`
-	ASes      int       `json:"ases"`
-}
-
-type fwdAlarmJSON struct {
-	Bin    time.Time `json:"bin"`
-	Router string    `json:"router"`
-	Dst    string    `json:"dst"`
-	Rho    float64   `json:"rho"`
-	TopHop string    `json:"top_hop"`
-	TopR   float64   `json:"top_responsibility"`
+	return out, nil
 }
 
 func main() {
@@ -104,6 +78,8 @@ func main() {
 	decodeWorkers := flag.Int("decode-workers", 0, "NDJSON decode workers for -input (0 = all CPUs, 1 = sequential)")
 	flag.Parse()
 
+	// All flag validation happens before the listener opens: a bad flag must
+	// fail the command, never kill a server that already accepted traffic.
 	scale, err := experiments.ParseScale(*scaleName)
 	if err != nil {
 		log.Fatal(err)
@@ -112,180 +88,70 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	var inputPaths []string
+	if *input != "" {
+		if inputPaths, err = parseInputs(*input); err != nil {
+			log.Fatal(err)
+		}
+	}
 
-	s := &server{c: c}
-	cfg := core.Config{RetainAlarms: true, Workers: *workers}
+	cfg := core.Config{Workers: *workers}
 	if cfg.Workers == 0 {
 		cfg.Workers = core.AutoWorkers
 	}
+	// No RetainAlarms: the publisher keeps the wire-form record, so the
+	// analyzer does not need a second in-memory copy.
 	a := core.New(cfg, c.Platform.ProbeASN, c.Net.Prefixes())
-	// The hooks fire inside ObserveBatch/Flush, which the analysis
-	// goroutine runs under s.mu — so they must append without locking.
-	a.OnDelayAlarm = func(al delay.Alarm) {
-		s.delayAlarms = append(s.delayAlarms, delayAlarmJSON{
-			Bin: al.Bin, Link: al.Link.String(),
-			MedianMS: al.Observed.Median, RefMS: al.Reference.Median,
-			ShiftMS: al.DiffMS, Deviation: al.Deviation,
-			Probes: al.Probes, ASes: al.ASes,
-		})
-	}
-	a.OnForwardingAlarm = func(al forwarding.Alarm) {
-		top, _ := al.MaxResponsibility()
-		s.fwdAlarms = append(s.fwdAlarms, fwdAlarmJSON{
-			Bin: al.Bin, Router: al.Router.String(), Dst: al.Dst.String(),
-			Rho: al.Rho, TopHop: top.Hop.String(), TopR: top.Responsibility,
-		})
-	}
-	s.analyzer = a
+	pub := serve.NewPublisher(a, serve.Meta{
+		Case:        c.Name,
+		Description: c.Description,
+		Start:       c.Start,
+		End:         c.End,
+	})
+	srv := serve.NewServer(pub, serve.Options{Addr: *addr})
 
 	c.Platform.SetWorkers(*genWorkers)
-	go func() {
-		// Both sources feed chronologically ordered batches straight into
-		// ObserveBatch on this goroutine — fused generation (parallel
-		// generator workers, no intermediate channel hop) or dump replay
-		// (parallel NDJSON decode workers behind a reorder buffer). The
-		// lock covers the analyzer and aggregator mutation: handlers read
-		// them (Events, magnitudes) under RLock, so writing outside the
-		// lock would be a data race on the series maps. Producers still
-		// overlap analysis — they run ahead within their reorder window
-		// while this batch is ingested.
-		ingestBatch := func(rs []trace.Result) error {
-			s.mu.Lock()
-			s.results += len(rs)
-			a.ObserveBatch(rs)
-			s.mu.Unlock()
-			return nil
-		}
-		t0 := time.Now()
-		var err error
-		var producer string
-		if *input != "" {
-			var st ingest.Stats
-			st, err = ingest.Files(context.Background(), splitPaths(*input),
-				ingest.Options{Workers: *decodeWorkers}, ingestBatch)
-			producer = fmt.Sprintf("%d decode workers, %d dump lines", runtimeWorkers(*decodeWorkers), st.Lines)
-		} else {
-			err = c.Platform.RunChunks(context.Background(), c.Start, c.End, 0, ingestBatch)
-			producer = fmt.Sprintf("%d generator workers", c.Platform.Workers())
-		}
-		s.mu.Lock()
-		a.Flush()
-		a.Close()
-		s.done = true
-		s.mu.Unlock()
-		if err != nil {
-			log.Printf("analysis run failed: %v", err)
-			return
-		}
-		elapsed := time.Since(t0)
-		log.Printf("analysis complete: %d results in %s (%.0f results/s; %d engine workers, %s)",
-			s.results, elapsed.Round(time.Millisecond), float64(s.results)/elapsed.Seconds(),
-			a.Workers(), producer)
-	}()
+	go runAnalysis(a, pub, c, inputPaths, *decodeWorkers)
 
-	mux := http.NewServeMux()
-	mux.HandleFunc("/api/status", s.handleStatus)
-	mux.HandleFunc("/api/alarms/delay", s.handleDelayAlarms)
-	mux.HandleFunc("/api/alarms/forwarding", s.handleFwdAlarms)
-	mux.HandleFunc("/api/events", s.handleEvents)
-	mux.HandleFunc("/api/magnitude", s.handleMagnitude)
-	mux.HandleFunc("/", s.handleIndex)
-
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
 	log.Printf("case %s (%s); serving on %s", c.Name, c.Description, *addr)
-	log.Fatal(http.ListenAndServe(*addr, mux))
-}
-
-func writeJSON(w http.ResponseWriter, v interface{}) {
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(v); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+	if err := srv.ListenAndServe(ctx); err != nil {
+		log.Fatal(err)
 	}
+	log.Print("shut down")
 }
 
-func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	reg := s.analyzer.Registry()
-	writeJSON(w, map[string]interface{}{
-		"case":        s.c.Name,
-		"description": s.c.Description,
-		"start":       s.c.Start,
-		"end":         s.c.End,
-		"results":     s.results,
-		"done":        s.done,
-		"delayAlarms": len(s.delayAlarms),
-		"fwdAlarms":   len(s.fwdAlarms),
-		"identities": map[string]int{
-			"addrs":   reg.Addrs(),
-			"links":   reg.Links(),
-			"flows":   reg.Flows(),
-			"routers": reg.Routers(),
-		},
-	})
-}
-
-func (s *server) handleDelayAlarms(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	writeJSON(w, s.delayAlarms)
-}
-
-func (s *server) handleFwdAlarms(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	writeJSON(w, s.fwdAlarms)
-}
-
-func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	type eventJSON struct {
-		ASN       string    `json:"asn"`
-		Bin       time.Time `json:"bin"`
-		Type      string    `json:"type"`
-		Magnitude float64   `json:"magnitude"`
+// runAnalysis drives the fused generator (or dump replay) into the engine
+// and reports the outcome through the publisher. No lock is shared with the
+// HTTP side: the publisher swaps immutable snapshots as bins close.
+func runAnalysis(a *core.Analyzer, pub *serve.Publisher, c *experiments.Case, inputPaths []string, decodeWorkers int) {
+	ingestBatch := func(rs []trace.Result) error {
+		a.ObserveBatch(rs)
+		pub.ObserveResults(len(rs))
+		return nil
 	}
-	var out []eventJSON
-	for _, e := range s.analyzer.Aggregator().Events(s.c.Start, s.c.End) {
-		out = append(out, eventJSON{
-			ASN: e.ASN.String(), Bin: e.Bin, Type: e.Type.String(), Magnitude: e.Magnitude,
-		})
+	t0 := time.Now()
+	var err error
+	var producer string
+	if len(inputPaths) > 0 {
+		var st ingest.Stats
+		st, err = ingest.Files(context.Background(), inputPaths,
+			ingest.Options{Workers: decodeWorkers}, ingestBatch)
+		producer = fmt.Sprintf("%d decode workers, %d dump lines", runtimeWorkers(decodeWorkers), st.Lines)
+	} else {
+		err = c.Platform.RunChunks(context.Background(), c.Start, c.End, 0, ingestBatch)
+		producer = fmt.Sprintf("%d generator workers", c.Platform.Workers())
 	}
-	writeJSON(w, out)
-}
-
-func (s *server) handleMagnitude(w http.ResponseWriter, r *http.Request) {
-	asnStr := r.URL.Query().Get("asn")
-	asn, err := strconv.ParseUint(asnStr, 10, 32)
+	a.Flush()
+	a.Close()
+	pub.Finish(err)
 	if err != nil {
-		http.Error(w, "missing or invalid asn parameter", http.StatusBadRequest)
+		log.Printf("analysis run FAILED: %v", err)
 		return
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	agg := s.analyzer.Aggregator()
-	type point struct {
-		T time.Time `json:"t"`
-		V float64   `json:"v"`
-	}
-	resp := map[string][]point{}
-	for _, p := range agg.DelayMagnitude(ipmap.ASN(asn), s.c.Start, s.c.End) {
-		resp["delay"] = append(resp["delay"], point{p.T, p.V})
-	}
-	for _, p := range agg.ForwardingMagnitude(ipmap.ASN(asn), s.c.Start, s.c.End) {
-		resp["forwarding"] = append(resp["forwarding"], point{p.T, p.V})
-	}
-	writeJSON(w, resp)
-}
-
-func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintf(w, "Internet Health Report — %s\n%s\n\n", s.c.Name, s.c.Description)
-	fmt.Fprintf(w, "results processed: %d (done=%v)\n", s.results, s.done)
-	fmt.Fprintf(w, "delay alarms: %d, forwarding alarms: %d\n\n", len(s.delayAlarms), len(s.fwdAlarms))
-	fmt.Fprintln(w, "API: /api/status /api/alarms/delay /api/alarms/forwarding /api/events /api/magnitude?asn=N")
+	elapsed := time.Since(t0)
+	log.Printf("analysis complete: %d results in %s (%.0f results/s; %d engine workers, %s)",
+		a.Results(), elapsed.Round(time.Millisecond), float64(a.Results())/elapsed.Seconds(),
+		a.Workers(), producer)
 }

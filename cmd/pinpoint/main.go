@@ -76,6 +76,17 @@ func main() {
 	cfg.Events.Threshold = *threshold
 	cfg.Events.Window = *window
 
+	// hookIncremental advances the aggregator's incremental magnitude/event
+	// read model as each bin closes, spreading §6 event extraction across
+	// the run; the final Events query is then a cache filter instead of an
+	// O(ASes × bins × window) recomputation.
+	hookIncremental := func(a *core.Analyzer) {
+		binSize := a.Aggregator().Config().BinSize
+		a.OnBinClose = func(bin time.Time) {
+			a.Aggregator().CloseBins(bin.Add(binSize))
+		}
+	}
+
 	var (
 		a           *core.Analyzer
 		first, last time.Time
@@ -104,6 +115,7 @@ func main() {
 	// pipeline (gzip auto-detected, ordered reorder-buffer delivery).
 	replay := func(paths []string, probeASN func(int) (ipmap.ASN, bool), table *ipmap.Table) {
 		a = core.New(cfg, probeASN, table)
+		hookIncremental(a)
 		opts := ingest.Options{Workers: *decodeWorkers}
 		if *skipBad {
 			opts.OnError = func(*ingest.LineError) error { return nil }
@@ -128,6 +140,7 @@ func main() {
 		// Fused mode: generate and analyze in place.
 		c.Platform.SetWorkers(*genWorkers)
 		a = core.New(cfg, c.Platform.ProbeASN, c.Net.Prefixes())
+		hookIncremental(a)
 		t0 := time.Now()
 		if err := a.RunPlatform(context.Background(), c.Platform, c.Start, c.End); err != nil {
 			log.Fatal(err)
@@ -216,6 +229,9 @@ func main() {
 	}
 	fmt.Print(report.Table(rows))
 
+	// Extend the incremental region to the query bound (quiet trailing bins
+	// included) so Events answers from the maintained cache.
+	agg.CloseBins(last.Add(time.Hour))
 	evs := agg.Events(timeseries.Bin(first, time.Hour).Add(*window/7), last.Add(time.Hour))
 	fmt.Printf("\nmajor events (|magnitude| ≥ %.0f):\n", *threshold)
 	if len(evs) == 0 {

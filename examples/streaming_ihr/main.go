@@ -1,7 +1,9 @@
-// Streaming analysis (the paper's §8 deployment shape): results flow
-// through a channel into the analyzer, and alarms surface through hooks as
-// soon as their bin closes — no buffering of the whole dataset. This is the
-// pattern cmd/ihr builds its HTTP API on.
+// Streaming analysis (the paper's §8 deployment shape): results flow into
+// the analyzer, and as each analysis bin closes the serving layer publishes
+// an immutable snapshot — alarms, incrementally maintained per-AS
+// magnitudes and events — with one atomic pointer swap, plus a delta to
+// every subscriber. This is exactly the read model cmd/ihr serves over
+// HTTP; here the deltas and the final snapshot are printed instead.
 //
 //	go run ./examples/streaming_ihr
 package main
@@ -13,6 +15,7 @@ import (
 
 	"pinpoint"
 	"pinpoint/internal/experiments"
+	"pinpoint/internal/serve"
 )
 
 func main() {
@@ -30,23 +33,36 @@ func main() {
 		c.Platform.ProbeASN, c.Net.Prefixes())
 	defer analyzer.Close()
 
-	// Hooks fire in near real time, as each analysis bin completes.
-	delayCount, fwdCount := 0, 0
-	analyzer.OnDelayAlarm = func(al pinpoint.DelayAlarm) {
-		delayCount++
-		if delayCount <= 8 {
-			fmt.Printf("live delay alarm   %s %s shift=%.1fms\n",
-				al.Bin.Format("Jan 2 15:04"), al.Link, al.DiffMS)
+	// The publisher hooks the analyzer's alarm and bin-close callbacks: no
+	// further wiring, no locks. Subscribers receive one delta per closed
+	// bin; HTTP handlers would read pub.Snapshot() instead.
+	pub := serve.NewPublisher(analyzer, serve.Meta{
+		Case: c.Name, Description: c.Description,
+		Start: c.Start, End: c.End,
+	})
+	deltas, cancel := pub.Subscribe()
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		shown := 0
+		for d := range deltas {
+			if busy := len(d.DelayAlarms)+len(d.FwdAlarms)+len(d.Events) > 0; busy && shown < 10 {
+				fmt.Printf("bin %s closed: +%d delay, +%d fwd, +%d events (snapshot seq %d)\n",
+					d.Bin.Format("Jan 2 15:04"), len(d.DelayAlarms), len(d.FwdAlarms), len(d.Events), d.Seq)
+				for _, e := range d.Events {
+					fmt.Printf("  live event: %s %s mag=%.1f\n", e.ASN, e.Type, e.Magnitude)
+				}
+				shown++
+			}
+			// The terminal delta is usually empty (the last data bin was
+			// already published at Flush) — check it on every delta, quiet
+			// or not.
+			if d.Done || d.Failed {
+				return
+			}
 		}
-	}
-	analyzer.OnForwardingAlarm = func(al pinpoint.ForwardingAlarm) {
-		fwdCount++
-		if fwdCount <= 8 {
-			top, _ := al.MaxResponsibility()
-			fmt.Printf("live fwd alarm     %s router=%s ρ=%.2f top-hop=%s\n",
-				al.Bin.Format("Jan 2 15:04"), al.Router, al.Rho, top.Hop)
-		}
-	}
+	}()
 
 	ctx := context.Background()
 	batches, errc := c.Platform.StreamBatches(ctx, c.Start, c.End, 0)
@@ -54,14 +70,17 @@ func main() {
 		log.Fatal(err)
 	}
 	if err := <-errc; err != nil {
+		pub.Finish(err)
 		log.Fatal(err)
 	}
+	pub.Finish(nil)
+	<-done
 
-	fmt.Printf("\nstream complete: %d results, %d delay alarms, %d forwarding alarms\n",
-		analyzer.Results(), delayCount, fwdCount)
-	evs := analyzer.Aggregator().Events(c.Start, c.End)
-	fmt.Printf("major events: %d\n", len(evs))
-	for _, e := range evs {
-		fmt.Printf("  %s\n", e)
+	snap := pub.Snapshot()
+	fmt.Printf("\nstream complete: %d results, %d delay alarms, %d forwarding alarms (done=%v)\n",
+		snap.Results, len(snap.DelayAlarms), len(snap.FwdAlarms), snap.Done)
+	fmt.Printf("major events: %d\n", len(snap.Events))
+	for _, e := range snap.Events {
+		fmt.Printf("  %s %s %s mag=%.1f\n", e.Bin.Format("2006-01-02T15:04"), e.ASN, e.Type, e.Magnitude)
 	}
 }

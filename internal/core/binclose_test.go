@@ -1,0 +1,122 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"pinpoint/internal/timeseries"
+)
+
+// runWithBinHook runs the miniature attack platform for a short window and
+// records every OnBinClose firing, asserting at hook time that the alarm
+// record of the closed bin is complete (no alarm of a later bin dispatched
+// yet — the snapshot-publication invariant).
+func runWithBinHook(t *testing.T, workers int, hours int) (bins []time.Time, alarmsAtClose map[time.Time]int, a *Analyzer) {
+	t.Helper()
+	p, _, _, _ := buildAttack(t)
+	cfg := Config{RetainAlarms: true, Workers: workers}
+	a = New(cfg, p.ProbeASN, p.Net().Prefixes())
+	defer a.Close()
+	alarmsAtClose = make(map[time.Time]int)
+	a.OnBinClose = func(bin time.Time) {
+		bins = append(bins, bin)
+		alarmsAtClose[bin] = len(a.DelayAlarms()) + len(a.ForwardingAlarms())
+		for _, al := range a.DelayAlarms() {
+			if al.Bin.After(bin) {
+				t.Errorf("OnBinClose(%v) ran with a dispatched alarm from later bin %v", bin, al.Bin)
+			}
+		}
+	}
+	end := start.Add(time.Duration(hours) * time.Hour)
+	if err := a.RunPlatform(context.Background(), p, start, end); err != nil {
+		t.Fatal(err)
+	}
+	return bins, alarmsAtClose, a
+}
+
+func TestOnBinCloseFiresPerBinInOrder(t *testing.T) {
+	bins, _, a := runWithBinHook(t, 1, 6)
+	if len(bins) == 0 {
+		t.Fatal("OnBinClose never fired")
+	}
+	for i := 1; i < len(bins); i++ {
+		if !bins[i].After(bins[i-1]) {
+			t.Fatalf("bins not strictly increasing: %v", bins)
+		}
+	}
+	// The final bin closes at Flush, so every observed bin closes exactly
+	// once: first result bin through last result bin.
+	want := 6
+	if len(bins) != want {
+		t.Errorf("%d bin closes, want %d (hourly bins over 6h): %v", len(bins), want, bins)
+	}
+	if got := timeseries.Bin(start, time.Hour); !bins[0].Equal(got) {
+		t.Errorf("first closed bin %v, want %v", bins[0], got)
+	}
+	if a.Results() == 0 {
+		t.Error("no results ingested")
+	}
+	// Flush is idempotent: a second Flush must not re-fire the hook.
+	n := len(bins)
+	a.Flush()
+	if len(bins) != n {
+		t.Errorf("idempotent Flush re-fired OnBinClose: %d → %d", n, len(bins))
+	}
+}
+
+func TestOnBinCloseShardedMatchesSequential(t *testing.T) {
+	seqBins, seqAlarms, _ := runWithBinHook(t, 1, 6)
+	engBins, engAlarms, _ := runWithBinHook(t, 3, 6)
+	if len(seqBins) != len(engBins) {
+		t.Fatalf("sequential closed %d bins, sharded %d", len(seqBins), len(engBins))
+	}
+	for i := range seqBins {
+		if !seqBins[i].Equal(engBins[i]) {
+			t.Errorf("close %d: sequential %v, sharded %v", i, seqBins[i], engBins[i])
+		}
+	}
+	for bin, n := range seqAlarms {
+		if engAlarms[bin] != n {
+			t.Errorf("bin %v: %d alarms dispatched at close sequentially, %d sharded", bin, n, engAlarms[bin])
+		}
+	}
+}
+
+// TestOnBinCloseDrivesIncrementalAggregator pins the contract the serving
+// layer depends on: advancing the aggregator's incremental region from the
+// hook yields the same events as a plain run's full recomputation.
+func TestOnBinCloseDrivesIncrementalAggregator(t *testing.T) {
+	p1, _, _, _ := buildAttack(t)
+	cfg := Config{}
+	cfg.Events.Window = 4 * time.Hour
+	cfg.Events.Threshold = 3
+	end := start.Add(8 * time.Hour)
+
+	inc := New(cfg, p1.ProbeASN, p1.Net().Prefixes())
+	defer inc.Close()
+	inc.OnBinClose = func(bin time.Time) {
+		inc.Aggregator().CloseBins(bin.Add(time.Hour))
+	}
+	if err := inc.RunPlatform(context.Background(), p1, start, end); err != nil {
+		t.Fatal(err)
+	}
+
+	p2, _, _, _ := buildAttack(t)
+	ref := New(cfg, p2.ProbeASN, p2.Net().Prefixes())
+	defer ref.Close()
+	if err := ref.RunPlatform(context.Background(), p2, start, end); err != nil {
+		t.Fatal(err)
+	}
+
+	got := inc.Aggregator().Events(start, end)
+	want := ref.Aggregator().Events(start, end)
+	if len(got) != len(want) {
+		t.Fatalf("incremental run: %d events, plain run: %d\ngot %v\nwant %v", len(got), len(want), got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}

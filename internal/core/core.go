@@ -29,6 +29,7 @@ import (
 	"pinpoint/internal/ident"
 	"pinpoint/internal/ingest"
 	"pinpoint/internal/ipmap"
+	"pinpoint/internal/timeseries"
 	"pinpoint/internal/trace"
 )
 
@@ -102,10 +103,28 @@ type Analyzer struct {
 	results     int
 	dirty       bool // observations since the last Flush
 
+	// Open-bin tracking for OnBinClose: mirrors the detectors' own bin
+	// bookkeeping so the facade knows when a close happened and for which
+	// bin, on both backends.
+	binSize      time.Duration
+	curBin       time.Time
+	haveBin      bool
+	closedchunks []time.Time // scratch for ObserveBatch bin closes
+
 	// OnDelayAlarm and OnForwardingAlarm, when non-nil, are invoked for
 	// every alarm as its bin closes (the near-real-time reporting path).
 	OnDelayAlarm      func(delay.Alarm)
 	OnForwardingAlarm func(forwarding.Alarm)
+
+	// OnBinClose, when non-nil, is invoked with each closed bin's start
+	// time after every alarm of that bin has been dispatched (hooks run,
+	// aggregator updated, retained slices appended). Closes happen when a
+	// result opens a later bin and at Flush. This is the publication point
+	// for snapshot-based serving layers (internal/serve): at the moment the
+	// hook runs, the aggregator holds the complete alarm record of the
+	// closed bin, so Aggregator.CloseBins(bin+binSize) extends the
+	// incremental magnitude/event read model consistently.
+	OnBinClose func(bin time.Time)
 }
 
 // New returns an Analyzer. probeASN resolves probe ids to AS numbers (the
@@ -116,9 +135,10 @@ func New(cfg Config, probeASN func(int) (ipmap.ASN, bool), table *ipmap.Table) *
 	cfg.Delay.Registry = reg
 	cfg.Forwarding.Registry = reg
 	a := &Analyzer{
-		cfg: cfg,
-		reg: reg,
-		agg: events.NewAggregator(cfg.Events, table),
+		cfg:     cfg,
+		reg:     reg,
+		agg:     events.NewAggregator(cfg.Events, table),
+		binSize: cfg.Delay.BinSize,
 	}
 	// Alarm addresses were interned during extraction, so aggregation can
 	// resolve AddrID→ASN through a memoized dense cache instead of walking
@@ -149,14 +169,18 @@ func (a *Analyzer) Observe(r trace.Result) {
 	a.results++
 	a.dirty = true
 	a.agg.ObserveBin(r.Time)
+	closed, didClose := a.trackBin(r.Time)
 	if a.eng != nil {
 		da, fa := a.eng.Observe(r)
 		a.dispatchDelay(da)
 		a.dispatchFwd(fa)
-		return
+	} else {
+		a.dispatchDelay(a.delayDet.Observe(r))
+		a.dispatchFwd(a.fwdDet.Observe(r))
 	}
-	a.dispatchDelay(a.delayDet.Observe(r))
-	a.dispatchFwd(a.fwdDet.Observe(r))
+	if didClose {
+		a.binClosed(closed)
+	}
 }
 
 // ObserveBatch ingests a slice of chronologically ordered results.
@@ -166,16 +190,46 @@ func (a *Analyzer) ObserveBatch(rs []trace.Result) {
 		if len(rs) > 0 {
 			a.dirty = true
 		}
+		closes := a.closedchunks[:0]
 		for _, r := range rs {
 			a.agg.ObserveBin(r.Time)
+			if c, ok := a.trackBin(r.Time); ok {
+				closes = append(closes, c)
+			}
 		}
 		da, fa := a.eng.ObserveBatch(rs)
 		a.dispatchDelay(da)
 		a.dispatchFwd(fa)
+		// Engine alarms come back merged per batch; each closed bin's
+		// alarms are all dispatched by now, so the hooks fire in close
+		// order after the dispatch.
+		for _, c := range closes {
+			a.binClosed(c)
+		}
+		a.closedchunks = closes[:0]
 		return
 	}
 	for _, r := range rs {
 		a.Observe(r)
+	}
+}
+
+// trackBin advances the facade's open-bin marker to t's bin and reports
+// whether doing so closed a previous bin.
+func (a *Analyzer) trackBin(t time.Time) (closed time.Time, didClose bool) {
+	b := timeseries.Bin(t, a.binSize)
+	if a.haveBin && b.After(a.curBin) {
+		closed, didClose = a.curBin, true
+	}
+	if !a.haveBin || b.After(a.curBin) {
+		a.curBin, a.haveBin = b, true
+	}
+	return closed, didClose
+}
+
+func (a *Analyzer) binClosed(bin time.Time) {
+	if a.OnBinClose != nil {
+		a.OnBinClose(bin)
 	}
 }
 
@@ -192,10 +246,15 @@ func (a *Analyzer) Flush() {
 		da, fa := a.eng.Flush()
 		a.dispatchDelay(da)
 		a.dispatchFwd(fa)
-		return
+	} else {
+		a.dispatchDelay(a.delayDet.Flush())
+		a.dispatchFwd(a.fwdDet.Flush())
 	}
-	a.dispatchDelay(a.delayDet.Flush())
-	a.dispatchFwd(a.fwdDet.Flush())
+	if a.haveBin {
+		closed := a.curBin
+		a.haveBin = false
+		a.binClosed(closed)
+	}
 }
 
 // Close releases the sharded engine's worker goroutines (no-op on the

@@ -82,6 +82,11 @@ type Aggregator struct {
 
 	firstBin time.Time
 	haveBin  bool
+
+	// inc is the incrementally maintained magnitude/event read model
+	// advanced by CloseBins (see incremental.go). The query methods answer
+	// from it when it covers the requested range.
+	inc incState
 }
 
 // NewAggregator returns an Aggregator resolving addresses with the given
@@ -127,6 +132,11 @@ func (a *Aggregator) lookupASN(addr netip.Addr) (ipmap.ASN, bool) {
 func (a *Aggregator) ObserveBin(t time.Time) {
 	b := timeseries.Bin(t, a.cfg.BinSize)
 	if !a.haveBin || b.Before(a.firstBin) {
+		// Moving the span start below the incremental region's origin
+		// changes every window; the region must be rebuilt.
+		if a.inc.advanced && b.Before(a.inc.start) {
+			a.inc.stale = true
+		}
 		a.firstBin = b
 		a.haveBin = true
 	}
@@ -148,6 +158,7 @@ func (a *Aggregator) spanStart(s *timeseries.Series) time.Time {
 // ("alarms with IP addresses from different ASs are assigned to multiple
 // groups", §6).
 func (a *Aggregator) AddDelayAlarm(al delay.Alarm) {
+	a.markMutation(timeseries.Bin(al.Bin, a.cfg.BinSize))
 	asns := a.asnsOf(al.Link.Near, al.Link.Far)
 	for _, asn := range asns {
 		a.series(a.delaySeries, asn).Add(al.Bin, al.Deviation)
@@ -160,6 +171,7 @@ func (a *Aggregator) AddDelayAlarm(al delay.Alarm) {
 // when both hops sit in the same AS — the paper's intra-AS rerouting
 // mitigation. The unresponsive bucket has no address and is skipped.
 func (a *Aggregator) AddForwardingAlarm(al forwarding.Alarm) {
+	a.markMutation(timeseries.Bin(al.Bin, a.cfg.BinSize))
 	for _, h := range al.Hops {
 		if h.Hop == forwarding.Unresponsive || !h.Hop.IsValid() {
 			continue
@@ -232,6 +244,9 @@ func (a *Aggregator) DelayMagnitude(asn ipmap.ASN, from, to time.Time) []timeser
 	if s == nil {
 		return nil
 	}
+	if pts, ok := a.cachedMagnitude(a.inc.delayMag[asn], from, to); ok {
+		return pts
+	}
 	return s.MagnitudeSince(a.spanStart(s), from, to, a.cfg.Window)
 }
 
@@ -242,6 +257,9 @@ func (a *Aggregator) ForwardingMagnitude(asn ipmap.ASN, from, to time.Time) []ti
 	if s == nil {
 		return nil
 	}
+	if pts, ok := a.cachedMagnitude(a.inc.fwdMag[asn], from, to); ok {
+		return pts
+	}
 	return s.MagnitudeSince(a.spanStart(s), from, to, a.cfg.Window)
 }
 
@@ -250,6 +268,9 @@ func (a *Aggregator) ForwardingMagnitude(asn ipmap.ASN, from, to time.Time) []ti
 // trigger on positive peaks (worse delays); forwarding events trigger on
 // both signs, matching the heavy left tail of Fig 5b.
 func (a *Aggregator) Events(from, to time.Time) []Event {
+	if a.covers(to) {
+		return a.incrementalEvents(from, to)
+	}
 	var out []Event
 	for _, asn := range a.ASes() {
 		for _, p := range a.DelayMagnitude(asn, from, to) {

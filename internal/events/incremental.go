@@ -1,0 +1,223 @@
+package events
+
+// Incremental magnitude/event maintenance: the serving layer (§8) closes
+// analysis bins one at a time and needs, after each close, the newly
+// detected events and the extended per-AS magnitude series — without
+// recomputing every AS over every bin the way Events does. CloseBins
+// advances a processed region [start, validThrough) bin by bin, appending
+// to per-AS magnitude slices and to one event list; the appended storage is
+// never mutated afterwards, so callers may publish prefixes of these slices
+// to concurrent readers while the aggregator keeps appending behind them.
+//
+// The query methods (Events, DelayMagnitude, ForwardingMagnitude) answer
+// from the incremental region whenever it covers the requested range and
+// nothing invalidated it; otherwise they fall back to the original full
+// recomputation. Each incremental point is produced by the same
+// timeseries.MagnitudeSince code the recomputation uses, so both paths are
+// bit-identical.
+
+import (
+	"sort"
+	"time"
+
+	"pinpoint/internal/ipmap"
+	"pinpoint/internal/timeseries"
+)
+
+// incState is the incrementally maintained read model. All slices are
+// append-only while the state stays valid; a staleness rebuild allocates
+// fresh storage so previously published prefixes stay intact.
+type incState struct {
+	advanced     bool
+	stale        bool   // an out-of-order mutation landed inside the region
+	gen          uint64 // bumped on every staleness rebuild
+	start        time.Time
+	validThrough time.Time // exclusive end of the processed region
+
+	delayMag map[ipmap.ASN][]timeseries.Point
+	fwdMag   map[ipmap.ASN][]timeseries.Point
+	events   []Event
+}
+
+// markMutation records a series mutation at bin b: anything landing inside
+// the already-processed region (or moving the span start backwards)
+// invalidates the incremental state. Chronological pipelines never trigger
+// this; direct out-of-order use of the aggregator falls back to the
+// recomputation paths until the next CloseBins rebuilds.
+func (a *Aggregator) markMutation(b time.Time) {
+	if !a.inc.advanced || a.inc.stale {
+		return
+	}
+	if b.Before(a.inc.validThrough) || b.Before(a.inc.start) {
+		a.inc.stale = true
+	}
+}
+
+// CloseBins advances the incremental region through every bin strictly
+// before upTo's bin, computing each covered AS's magnitude at each bin and
+// collecting threshold crossings. It returns the events appended by this
+// call, in (bin, AS, type) order. Call it after all alarms of the closing
+// bin have been added (core.Analyzer.OnBinClose fires at exactly that
+// point).
+//
+// Caution: after a staleness rebuild every event is "appended by this
+// call", so the return value is the full re-derived history, not a delta.
+// Consumers mirroring the list incrementally should use IncrementalEvents
+// and resynchronize when its generation changes (serve.Publisher does).
+func (a *Aggregator) CloseBins(upTo time.Time) []Event {
+	end := timeseries.Bin(upTo, a.cfg.BinSize)
+	if a.inc.stale {
+		// Rebuild from scratch with fresh storage: published prefixes of
+		// the old slices must keep their contents. Bumping the generation
+		// tells append-only mirrors (IncrementalEvents consumers) that
+		// their copy of the history is void.
+		if end.Before(a.inc.validThrough) {
+			end = a.inc.validThrough
+		}
+		a.inc = incState{gen: a.inc.gen + 1}
+	}
+	if !a.haveBin {
+		// Nothing observed yet (or a bare aggregator fed only alarms):
+		// leave the incremental region unopened and keep the recompute
+		// paths authoritative.
+		return nil
+	}
+	if !a.inc.advanced {
+		a.inc.advanced = true
+		a.inc.start = a.firstBin
+		a.inc.validThrough = a.firstBin
+		a.inc.delayMag = make(map[ipmap.ASN][]timeseries.Point)
+		a.inc.fwdMag = make(map[ipmap.ASN][]timeseries.Point)
+	}
+	if !end.After(a.inc.validThrough) {
+		return nil
+	}
+	asns := a.ASes()
+	firstNew := len(a.inc.events)
+	for t := a.inc.validThrough; t.Before(end); t = t.Add(a.cfg.BinSize) {
+		for _, asn := range asns {
+			if s := a.delaySeries[asn]; s != nil {
+				v := a.magAt(s, t)
+				a.inc.delayMag[asn] = a.appendMag(a.inc.delayMag[asn], t, v)
+				if v >= a.cfg.Threshold {
+					a.inc.events = append(a.inc.events, Event{ASN: asn, Bin: t, Type: DelayChange, Magnitude: v})
+				}
+			}
+			if s := a.fwdSeries[asn]; s != nil {
+				v := a.magAt(s, t)
+				a.inc.fwdMag[asn] = a.appendMag(a.inc.fwdMag[asn], t, v)
+				if v >= a.cfg.Threshold || v <= -a.cfg.Threshold {
+					a.inc.events = append(a.inc.events, Event{ASN: asn, Bin: t, Type: ForwardingAnomaly, Magnitude: v})
+				}
+			}
+		}
+	}
+	a.inc.validThrough = end
+	return a.inc.events[firstNew:len(a.inc.events):len(a.inc.events)]
+}
+
+// magAt computes one magnitude point through the exact code path the full
+// recomputation uses, so incremental and recomputed values are identical to
+// the last bit.
+func (a *Aggregator) magAt(s *timeseries.Series, t time.Time) float64 {
+	pts := s.MagnitudeSince(a.firstBin, t, t.Add(a.cfg.BinSize), a.cfg.Window)
+	return pts[0].V
+}
+
+// appendMag appends the magnitude point for bin t to an AS's cached series,
+// first backfilling any bins from before the AS's first alarm. A series
+// that did not exist yet is all-zero over those windows, and the magnitude
+// of zero against an all-zero window is exactly (0−0)/(1+0) = 0 — the same
+// value the recomputation produces — so the backfill is pure zeros.
+func (a *Aggregator) appendMag(pts []timeseries.Point, t time.Time, v float64) []timeseries.Point {
+	for next := a.inc.start.Add(time.Duration(len(pts)) * a.cfg.BinSize); next.Before(t); next = next.Add(a.cfg.BinSize) {
+		pts = append(pts, timeseries.Point{T: next})
+	}
+	return append(pts, timeseries.Point{T: t, V: v})
+}
+
+// covers reports whether the incremental region can answer a query ending
+// at to (exclusive). Bins before the region's start carry no events and no
+// magnitudes under the recompute semantics either (their windows are empty,
+// yielding NaN), so only the upper bound constrains event coverage.
+func (a *Aggregator) covers(to time.Time) bool {
+	return a.inc.advanced && !a.inc.stale && !timeseries.Bin(to, a.cfg.BinSize).After(a.inc.validThrough)
+}
+
+// incrementalEvents answers Events(from, to) from the maintained event
+// list: the list is ordered by (bin, AS, type) — the same order the
+// recomputation sorts into — so the answer is one binary-searched subrange.
+func (a *Aggregator) incrementalEvents(from, to time.Time) []Event {
+	f := timeseries.Bin(from, a.cfg.BinSize)
+	t := timeseries.Bin(to, a.cfg.BinSize)
+	evs := a.inc.events
+	lo := sort.Search(len(evs), func(i int) bool { return !evs[i].Bin.Before(f) })
+	hi := sort.Search(len(evs), func(i int) bool { return !evs[i].Bin.Before(t) })
+	if lo == hi {
+		return nil
+	}
+	out := make([]Event, hi-lo)
+	copy(out, evs[lo:hi])
+	return out
+}
+
+// cachedMagnitude answers a magnitude query from an AS's cached series when
+// the incremental region covers [from, to). ok=false sends the caller to
+// the recomputation path.
+func (a *Aggregator) cachedMagnitude(pts []timeseries.Point, from, to time.Time) ([]timeseries.Point, bool) {
+	if !a.inc.advanced || a.inc.stale {
+		return nil, false
+	}
+	f := timeseries.Bin(from, a.cfg.BinSize)
+	t := timeseries.Bin(to, a.cfg.BinSize)
+	if f.Before(a.inc.start) || t.After(a.inc.validThrough) {
+		return nil, false
+	}
+	if !f.Before(t) {
+		return nil, true // empty range, as the recomputation returns
+	}
+	i := int(f.Sub(a.inc.start) / a.cfg.BinSize)
+	j := int(t.Sub(a.inc.start) / a.cfg.BinSize)
+	if j > len(pts) {
+		// The AS gained its series after the last CloseBins; its cache has
+		// not caught up yet.
+		return nil, false
+	}
+	out := make([]timeseries.Point, j-i)
+	copy(out, pts[i:j])
+	return out, true
+}
+
+// IncrementalEvents returns the incrementally accumulated event list as a
+// fixed-length prefix safe to publish to concurrent readers, plus the
+// rebuild generation. The list is append-only within one generation; a
+// staleness rebuild discards it and bumps the generation, so a consumer
+// mirroring the list must restart from scratch when gen changes.
+func (a *Aggregator) IncrementalEvents() (evs []Event, gen uint64) {
+	e := a.inc.events
+	return e[:len(e):len(e)], a.inc.gen
+}
+
+// MagnitudeSnapshot returns a point-in-time view of the incrementally
+// maintained magnitude read model: fresh maps whose slices are
+// fixed-length prefixes of the aggregator's append-only storage, plus the
+// region bounds (the event list is exposed by IncrementalEvents). The
+// returned data is safe to hand to concurrent readers while the analysis
+// goroutine keeps advancing the aggregator — later CloseBins calls only
+// append past the returned lengths (or allocate fresh storage on a
+// staleness rebuild). ok is false when the incremental region is unopened
+// or invalidated.
+func (a *Aggregator) MagnitudeSnapshot() (delayMag, fwdMag map[ipmap.ASN][]timeseries.Point, start, validThrough time.Time, ok bool) {
+	if !a.inc.advanced || a.inc.stale {
+		return nil, nil, time.Time{}, time.Time{}, false
+	}
+	delayMag = make(map[ipmap.ASN][]timeseries.Point, len(a.inc.delayMag))
+	for asn, pts := range a.inc.delayMag {
+		delayMag[asn] = pts[:len(pts):len(pts)]
+	}
+	fwdMag = make(map[ipmap.ASN][]timeseries.Point, len(a.inc.fwdMag))
+	for asn, pts := range a.inc.fwdMag {
+		fwdMag[asn] = pts[:len(pts):len(pts)]
+	}
+	return delayMag, fwdMag, a.inc.start, a.inc.validThrough, true
+}

@@ -1,0 +1,226 @@
+package events
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"pinpoint/internal/forwarding"
+	"pinpoint/internal/timeseries"
+)
+
+// feedStep is one bin of a synthetic alarm schedule.
+type feedStep struct {
+	bin    int // hours after t0
+	delay  []float64
+	fwd    []float64
+	fwdASN string // hop address for fwd responsibilities; default AS100
+}
+
+// runSchedule feeds the schedule chronologically. When inc is true it
+// advances the incremental region after each bin, exactly as
+// core.Analyzer.OnBinClose drives it; deltas accumulate into the returned
+// slice.
+func runSchedule(t *testing.T, steps []feedStep, inc bool) (*Aggregator, []Event) {
+	t.Helper()
+	a := NewAggregator(Config{Window: 12 * time.Hour, Threshold: 3}, testTable(t))
+	var deltas []Event
+	for _, st := range steps {
+		bin := t0.Add(time.Duration(st.bin) * time.Hour)
+		a.ObserveBin(bin)
+		for _, v := range st.delay {
+			a.AddDelayAlarm(delayAlarm(bin, "10.1.0.1", "10.2.0.1", v))
+		}
+		for _, v := range st.fwd {
+			hop := st.fwdASN
+			if hop == "" {
+				hop = "10.1.0.9"
+			}
+			a.AddForwardingAlarm(forwarding.Alarm{
+				Bin:    bin,
+				Router: netip.MustParseAddr("10.1.0.1"),
+				Dst:    netip.MustParseAddr("198.51.100.1"),
+				Rho:    -0.6,
+				Hops:   []forwarding.HopScore{{Hop: netip.MustParseAddr(hop), Responsibility: v}},
+			})
+		}
+		if inc {
+			deltas = append(deltas, a.CloseBins(bin.Add(time.Hour))...)
+		}
+	}
+	return a, deltas
+}
+
+// The schedule mixes quiet warm-up, a delay spike, a forwarding spike on an
+// AS that first appears mid-run (exercising the zero backfill), gap bins
+// with no alarms at all, and a negative forwarding excursion.
+var eqSchedule = []feedStep{
+	{bin: 0, delay: []float64{1, 0.5}},
+	{bin: 1, delay: []float64{0.8}},
+	{bin: 2, delay: []float64{1.2}, fwd: []float64{0.1}},
+	{bin: 3, delay: []float64{0.9}},
+	{bin: 4, delay: []float64{40}},                      // delay event
+	{bin: 5, delay: []float64{1}, fwd: []float64{-2.5}}, // negative fwd event
+	{bin: 8, delay: []float64{1.1}},                     // gap: bins 6,7 silent
+	{bin: 9, fwd: []float64{3}, fwdASN: "80.81.192.7"},  // new AS mid-run
+	{bin: 10, delay: []float64{0.7}, fwd: []float64{0.05}},
+	{bin: 12, delay: []float64{35, 20}}, // multi-alarm event bin
+}
+
+func TestIncrementalEventsMatchRecompute(t *testing.T) {
+	incAgg, deltas := runSchedule(t, eqSchedule, true)
+	refAgg, _ := runSchedule(t, eqSchedule, false)
+
+	from, to := t0, t0.Add(13*time.Hour)
+	want := refAgg.Events(from, to)
+	if len(want) == 0 {
+		t.Fatal("schedule produced no events; test is vacuous")
+	}
+	got := incAgg.Events(from, to) // covered → served from the region
+	if len(got) != len(want) {
+		t.Fatalf("incremental Events len=%d, recompute len=%d\ngot %v\nwant %v", len(got), len(want), got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	// The per-close deltas concatenate to exactly the full event list.
+	if len(deltas) != len(want) {
+		t.Fatalf("delta concatenation len=%d, want %d", len(deltas), len(want))
+	}
+	for i := range want {
+		if deltas[i] != want[i] {
+			t.Errorf("delta %d: got %+v, want %+v", i, deltas[i], want[i])
+		}
+	}
+}
+
+func TestIncrementalMagnitudesMatchRecompute(t *testing.T) {
+	incAgg, _ := runSchedule(t, eqSchedule, true)
+	refAgg, _ := runSchedule(t, eqSchedule, false)
+
+	from, to := t0, t0.Add(13*time.Hour)
+	for _, asn := range refAgg.ASes() {
+		for name, get := range map[string]func(*Aggregator) []timeseries.Point{
+			"delay": func(a *Aggregator) []timeseries.Point { return a.DelayMagnitude(asn, from, to) },
+			"fwd":   func(a *Aggregator) []timeseries.Point { return a.ForwardingMagnitude(asn, from, to) },
+		} {
+			want := get(refAgg)
+			got := get(incAgg)
+			if len(got) != len(want) {
+				t.Fatalf("AS%d %s: len=%d, want %d", asn, name, len(got), len(want))
+			}
+			for i := range want {
+				if !got[i].T.Equal(want[i].T) || got[i].V != want[i].V {
+					t.Errorf("AS%d %s point %d: got %v, want %v", asn, name, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestIncrementalSubrangeQueries(t *testing.T) {
+	incAgg, _ := runSchedule(t, eqSchedule, true)
+	refAgg, _ := runSchedule(t, eqSchedule, false)
+	// Sub-windows of the covered region must match the recompute too.
+	for _, w := range [][2]int{{0, 13}, {3, 6}, {4, 5}, {5, 5}, {9, 13}} {
+		from, to := t0.Add(time.Duration(w[0])*time.Hour), t0.Add(time.Duration(w[1])*time.Hour)
+		want := refAgg.Events(from, to)
+		got := incAgg.Events(from, to)
+		if len(got) != len(want) {
+			t.Fatalf("window %v: incremental %d events, recompute %d", w, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("window %v event %d: got %+v, want %+v", w, i, got[i], want[i])
+			}
+		}
+	}
+	// A query past the region falls back to recomputation and still agrees.
+	from, to := t0, t0.Add(20*time.Hour)
+	want := refAgg.Events(from, to)
+	got := incAgg.Events(from, to)
+	if len(got) != len(want) {
+		t.Fatalf("uncovered window: incremental %d events, recompute %d", len(got), len(want))
+	}
+}
+
+func TestIncrementalStalenessRebuild(t *testing.T) {
+	incAgg, _ := runSchedule(t, eqSchedule, true)
+	// Published view before the out-of-order mutation.
+	dm, _, _, _, ok := incAgg.MagnitudeSnapshot()
+	if !ok {
+		t.Fatal("MagnitudeSnapshot not available after CloseBins")
+	}
+	before := append([]timeseries.Point(nil), dm[100]...)
+
+	// An alarm landing inside the processed region invalidates it...
+	incAgg.AddDelayAlarm(delayAlarm(t0.Add(2*time.Hour), "10.1.0.1", "10.2.0.1", 50))
+	if _, _, _, _, ok := incAgg.MagnitudeSnapshot(); ok {
+		t.Fatal("snapshot still offered after out-of-order mutation")
+	}
+	// ...queries fall back to recomputation immediately...
+	refAgg, _ := runSchedule(t, eqSchedule, false)
+	refAgg.AddDelayAlarm(delayAlarm(t0.Add(2*time.Hour), "10.1.0.1", "10.2.0.1", 50))
+	from, to := t0, t0.Add(13*time.Hour)
+	assertEventsEqual(t, "stale fallback", incAgg.Events(from, to), refAgg.Events(from, to))
+
+	// ...the next CloseBins rebuilds the region from scratch...
+	incAgg.CloseBins(t0.Add(13 * time.Hour))
+	assertEventsEqual(t, "post-rebuild", incAgg.Events(from, to), refAgg.Events(from, to))
+
+	// ...and the previously published prefix kept its contents (the rebuild
+	// allocated fresh storage instead of mutating it).
+	for i, p := range before {
+		if dm[100][i] != p {
+			t.Fatalf("published prefix mutated at %d: %v != %v", i, dm[100][i], p)
+		}
+	}
+}
+
+func assertEventsEqual(t *testing.T, label string, got, want []Event) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d events, want %d\ngot %v\nwant %v", label, len(got), len(want), got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("%s event %d: got %+v, want %+v", label, i, got[i], want[i])
+		}
+	}
+}
+
+func TestMagnitudeSnapshotPrefixStability(t *testing.T) {
+	half := eqSchedule[:5]
+	rest := eqSchedule[5:]
+	a := NewAggregator(Config{Window: 12 * time.Hour, Threshold: 3}, testTable(t))
+	feed := func(steps []feedStep) {
+		for _, st := range steps {
+			bin := t0.Add(time.Duration(st.bin) * time.Hour)
+			a.ObserveBin(bin)
+			for _, v := range st.delay {
+				a.AddDelayAlarm(delayAlarm(bin, "10.1.0.1", "10.2.0.1", v))
+			}
+			a.CloseBins(bin.Add(time.Hour))
+		}
+	}
+	feed(half)
+	dm, _, start, thru, ok := a.MagnitudeSnapshot()
+	if !ok {
+		t.Fatal("no snapshot after first half")
+	}
+	if !start.Equal(t0) || !thru.Equal(t0.Add(5*time.Hour)) {
+		t.Fatalf("region [%v, %v), want [%v, %v)", start, thru, t0, t0.Add(5*time.Hour))
+	}
+	saved := append([]timeseries.Point(nil), dm[100]...)
+	feed(rest) // appends behind the published prefix
+	for i, p := range saved {
+		if dm[100][i] != p {
+			t.Fatalf("prefix point %d changed after further closes: %v != %v", i, dm[100][i], p)
+		}
+	}
+	if _, _, _, thru2, _ := a.MagnitudeSnapshot(); !thru2.After(thru) {
+		t.Fatalf("region did not advance: %v", thru2)
+	}
+}

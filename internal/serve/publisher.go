@@ -1,0 +1,391 @@
+// Package serve is the §8 serving layer of the Internet Health Report: a
+// snapshot-published read model plus HTTP API that decouples serving from
+// analysis.
+//
+// The analysis goroutine owns all mutable state. On every engine bin close
+// (core.Analyzer.OnBinClose) and at the end of the run, the Publisher
+// assembles an immutable Snapshot — wire-form alarm slices, the
+// incrementally maintained per-AS magnitude series and event list from
+// internal/events, and status counters — and publishes it with a single
+// atomic.Pointer swap. HTTP handlers load the current snapshot and read it
+// without any locking: a slow or heavy reader can never stall ObserveBatch,
+// and a heavy batch can never stall readers, because the two sides share no
+// lock at all.
+//
+// The alarm, event and magnitude slices inside consecutive snapshots share
+// their append-only backing arrays: the analysis side only ever appends
+// past the published lengths (and allocates fresh storage on the rare
+// staleness rebuild), so publishing is O(ASes) map copying, not a deep copy
+// of the accumulated history.
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pinpoint/internal/core"
+	"pinpoint/internal/delay"
+	"pinpoint/internal/events"
+	"pinpoint/internal/forwarding"
+	"pinpoint/internal/ipmap"
+	"pinpoint/internal/timeseries"
+)
+
+// DelayAlarm is the wire form of a §4 delay-change alarm, field for field
+// the payload the pre-snapshot server emitted.
+type DelayAlarm struct {
+	Bin       time.Time `json:"bin"`
+	Link      string    `json:"link"`
+	MedianMS  float64   `json:"median_ms"`
+	RefMS     float64   `json:"reference_ms"`
+	ShiftMS   float64   `json:"shift_ms"`
+	Deviation float64   `json:"deviation"`
+	Probes    int       `json:"probes"`
+	ASes      int       `json:"ases"`
+}
+
+// FwdAlarm is the wire form of a §5 forwarding anomaly.
+type FwdAlarm struct {
+	Bin    time.Time `json:"bin"`
+	Router string    `json:"router"`
+	Dst    string    `json:"dst"`
+	Rho    float64   `json:"rho"`
+	TopHop string    `json:"top_hop"`
+	TopR   float64   `json:"top_responsibility"`
+}
+
+// Event is the wire form of a §6 major event.
+type Event struct {
+	ASN       string    `json:"asn"`
+	Bin       time.Time `json:"bin"`
+	Type      string    `json:"type"`
+	Magnitude float64   `json:"magnitude"`
+}
+
+// Point is one magnitude sample.
+type Point struct {
+	T time.Time `json:"t"`
+	V float64   `json:"v"`
+}
+
+// Identities are the interned identity-layer counters shown by /api/status.
+type Identities struct {
+	Addrs   int `json:"addrs"`
+	Links   int `json:"links"`
+	Flows   int `json:"flows"`
+	Routers int `json:"routers"`
+}
+
+// Meta describes the analysis run being served.
+type Meta struct {
+	Case        string
+	Description string
+	Start, End  time.Time
+}
+
+// Snapshot is one immutable published state of the analysis. Everything a
+// handler needs is reachable from it without locks; the encoded-payload
+// caches fill lazily (sync.Once) on first use and are themselves immutable
+// afterwards.
+type Snapshot struct {
+	Seq        uint64
+	Meta       Meta
+	BinSize    time.Duration
+	LastBin    time.Time // last closed bin; zero before the first close
+	Results    int
+	Done       bool // the run finished successfully
+	Failed     bool // the run finished with an error
+	Err        string
+	Identities Identities
+
+	DelayAlarms []DelayAlarm
+	FwdAlarms   []FwdAlarm
+	Events      []Event
+
+	// Incremental magnitude region (see events.MagnitudeSnapshot): dense
+	// hourly points per AS over [MagStart, MagEnd).
+	MagStart, MagEnd time.Time
+	delayMag, fwdMag map[ipmap.ASN][]timeseries.Point
+
+	// evGen is the aggregator rebuild generation Events was mirrored
+	// under; a change between consecutive snapshots means the event
+	// history was re-derived, not appended to.
+	evGen uint64
+
+	encDelay, encFwd, encEvents, encStatus payloadCache
+}
+
+// Complete reports whether analysis has finished (successfully or not); a
+// complete snapshot never changes again, which is what makes strong ETags
+// on it sound.
+func (s *Snapshot) Complete() bool { return s.Done || s.Failed }
+
+// Magnitude returns the AS's magnitude series clipped to the published
+// region ∩ [from, to). Nil-series ASes yield empty slices.
+func (s *Snapshot) Magnitude(asn ipmap.ASN, from, to time.Time) (delayPts, fwdPts []Point) {
+	return s.magPoints(s.delayMag[asn], from, to), s.magPoints(s.fwdMag[asn], from, to)
+}
+
+func (s *Snapshot) magPoints(pts []timeseries.Point, from, to time.Time) []Point {
+	out := []Point{}
+	if s.BinSize <= 0 || s.MagEnd.IsZero() {
+		return out
+	}
+	f := timeseries.Bin(from, s.BinSize)
+	t := timeseries.Bin(to, s.BinSize)
+	if f.Before(s.MagStart) {
+		f = s.MagStart
+	}
+	if t.After(s.MagEnd) {
+		t = s.MagEnd
+	}
+	if !f.Before(t) {
+		return out
+	}
+	i := int(f.Sub(s.MagStart) / s.BinSize)
+	j := int(t.Sub(s.MagStart) / s.BinSize)
+	if j > len(pts) {
+		j = len(pts)
+	}
+	for ; i < j; i++ {
+		out = append(out, Point{T: pts[i].T, V: pts[i].V})
+	}
+	return out
+}
+
+// Delta is the per-publication increment pushed to /api/stream subscribers:
+// everything appended since the previous snapshot.
+type Delta struct {
+	Seq         uint64       `json:"seq"`
+	Bin         time.Time    `json:"bin,omitzero"`
+	Results     int          `json:"results"`
+	DelayAlarms []DelayAlarm `json:"delay_alarms"`
+	FwdAlarms   []FwdAlarm   `json:"fwd_alarms"`
+	Events      []Event      `json:"events"`
+	Done        bool         `json:"done"`
+	Failed      bool         `json:"failed,omitempty"`
+	Err         string       `json:"error,omitempty"`
+}
+
+// Publisher accumulates the wire-form read model on the analysis goroutine
+// and publishes immutable snapshots. All methods except Snapshot, Results
+// and the subscription API must run on the analysis goroutine (they do —
+// they are driven by the Analyzer's hooks and the ingest loop).
+type Publisher struct {
+	meta    Meta
+	a       *core.Analyzer
+	agg     *events.Aggregator
+	binSize time.Duration
+
+	cur     atomic.Pointer[Snapshot]
+	results atomic.Int64 // live between publishes, for /api/status freshness
+
+	seq      uint64
+	delay    []DelayAlarm // append-only; snapshots hold prefixes
+	fwd      []FwdAlarm
+	evs      []Event // wire-form mirror of the aggregator's event list
+	evGen    uint64  // aggregator rebuild generation the mirror tracks
+	finished bool
+
+	mu      sync.Mutex // guards subscribers only
+	subs    map[int]chan Delta
+	nextSub int
+	closed  bool
+}
+
+// NewPublisher wires a Publisher into the analyzer's alarm and bin-close
+// hooks and publishes an initial empty snapshot so handlers always have
+// one. Call it before ingesting; the analyzer's hook fields must not be
+// reassigned afterwards.
+func NewPublisher(a *core.Analyzer, meta Meta) *Publisher {
+	p := &Publisher{
+		meta:    meta,
+		a:       a,
+		agg:     a.Aggregator(),
+		binSize: a.Aggregator().Config().BinSize,
+		subs:    make(map[int]chan Delta),
+	}
+	a.OnDelayAlarm = func(al delay.Alarm) {
+		p.delay = append(p.delay, DelayAlarm{
+			Bin: al.Bin, Link: al.Link.String(),
+			MedianMS: al.Observed.Median, RefMS: al.Reference.Median,
+			ShiftMS: al.DiffMS, Deviation: al.Deviation,
+			Probes: al.Probes, ASes: al.ASes,
+		})
+	}
+	a.OnForwardingAlarm = func(al forwarding.Alarm) {
+		top, _ := al.MaxResponsibility()
+		p.fwd = append(p.fwd, FwdAlarm{
+			Bin: al.Bin, Router: al.Router.String(), Dst: al.Dst.String(),
+			Rho: al.Rho, TopHop: top.Hop.String(), TopR: top.Responsibility,
+		})
+	}
+	a.OnBinClose = func(bin time.Time) {
+		p.agg.CloseBins(bin.Add(p.binSize))
+		p.syncEvents()
+		p.publish(bin, false, nil)
+	}
+	p.publish(time.Time{}, false, nil)
+	return p
+}
+
+// ObserveResults records ingested results between bin closes so
+// /api/status stays fresh while a bin is still open. Safe to call from the
+// ingest goroutine.
+func (p *Publisher) ObserveResults(n int) { p.results.Add(int64(n)) }
+
+// Results returns the live ingested-result count.
+func (p *Publisher) Results() int {
+	n := int(p.results.Load())
+	if s := p.Snapshot(); s != nil && s.Results > n {
+		return s.Results
+	}
+	return n
+}
+
+// Snapshot returns the current published snapshot. It is never nil.
+func (p *Publisher) Snapshot() *Snapshot { return p.cur.Load() }
+
+// Finish publishes the terminal snapshot: on success the incremental
+// event/magnitude region is extended through the display window's end (so
+// a completed run answers exactly like a full recomputation over
+// [Start, End)), on failure the error is recorded and surfaced. Must be
+// called on the analysis goroutine after the final Flush; it is idempotent.
+func (p *Publisher) Finish(err error) {
+	if p.finished {
+		return
+	}
+	p.finished = true
+	if err == nil {
+		p.agg.CloseBins(p.meta.End)
+		p.syncEvents()
+	}
+	p.publish(time.Time{}, true, err)
+}
+
+// syncEvents mirrors the aggregator's incremental event list into wire
+// form. The mirror is append-only within one aggregator generation; a
+// staleness rebuild bumps the generation, in which case the mirror restarts
+// with fresh storage (published snapshots keep their old prefixes) instead
+// of appending the re-derived history after the stale copy.
+func (p *Publisher) syncEvents() {
+	all, gen := p.agg.IncrementalEvents()
+	if gen != p.evGen {
+		p.evGen = gen
+		p.evs = nil
+	}
+	for _, e := range all[len(p.evs):] {
+		p.evs = append(p.evs, Event{
+			ASN: e.ASN.String(), Bin: e.Bin, Type: e.Type.String(), Magnitude: e.Magnitude,
+		})
+	}
+}
+
+// publish assembles and swaps in the next snapshot, then broadcasts the
+// delta against the previous one.
+func (p *Publisher) publish(closedBin time.Time, final bool, runErr error) {
+	prev := p.cur.Load()
+	p.seq++
+	reg := p.a.Registry()
+	snap := &Snapshot{
+		Seq:     p.seq,
+		Meta:    p.meta,
+		BinSize: p.binSize,
+		LastBin: closedBin,
+		Results: p.a.Results(),
+		Identities: Identities{
+			Addrs: reg.Addrs(), Links: reg.Links(),
+			Flows: reg.Flows(), Routers: reg.Routers(),
+		},
+		DelayAlarms: p.delay[:len(p.delay):len(p.delay)],
+		FwdAlarms:   p.fwd[:len(p.fwd):len(p.fwd)],
+		Events:      p.evs[:len(p.evs):len(p.evs)],
+		evGen:       p.evGen,
+	}
+	if prev != nil && closedBin.IsZero() {
+		snap.LastBin = prev.LastBin
+	}
+	if final {
+		if runErr != nil {
+			snap.Failed = true
+			snap.Err = runErr.Error()
+		} else {
+			snap.Done = true
+		}
+	}
+	if dm, fm, start, thru, ok := p.agg.MagnitudeSnapshot(); ok {
+		snap.delayMag, snap.fwdMag = dm, fm
+		snap.MagStart, snap.MagEnd = start, thru
+	}
+	p.cur.Store(snap)
+	p.results.Store(int64(snap.Results))
+
+	d := Delta{
+		Seq: snap.Seq, Bin: closedBin, Results: snap.Results,
+		Done: snap.Done, Failed: snap.Failed, Err: snap.Err,
+		DelayAlarms: []DelayAlarm{}, FwdAlarms: []FwdAlarm{}, Events: []Event{},
+	}
+	if prev != nil {
+		d.DelayAlarms = snap.DelayAlarms[len(prev.DelayAlarms):]
+		d.FwdAlarms = snap.FwdAlarms[len(prev.FwdAlarms):]
+		if prev.evGen == snap.evGen {
+			d.Events = snap.Events[len(prev.Events):]
+		} else {
+			// The event history was rebuilt (out-of-order mutation):
+			// resynchronize subscribers with the full re-derived list.
+			d.Events = snap.Events
+		}
+	}
+	p.broadcast(d)
+}
+
+// Subscribe registers a delta subscriber. The returned cancel function must
+// be called when the subscriber goes away. A subscriber that falls more
+// than the buffer behind is dropped (its channel is closed); SSE clients
+// reconnect and resynchronize from the snapshot.
+func (p *Publisher) Subscribe() (<-chan Delta, func()) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ch := make(chan Delta, 64)
+	if p.closed {
+		close(ch)
+		return ch, func() {}
+	}
+	id := p.nextSub
+	p.nextSub++
+	p.subs[id] = ch
+	return ch, func() {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		if _, ok := p.subs[id]; ok {
+			delete(p.subs, id)
+			close(ch)
+		}
+	}
+}
+
+func (p *Publisher) broadcast(d Delta) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for id, ch := range p.subs {
+		select {
+		case ch <- d:
+		default: // slow consumer: drop it rather than stall analysis
+			delete(p.subs, id)
+			close(ch)
+		}
+	}
+}
+
+// CloseSubscribers terminates every delta stream (server shutdown). New
+// Subscribe calls return an already-closed channel.
+func (p *Publisher) CloseSubscribers() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.closed = true
+	for id, ch := range p.subs {
+		delete(p.subs, id)
+		close(ch)
+	}
+}

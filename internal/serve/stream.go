@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// sseHeartbeat is the comment-line keepalive cadence for /api/stream.
+const sseHeartbeat = 15 * time.Second
+
+// helloJSON is the first SSE event: the subscriber's synchronization point.
+// Counts double as cursors — a client that fetched the plain endpoints with
+// cursor pagination can verify it is exactly caught up before applying
+// deltas.
+type helloJSON struct {
+	Seq         uint64    `json:"seq"`
+	Bin         time.Time `json:"bin,omitzero"`
+	Results     int       `json:"results"`
+	DelayAlarms int       `json:"delay_alarms"`
+	FwdAlarms   int       `json:"fwd_alarms"`
+	Events      int       `json:"events"`
+	Done        bool      `json:"done"`
+	Failed      bool      `json:"failed,omitempty"`
+	Err         string    `json:"error,omitempty"`
+}
+
+// handleStream is the SSE endpoint: one `hello` event carrying the current
+// snapshot position, then one `delta` event per snapshot publication (bin
+// close or run completion). The subscription is registered before the
+// snapshot is read, so no delta can fall between the hello and the stream;
+// deltas at or below the hello's seq are skipped instead of replayed.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	ch, cancel := s.pub.Subscribe()
+	defer cancel()
+	snap := s.pub.Snapshot()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+
+	hello := helloJSON{
+		Seq: snap.Seq, Bin: snap.LastBin, Results: snap.Results,
+		DelayAlarms: len(snap.DelayAlarms), FwdAlarms: len(snap.FwdAlarms),
+		Events: len(snap.Events),
+		Done:   snap.Done, Failed: snap.Failed, Err: snap.Err,
+	}
+	if !s.sseEvent(w, fl, "hello", hello) {
+		return
+	}
+	if snap.Complete() {
+		// Terminal snapshot already published: nothing further will come.
+		return
+	}
+
+	hb := time.NewTicker(sseHeartbeat)
+	defer hb.Stop()
+	for {
+		select {
+		case d, ok := <-ch:
+			if !ok {
+				return // publisher shut down or dropped us as too slow
+			}
+			if d.Seq <= snap.Seq {
+				continue // already reflected in the hello
+			}
+			if !s.sseEvent(w, fl, "delta", d) {
+				return
+			}
+			if d.Done || d.Failed {
+				return
+			}
+		case <-hb.C:
+			if _, err := fmt.Fprint(w, ": keepalive\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// sseEvent writes one named SSE event. Encode errors are logged and end the
+// stream (the SSE framing cannot carry a half-event); write errors mean the
+// client left.
+func (s *Server) sseEvent(w http.ResponseWriter, fl http.Flusher, name string, v any) bool {
+	b, err := json.Marshal(v)
+	if err != nil {
+		s.opts.Logf("serve: encoding SSE %s: %v", name, err)
+		return false
+	}
+	if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", name, b); err != nil {
+		return false
+	}
+	fl.Flush()
+	return true
+}

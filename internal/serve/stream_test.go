@@ -1,0 +1,170 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"pinpoint/internal/delay"
+)
+
+// sseClient reads one named event (skipping keepalive comments) from an SSE
+// stream.
+type sseClient struct {
+	sc *bufio.Scanner
+}
+
+func (c *sseClient) next(t *testing.T) (name string, data []byte) {
+	t.Helper()
+	for c.sc.Scan() {
+		line := c.sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			name = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data = []byte(strings.TrimPrefix(line, "data: "))
+		case line == "" && name != "":
+			return name, data
+		}
+	}
+	t.Fatal("SSE stream ended unexpectedly")
+	return "", nil
+}
+
+func TestStreamDeliversDeltasPerBinClose(t *testing.T) {
+	a, pub, srv := newTestPipeline(t)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/api/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type %q", ct)
+	}
+	cl := &sseClient{sc: bufio.NewScanner(resp.Body)}
+
+	// The hello is written after the subscription is registered, so once it
+	// arrives the bin closes below are guaranteed to reach this client.
+	name, data := cl.next(t)
+	if name != "hello" {
+		t.Fatalf("first event %q, want hello", name)
+	}
+	var hello struct {
+		Seq         uint64 `json:"seq"`
+		DelayAlarms int    `json:"delay_alarms"`
+		Done        bool   `json:"done"`
+	}
+	if err := json.Unmarshal(data, &hello); err != nil {
+		t.Fatal(err)
+	}
+	if hello.Done || hello.DelayAlarms != 0 {
+		t.Fatalf("hello = %+v", hello)
+	}
+
+	closeBin(a, t0, []delay.Alarm{mkDelayAlarm(t0, "10.1.0.1", "10.2.0.1", 2)}, nil)
+	name, data = cl.next(t)
+	if name != "delta" {
+		t.Fatalf("second event %q, want delta", name)
+	}
+	var d Delta
+	if err := json.Unmarshal(data, &d); err != nil {
+		t.Fatal(err)
+	}
+	if d.Seq <= hello.Seq || len(d.DelayAlarms) != 1 || !d.Bin.Equal(t0) {
+		t.Fatalf("delta = %+v", d)
+	}
+	if d.DelayAlarms[0].Link != "10.1.0.1>10.2.0.1" {
+		t.Errorf("delta alarm link %q", d.DelayAlarms[0].Link)
+	}
+
+	bin1 := t0.Add(time.Hour)
+	closeBin(a, bin1, []delay.Alarm{
+		mkDelayAlarm(bin1, "10.1.0.1", "10.2.0.1", 1),
+		mkDelayAlarm(bin1, "10.1.0.2", "10.2.0.2", 1),
+	}, nil)
+	_, data = cl.next(t)
+	if err := json.Unmarshal(data, &d); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.DelayAlarms) != 2 {
+		t.Fatalf("second delta carries %d alarms, want 2", len(d.DelayAlarms))
+	}
+
+	// Completion delivers a terminal delta and ends the stream.
+	pub.Finish(nil)
+	name, data = cl.next(t)
+	if err := json.Unmarshal(data, &d); err != nil {
+		t.Fatal(err)
+	}
+	if name != "delta" || !d.Done {
+		t.Fatalf("terminal event %q done=%v", name, d.Done)
+	}
+	if cl.sc.Scan() {
+		t.Errorf("stream kept going after the terminal delta: %q", cl.sc.Text())
+	}
+}
+
+func TestStreamOnCompletedRunSendsHelloAndCloses(t *testing.T) {
+	a, pub, srv := newTestPipeline(t)
+	closeBin(a, t0, []delay.Alarm{mkDelayAlarm(t0, "10.1.0.1", "10.2.0.1", 2)}, nil)
+	pub.Finish(nil)
+
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/api/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	cl := &sseClient{sc: bufio.NewScanner(resp.Body)}
+	name, data := cl.next(t)
+	var hello struct {
+		Done        bool `json:"done"`
+		DelayAlarms int  `json:"delay_alarms"`
+	}
+	if err := json.Unmarshal(data, &hello); err != nil {
+		t.Fatal(err)
+	}
+	if name != "hello" || !hello.Done || hello.DelayAlarms != 1 {
+		t.Fatalf("hello on completed run: %q %+v", name, hello)
+	}
+	if cl.sc.Scan() {
+		t.Errorf("completed-run stream stayed open: %q", cl.sc.Text())
+	}
+}
+
+func TestSlowSubscriberIsDroppedNotBlocking(t *testing.T) {
+	a, pub, _ := newTestPipeline(t)
+	ch, cancel := pub.Subscribe()
+	defer cancel()
+	// Never read from ch: once the buffer fills, the publisher must drop
+	// the subscriber instead of stalling the analysis goroutine.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for h := 0; h < 100; h++ {
+			bin := t0.Add(time.Duration(h) * time.Hour)
+			closeBin(a, bin, []delay.Alarm{mkDelayAlarm(bin, "10.1.0.1", "10.2.0.1", 1)}, nil)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("publisher stalled on a slow subscriber")
+	}
+	// The channel must have been closed after the buffer filled.
+	n := 0
+	for range ch {
+		n++
+	}
+	if n == 0 || n > 100 {
+		t.Errorf("drained %d deltas from dropped subscriber", n)
+	}
+}

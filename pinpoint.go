@@ -43,6 +43,11 @@
 // backpressured pipeline. See DESIGN.md for the shard, merge and reorder
 // architecture.
 //
+// For serving results while analysis runs (§8), Analyzer.OnBinClose fires
+// after each bin's alarms are fully dispatched; internal/serve builds the
+// Internet Health Report's snapshot-published read model and HTTP API on
+// that hook (see cmd/ihr and examples/streaming_ihr).
+//
 // See examples/ for complete programs, including the paper's three case
 // studies; `go test -bench=.` regenerates the paper-versus-measured record.
 package pinpoint
