@@ -138,7 +138,8 @@ func runAnalysis(a *core.Analyzer, pub *serve.Publisher, c *experiments.Case, in
 		var st ingest.Stats
 		st, err = ingest.Files(context.Background(), inputPaths,
 			ingest.Options{Workers: decodeWorkers}, ingestBatch)
-		producer = fmt.Sprintf("%d decode workers, %d dump lines", runtimeWorkers(decodeWorkers), st.Lines)
+		producer = fmt.Sprintf("%d decode workers, %d dump lines (%d decoded, %d skipped)",
+			runtimeWorkers(decodeWorkers), st.Lines, st.Results, st.Skipped)
 	} else {
 		err = c.Platform.RunChunks(context.Background(), c.Start, c.End, 0, ingestBatch)
 		producer = fmt.Sprintf("%d generator workers", c.Platform.Workers())

@@ -10,6 +10,9 @@
 //
 // Dumps may be gzip-compressed (auto-detected), read from stdin (-), and
 // -input accepts a comma-separated list replayed as one stream.
+// -cpuprofile/-memprofile write pprof profiles of the whole run for field
+// profiling of ingest; -intern-fused folds address interning into the
+// decode workers.
 //
 // Usage:
 //
@@ -26,6 +29,8 @@ import (
 	"log"
 	"net/netip"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"time"
 
@@ -67,7 +72,40 @@ func main() {
 	topAS := flag.Int("top", 10, "number of ASes to summarize")
 	dotPath := flag.String("dot", "", "write the alarm graph (all components) as Graphviz DOT to this path")
 	dotAround := flag.String("dot-around", "", "restrict the DOT graph to the component containing this IP")
+	internFused := flag.Bool("intern-fused", false, "fuse address interning into the NDJSON decode workers (pre-warms the identity registry straight from wire bytes)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this path")
+	memProfile := flag.String("memprofile", "", "write a heap profile (taken at exit, after a GC) to this path")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("-cpuprofile: %v", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		// Registered after the CPU-profile defer so it runs first; errors
+		// must not log.Fatal here or the CPU profile would never be flushed.
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				log.Printf("-memprofile: %v", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Printf("-memprofile: %v", err)
+			}
+			f.Close()
+		}()
+	}
 
 	cfg := core.Config{RetainAlarms: true, Workers: *workers}
 	if cfg.Workers == 0 {
@@ -117,6 +155,9 @@ func main() {
 		a = core.New(cfg, probeASN, table)
 		hookIncremental(a)
 		opts := ingest.Options{Workers: *decodeWorkers}
+		if *internFused {
+			opts.Intern = a.Registry()
+		}
 		if *skipBad {
 			opts.OnError = func(*ingest.LineError) error { return nil }
 		}

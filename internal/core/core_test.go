@@ -17,7 +17,7 @@ var start = time.Date(2015, 11, 28, 0, 0, 0, 0, time.UTC)
 // buildAttack builds a small Internet, injects a 2-hour congestion on the
 // last-hop link of one root instance (a miniature §7.1 DDoS), and returns
 // the platform plus ground truth.
-func buildAttack(t *testing.T) (p *atlas.Platform, topo *netsim.Topo, eventStart, eventEnd time.Time) {
+func buildAttack(t testing.TB) (p *atlas.Platform, topo *netsim.Topo, eventStart, eventEnd time.Time) {
 	t.Helper()
 	topo, err := netsim.Generate(netsim.TopoConfig{
 		Seed: 1234, Tier1: 2, Transit: 5, Stub: 20,

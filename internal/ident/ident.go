@@ -299,6 +299,13 @@ type Interner struct {
 	links   map[pairKey]LinkID
 	flows   map[pairKey]FlowID
 	routers map[AddrID]RouterID
+	texts   map[string]addrMemo // wire-text → parsed+interned, see AddrBytes
+}
+
+// addrMemo caches one wire-text address form: its parsed value and ID.
+type addrMemo struct {
+	addr netip.Addr
+	id   AddrID
 }
 
 // NewInterner returns an empty memo over reg.
@@ -323,6 +330,30 @@ func (in *Interner) Addr(a netip.Addr) AddrID {
 	id := in.reg.Addr(a)
 	in.addrs[a] = id
 	return id
+}
+
+// AddrBytes parses an address from its wire text and interns it in one
+// step, memoizing on the raw bytes — a map lookup keyed by string(b) does
+// not allocate on a hit, so repeated text forms cost one non-atomic map hit
+// with no intermediate netip.Addr→string round trip. It is the decode-side
+// fusion entry point for trace.Decoder.ParseAddr: wiring it into ingest's
+// decode workers pre-warms the registry with every address the stream
+// carries while the bytes are already in cache. Parse failures are not
+// memoized; the error is netip.ParseAddr's.
+func (in *Interner) AddrBytes(b []byte) (AddrID, netip.Addr, error) {
+	if m, ok := in.texts[string(b)]; ok {
+		return m.id, m.addr, nil
+	}
+	a, err := netip.ParseAddr(string(b))
+	if err != nil {
+		return 0, netip.Addr{}, err
+	}
+	id := in.Addr(a)
+	if in.texts == nil {
+		in.texts = make(map[string]addrMemo)
+	}
+	in.texts[string(b)] = addrMemo{addr: a, id: id}
+	return id, a, nil
 }
 
 // Link interns the ordered address pair (near, far) through the memo.

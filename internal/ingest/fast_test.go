@@ -1,0 +1,188 @@
+package ingest
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/netip"
+	"strings"
+	"testing"
+
+	"pinpoint/internal/ident"
+	"pinpoint/internal/trace"
+)
+
+// TestLineNumberParityWithReader is the counting-convention regression
+// test: on a fixture with blank lines and a bad line, the line numbers
+// ingest reports through *LineError match the ones trace.Reader reports in
+// its errors — blank lines advance both counters identically.
+func TestLineNumberParityWithReader(t *testing.T) {
+	good := encodeDump(t, makeResults(6), 0)
+	lines := strings.Split(strings.TrimRight(string(good), "\n"), "\n")
+	// Layout: blanks before, between and around two bad lines.
+	fixture := "\n" + lines[0] + "\n\n\n" + lines[1] + "\nnot json\n" + lines[2] + "\n\n{bad\n\n" + lines[3] + "\n"
+
+	var ingestLines []int
+	opts := Options{Workers: 1, OnError: func(le *LineError) error {
+		ingestLines = append(ingestLines, le.Line)
+		return nil
+	}}
+	c, st := collect(t, []byte(fixture), opts)
+	if len(c.results) != 4 {
+		t.Fatalf("delivered %d results, want 4", len(c.results))
+	}
+
+	var readerLines []int
+	rd := trace.NewReader(strings.NewReader(fixture))
+	for {
+		_, err := rd.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			var n int
+			if _, serr := fmt.Sscanf(err.Error(), "trace: line %d:", &n); serr != nil {
+				t.Fatalf("cannot extract line number from %q: %v", err, serr)
+			}
+			readerLines = append(readerLines, n)
+		}
+	}
+
+	want := []int{6, 9}
+	if fmt.Sprint(ingestLines) != fmt.Sprint(want) {
+		t.Errorf("ingest error lines = %v, want %v", ingestLines, want)
+	}
+	if fmt.Sprint(readerLines) != fmt.Sprint(want) {
+		t.Errorf("reader error lines = %v, want %v", readerLines, want)
+	}
+	if st.Lines != 11 {
+		t.Errorf("Stats.Lines = %d, want 11 (blank lines count)", st.Lines)
+	}
+}
+
+// TestOversizedLineNumberParityWithReader pins that an oversized line gets
+// the same line number — and is equally skippable — in both the ingest
+// pipeline and the reference Reader.
+func TestOversizedLineNumberParityWithReader(t *testing.T) {
+	good := encodeDump(t, makeResults(2), 0)
+	lines := strings.Split(strings.TrimRight(string(good), "\n"), "\n")
+	huge := strings.Repeat("y", MaxLineBytes+1)
+	fixture := "\n" + lines[0] + "\n" + huge + "\n" + lines[1] + "\n"
+
+	var ingestLines []int
+	opts := Options{Workers: 1, OnError: func(le *LineError) error {
+		if !errors.Is(le.Err, ErrLineTooLong) {
+			return le.Err
+		}
+		ingestLines = append(ingestLines, le.Line)
+		return nil
+	}}
+	c, _ := collect(t, []byte(fixture), opts)
+	if len(c.results) != 2 {
+		t.Fatalf("delivered %d results, want 2", len(c.results))
+	}
+
+	rd := trace.NewReader(strings.NewReader(fixture))
+	var readerLines []int
+	for {
+		_, err := rd.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			if !errors.Is(err, trace.ErrLineTooLong) {
+				t.Fatalf("unexpected reader error: %v", err)
+			}
+			var n int
+			if _, serr := fmt.Sscanf(err.Error(), "trace: line %d:", &n); serr != nil {
+				t.Fatalf("cannot extract line number from %q: %v", err, serr)
+			}
+			readerLines = append(readerLines, n)
+		}
+	}
+
+	if len(ingestLines) != 1 || ingestLines[0] != 3 {
+		t.Errorf("ingest oversized line = %v, want [3]", ingestLines)
+	}
+	if len(readerLines) != 1 || readerLines[0] != 3 {
+		t.Errorf("reader oversized line = %v, want [3]", readerLines)
+	}
+}
+
+// TestInternFusion pins the interning-fusion contract: with Options.Intern
+// set, decoded results are unchanged and the registry ends up pre-warmed
+// with every address on the wire (src, dst and responding from addresses),
+// for every worker count.
+func TestInternFusion(t *testing.T) {
+	orig := makeResults(200)
+	dump := encodeDump(t, orig, 0)
+
+	want := map[netip.Addr]bool{}
+	for _, r := range orig {
+		want[r.Src] = true
+		want[r.Dst] = true
+		for _, h := range r.Hops {
+			for _, rep := range h.Replies {
+				if !rep.Timeout {
+					want[rep.From] = true
+				}
+			}
+		}
+	}
+
+	for _, workers := range []int{1, 4} {
+		reg := ident.NewRegistry()
+		var plain, fused collected
+		_, err := Decode(context.Background(), bytes.NewReader(dump), Options{Workers: workers}, func(rs []trace.Result) error {
+			plain.results = append(plain.results, rs...)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = Decode(context.Background(), bytes.NewReader(dump), Options{Workers: workers, Intern: reg}, func(rs []trace.Result) error {
+			fused.results = append(fused.results, rs...)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(plain.results) != len(fused.results) {
+			t.Fatalf("workers=%d: result counts differ: %d vs %d", workers, len(plain.results), len(fused.results))
+		}
+		for i := range plain.results {
+			if !resultsEqual(plain.results[i], fused.results[i]) {
+				t.Fatalf("workers=%d: result %d differs with fusion", workers, i)
+			}
+		}
+		for a := range want {
+			if _, ok := reg.LookupAddr(a); !ok {
+				t.Errorf("workers=%d: address %v not interned by fusion", workers, a)
+			}
+		}
+		// +1 for the reserved zero address.
+		if got := reg.Addrs(); got != len(want)+1 {
+			t.Errorf("workers=%d: registry holds %d addrs, want %d", workers, got, len(want)+1)
+		}
+	}
+}
+
+func resultsEqual(a, b trace.Result) bool {
+	if a.MsmID != b.MsmID || a.PrbID != b.PrbID || !a.Time.Equal(b.Time) ||
+		a.Src != b.Src || a.Dst != b.Dst || a.ParisID != b.ParisID || len(a.Hops) != len(b.Hops) {
+		return false
+	}
+	for i := range a.Hops {
+		if a.Hops[i].Index != b.Hops[i].Index || len(a.Hops[i].Replies) != len(b.Hops[i].Replies) {
+			return false
+		}
+		for j := range a.Hops[i].Replies {
+			if a.Hops[i].Replies[j] != b.Hops[i].Replies[j] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -10,8 +10,10 @@
 // concurrently, and a window-bounded reorder buffer releases decoded
 // batches strictly in input order. The delivered stream — batch boundaries
 // included — is bit-identical to a sequential decode for every worker
-// count, because chunk cutting is a function of the input alone and decode
-// work carries no cross-line state.
+// count, because chunk cutting is a function of the input alone and a
+// line's decoded value is a function of that line alone — the per-worker
+// decoder state (address memo, scratch buffers) is pure memoization and
+// cannot leak across lines into the output.
 //
 // Real dumps are full of measurement artifacts (timeouts, late and error
 // packets, replies without RTTs); the per-reply leniency lives in
@@ -27,15 +29,16 @@ import (
 	"bufio"
 	"compress/gzip"
 	"context"
-	"encoding/json"
 	"fmt"
 	"io"
+	"net/netip"
 	"os"
 	"runtime"
 	"sort"
 	"strings"
 	"sync"
 
+	"pinpoint/internal/ident"
 	"pinpoint/internal/trace"
 )
 
@@ -45,15 +48,18 @@ import (
 // analyzer engine-sized batches.
 const DefaultChunkSize = 256
 
-// MaxLineBytes bounds a single NDJSON line, matching trace.NewReader. An
-// oversized line is drained (the stream stays aligned on the next newline)
-// and reported through the error policy as a *LineError wrapping
+// MaxLineBytes bounds a single NDJSON line. It is trace.MaxLineBytes: the
+// reference Reader and this pipeline share one limit and one counting
+// convention (blank and oversized-drained lines both advance line numbers).
+// An oversized line is drained (the stream stays aligned on the next
+// newline) and reported through the error policy as a *LineError wrapping
 // ErrLineTooLong, so a lenient OnError can skip it and keep going.
-const MaxLineBytes = 16 * 1024 * 1024
+const MaxLineBytes = trace.MaxLineBytes
 
 // ErrLineTooLong reports a line exceeding MaxLineBytes; it reaches the
-// error policy wrapped in a *LineError.
-var ErrLineTooLong = fmt.Errorf("line exceeds the %d MiB limit", MaxLineBytes/(1024*1024))
+// error policy wrapped in a *LineError. It is trace.ErrLineTooLong, so
+// errors.Is matches across both packages.
+var ErrLineTooLong = trace.ErrLineTooLong
 
 // Stats summarizes one ingestion run. When a run aborts early, Lines and
 // Bytes count what the chunker had scanned — with parallel workers that can
@@ -106,6 +112,16 @@ type Options struct {
 	// On abort, the batch of the chunk containing the offending line is
 	// withheld, so consumers never observe results past an abort point.
 	OnError func(*LineError) error
+
+	// Intern, when non-nil, fuses address interning into the decode
+	// workers: every src/dst/from address is parsed and interned into this
+	// registry straight from its wire bytes (via ident.Interner.AddrBytes,
+	// one per-goroutine memo per worker), pre-warming the identity layer
+	// the extractors intern into while the bytes are already in cache.
+	// Decoded results are unchanged; the registry only gains entries —
+	// including source addresses the extractors never intern, so interned
+	// counts reported from it will run higher than without fusion.
+	Intern *ident.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -190,11 +206,28 @@ type decodedChunk struct {
 	errs    []LineError
 }
 
-// decodeChunk decodes every line of c. Results go into a fresh slice — the
-// consumer may retain delivered batches, mirroring atlas.RunChunks — and
-// failures (the chunker's read-level ones plus decode ones) become
-// LineErrors in line order.
-func decodeChunk(c *lineChunk, validate bool) ([]trace.Result, []LineError) {
+// newDecoder builds one decode worker's trace.Decoder: scratch state plus,
+// when interning fusion is on, a per-worker Interner memo over the shared
+// registry wired in as the decoder's address parser.
+func newDecoder(opts Options) *trace.Decoder {
+	d := new(trace.Decoder)
+	if opts.Intern != nil {
+		in := ident.NewInterner(opts.Intern)
+		d.ParseAddr = func(b []byte) (netip.Addr, error) {
+			_, a, err := in.AddrBytes(b)
+			return a, err
+		}
+	}
+	return d
+}
+
+// decodeChunk decodes every line of c through the fast wire decoder (one
+// *trace.Decoder per worker; the differential fuzzer pins it equivalent to
+// the encoding/json reference that trace.Reader still uses). Results go
+// into a fresh slice — the consumer may retain delivered batches,
+// mirroring atlas.RunChunks — and failures (the chunker's read-level ones
+// plus decode ones) become LineErrors in line order.
+func decodeChunk(d *trace.Decoder, c *lineChunk, validate bool) ([]trace.Result, []LineError) {
 	results := make([]trace.Result, 0, len(c.ends))
 	var errs []LineError
 	if len(c.errs) > 0 {
@@ -205,7 +238,7 @@ func decodeChunk(c *lineChunk, validate bool) ([]trace.Result, []LineError) {
 		line := c.buf[start:end]
 		start = end
 		var res trace.Result
-		err := json.Unmarshal(line, &res)
+		err := d.Decode(line, &res)
 		if err == nil && validate {
 			err = res.Validate()
 		}
@@ -436,13 +469,14 @@ func runSeq(ctx context.Context, ck *chunker, opts Options, fn func([]trace.Resu
 		st     Stats
 		runErr error
 	)
+	dec := newDecoder(opts)
 	ck.run(func(c *lineChunk) bool {
 		if err := ctx.Err(); err != nil {
 			runErr = err
 			chunkPool.Put(c)
 			return false
 		}
-		results, errs := decodeChunk(c, opts.Validate)
+		results, errs := decodeChunk(dec, c, opts.Validate)
 		chunkPool.Put(c)
 		if err := deliver(&st, opts, results, errs, fn); err != nil {
 			runErr = err
@@ -501,9 +535,10 @@ func runPar(ctx context.Context, ck *chunker, opts Options, fn func([]trace.Resu
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			dec := newDecoder(opts)
 			for c := range tasks {
 				dc := &decodedChunk{seq: c.seq}
-				dc.results, dc.errs = decodeChunk(c, opts.Validate)
+				dc.results, dc.errs = decodeChunk(dec, c, opts.Validate)
 				chunkPool.Put(c)
 				select {
 				case results <- dc:

@@ -1,0 +1,1524 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+	"net/netip"
+	"strconv"
+	"sync"
+	"time"
+	"unicode/utf16"
+	"unicode/utf8"
+)
+
+// This file is the hand-rolled fast path for the Atlas NDJSON wire format:
+// a single-pass byte scanner that dispatches on key bytes directly, with no
+// intermediate wireResult and no reflection. Result.UnmarshalJSON (json.go)
+// stays as the reference oracle — FuzzDecodeDifferential asserts that for
+// every input the two decoders either produce the same Result or both
+// reject — so the fast path must mirror encoding/json's observable
+// behavior exactly: case-insensitive key matching, last-key-wins
+// duplicates, null-is-a-no-op on int/string fields (but clears pointer and
+// slice fields), strict number grammar, lone-surrogate and invalid-UTF-8
+// sanitization, the 10000-level nesting limit, and structural skipping of
+// unknown fields (ttl, size, late, err, future Atlas keys).
+
+// MaxLineBytes bounds a single NDJSON line for Reader (and, via an alias,
+// internal/ingest). An oversized line is drained so the stream stays
+// aligned on the next newline, and reported as ErrLineTooLong.
+const MaxLineBytes = 16 * 1024 * 1024
+
+// ErrLineTooLong reports a line exceeding MaxLineBytes. Reader returns it
+// wrapped with the line number; internal/ingest routes it through its
+// per-line error policy.
+var ErrLineTooLong = fmt.Errorf("line exceeds the %d MiB limit", MaxLineBytes/(1024*1024))
+
+// maxDecodeDepth mirrors encoding/json's scanner nesting limit, so deeply
+// nested unknown fields reject on both decoders.
+const maxDecodeDepth = 10000
+
+// maxAddrCache bounds the decoder's distinct-address memo; real dumps hold
+// a few hundred thousand distinct addresses, hostile input stops inserting
+// (but keeps decoding correctly) beyond the cap.
+const maxAddrCache = 1 << 20
+
+// DecodeError reports a syntax or shape violation the fast decoder found in
+// a wire line, with the byte offset where scanning stopped.
+type DecodeError struct {
+	Offset int
+	Msg    string
+}
+
+// Error implements error.
+func (e *DecodeError) Error() string {
+	return fmt.Sprintf("trace: invalid wire result at offset %d: %s", e.Offset, e.Msg)
+}
+
+// strRef locates a decoded string: either a zero-copy window into the input
+// line (clean strings) or a window into the decoder's unescape buffer
+// (strings that carried escapes).
+type strRef struct {
+	off, n int32
+	buf    bool
+}
+
+// pendAddr is a "from" address awaiting post-scan parsing. Addresses
+// resolve only after the whole line scanned cleanly, mirroring
+// encoding/json's validate-then-walk order (a syntax error anywhere in the
+// line beats an address error earlier in it).
+type pendAddr struct {
+	reply int32
+	ref   strRef
+}
+
+// hopRange is one hop under construction: its TTL and the window of its
+// replies in the decoder's scratch reply buffer.
+type hopRange struct {
+	index      int
+	start, end int32
+}
+
+// Decoder decodes Atlas wire lines with reusable scratch state. The zero
+// value is ready to use; a Decoder is NOT safe for concurrent use — create
+// one per goroutine (internal/ingest gives each decode worker its own).
+//
+// Steady state, a Decoder performs two allocations per decoded line: the
+// Hops slice and one shared backing array for every hop's Replies.
+// Addresses are parsed at most once per distinct text form — repeats hit a
+// raw-bytes memo, netip.Addr values never round-trip through a string.
+type Decoder struct {
+	// ParseAddr, when non-nil, replaces netip.ParseAddr for address fields
+	// (called once per distinct address text, behind the memo). It is the
+	// interning-fusion hook: ident.Interner.AddrBytes both parses and
+	// interns, so bytes go to AddrID with no intermediate Addr→string trip.
+	ParseAddr func([]byte) (netip.Addr, error)
+
+	data  []byte
+	pos   int
+	depth int
+
+	hops    []hopRange
+	replies []Reply
+	pend    []pendAddr
+	buf     []byte
+
+	addrs map[string]netip.Addr
+}
+
+var decoderPool = sync.Pool{New: func() any { return new(Decoder) }}
+
+// DecodeResult decodes one Atlas wire line into dst using a pooled Decoder.
+// On error dst is left untouched. Callers decoding streams should hold
+// their own Decoder and call its Decode method instead, which also keeps
+// the address memo goroutine-local.
+func DecodeResult(line []byte, dst *Result) error {
+	d := decoderPool.Get().(*Decoder)
+	err := d.Decode(line, dst)
+	decoderPool.Put(d)
+	return err
+}
+
+// emptyReplies backs every hop with no replies, so decoded hops always
+// carry a non-nil Replies slice exactly like the reference decoder's.
+var emptyReplies = make([]Reply, 0)
+
+// topFields collects the scalar fields of the top-level result object
+// during the scan; addresses stay as raw references until the line has
+// scanned cleanly.
+type topFields struct {
+	msmID, prbID, parisID int
+	timestamp             int64
+	src, dst              strRef
+}
+
+// Decode decodes one Atlas wire line into dst. On error dst is untouched.
+func (d *Decoder) Decode(line []byte, dst *Result) error {
+	d.data, d.pos, d.depth = line, 0, 0
+	d.hops = d.hops[:0]
+	d.replies = d.replies[:0]
+	d.pend = d.pend[:0]
+	d.buf = d.buf[:0]
+	if d.addrs == nil {
+		d.addrs = make(map[string]netip.Addr)
+	}
+
+	var top topFields
+	d.skipWS()
+	c, ok := d.peek()
+	switch {
+	case !ok:
+		return d.errf("unexpected end of input")
+	case c == 'n':
+		// A JSON null decodes to the zero result, which then fails address
+		// resolution — exactly like the oracle.
+		if err := d.literal("null"); err != nil {
+			return err
+		}
+	case c == '{':
+		handled, err := d.fastTop(&top)
+		if !handled {
+			err = d.parseTop(&top)
+		}
+		if err != nil {
+			if err == errFallback {
+				// A duplicate hop/reply array key: encoding/json re-decodes
+				// the new array over the old one's backing elements,
+				// merging structs field-by-field. No real Atlas line has
+				// duplicate keys, so rather than carry wire-level merge
+				// state through the hot path, hand the whole line to the
+				// reference decoder — parity by construction.
+				return dst.UnmarshalJSON(line)
+			}
+			return err
+		}
+	default:
+		return d.errf("cannot decode %q into a result object", c)
+	}
+	d.skipWS()
+	if d.pos != len(d.data) {
+		return d.errf("invalid character after top-level value")
+	}
+
+	// The line is structurally sound; now resolve addresses in document
+	// order (src, dst, then every kept reply), the oracle's error order.
+	src, err := d.resolveAddr(top.src, "src_addr")
+	if err != nil {
+		return err
+	}
+	dstAddr, err := d.resolveAddr(top.dst, "dst_addr")
+	if err != nil {
+		return err
+	}
+	for _, p := range d.pend {
+		a, err := d.resolveAddr(p.ref, "from")
+		if err != nil {
+			return err
+		}
+		d.replies[p.reply].From = a
+	}
+
+	// Materialize: one backing array shared by every hop's replies (the
+	// second and last steady-state allocation besides the Hops slice).
+	hops := make([]Hop, len(d.hops))
+	var backing []Reply
+	if len(d.replies) > 0 {
+		backing = make([]Reply, len(d.replies))
+		copy(backing, d.replies)
+	}
+	for i, hr := range d.hops {
+		reps := emptyReplies
+		if hr.end > hr.start {
+			reps = backing[hr.start:hr.end:hr.end]
+		}
+		hops[i] = Hop{Index: hr.index, Replies: reps}
+	}
+	*dst = Result{
+		MsmID:   top.msmID,
+		PrbID:   top.prbID,
+		Time:    time.Unix(top.timestamp, 0).UTC(),
+		Src:     src,
+		Dst:     dstAddr,
+		ParisID: top.parisID,
+		Hops:    hops,
+	}
+	return nil
+}
+
+// ── scanner primitives ──────────────────────────────────────────────────
+
+func (d *Decoder) peek() (byte, bool) {
+	if d.pos < len(d.data) {
+		return d.data[d.pos], true
+	}
+	return 0, false
+}
+
+func (d *Decoder) skipWS() {
+	// Machine-written dumps have no whitespace, so the common case is a
+	// single compare: every JSON whitespace byte is <= ' '.
+	if d.pos < len(d.data) && d.data[d.pos] > ' ' {
+		return
+	}
+	for d.pos < len(d.data) {
+		switch d.data[d.pos] {
+		case ' ', '\t', '\n', '\r':
+			d.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (d *Decoder) errf(format string, args ...any) error {
+	return &DecodeError{Offset: d.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// errFallback is an internal signal: the line uses a JSON shape whose
+// encoding/json semantics the fast path deliberately does not model
+// (duplicate array-valued keys merge element structs), so Decode reruns the
+// line through the reference decoder.
+var errFallback = fmt.Errorf("trace: fast path fallback")
+
+func (d *Decoder) literal(s string) error {
+	if len(d.data)-d.pos >= len(s) && string(d.data[d.pos:d.pos+len(s)]) == s {
+		d.pos += len(s)
+		return nil
+	}
+	return d.errf("invalid literal, expected %s", s)
+}
+
+// Canonical member literals, in the order our encoder (and real Atlas
+// dumps) writes them; index i dispatches like *KeyIndex returning i.
+var (
+	topCanon   = [...]string{`"msm_id":`, `"prb_id":`, `"timestamp":`, `"src_addr":`, `"dst_addr":`, `"paris_id":`, `"result":`}
+	hopCanon   = [...]string{`"hop":`, `"result":`}
+	replyCanon = [...]string{`"from":`, `"rtt":`, `"x":`}
+)
+
+// match advances past lit when the input continues with exactly lit.
+func (d *Decoder) match(lit string) bool {
+	if len(d.data)-d.pos >= len(lit) && string(d.data[d.pos:d.pos+len(lit)]) == lit {
+		d.pos += len(lit)
+		return true
+	}
+	return false
+}
+
+func (d *Decoder) push() error {
+	d.depth++
+	if d.depth > maxDecodeDepth {
+		return d.errf("exceeded max depth")
+	}
+	return nil
+}
+
+// endMember consumes the separator after an object member or array element:
+// a comma (more members follow) or the closing delimiter.
+func (d *Decoder) endMember(close byte) (more bool, err error) {
+	d.skipWS()
+	c, ok := d.peek()
+	if !ok {
+		return false, d.errf("unexpected end of input")
+	}
+	switch c {
+	case ',':
+		d.pos++
+		return true, nil
+	case close:
+		d.pos++
+		d.depth--
+		return false, nil
+	}
+	return false, d.errf("invalid character %q after value", c)
+}
+
+// scanKey parses an object key and the following colon, leaving the cursor
+// at the first byte of the value.
+func (d *Decoder) scanKey() ([]byte, error) {
+	d.skipWS()
+	c, ok := d.peek()
+	if !ok {
+		return nil, d.errf("unexpected end of input")
+	}
+	if c != '"' {
+		return nil, d.errf("invalid character %q looking for object key", c)
+	}
+	ref, err := d.scanString()
+	if err != nil {
+		return nil, err
+	}
+	d.skipWS()
+	if c, ok := d.peek(); !ok || c != ':' {
+		return nil, d.errf("invalid character after object key")
+	}
+	d.pos++
+	d.skipWS()
+	return d.refBytes(ref), nil
+}
+
+func (d *Decoder) refBytes(ref strRef) []byte {
+	if ref.buf {
+		return d.buf[ref.off : ref.off+ref.n]
+	}
+	return d.data[ref.off : ref.off+ref.n]
+}
+
+// ── strings ─────────────────────────────────────────────────────────────
+
+// scanString parses a JSON string starting at the opening quote. Clean
+// strings return a zero-copy window into the line; escape-bearing strings
+// route through the slow-path unescape into the decoder's buffer.
+func (d *Decoder) scanString() (strRef, error) {
+	d.pos++ // opening quote
+	data := d.data
+	start := d.pos
+	i := start
+	// Word-at-a-time scan: skip 8 clean bytes per iteration, dropping to
+	// the byte loop at the first quote, backslash or control character.
+	for i+8 <= len(data) {
+		w := binary.LittleEndian.Uint64(data[i:])
+		if m := stringSpecials(w); m != 0 {
+			i += bits.TrailingZeros64(m) >> 3
+			break
+		}
+		i += 8
+	}
+	for ; i < len(data); i++ {
+		c := data[i]
+		if c == '"' {
+			d.pos = i + 1
+			return strRef{off: int32(start), n: int32(i - start)}, nil
+		}
+		if c == '\\' {
+			return d.scanStringSlow(start, i)
+		}
+		if c < 0x20 {
+			d.pos = i
+			return strRef{}, d.errf("invalid control character in string")
+		}
+	}
+	d.pos = len(data)
+	return strRef{}, d.errf("unterminated string")
+}
+
+const (
+	swarLSB = 0x0101010101010101
+	swarMSB = 0x8080808080808080
+)
+
+// stringSpecials returns a mask with the high bit set in every byte of w
+// that is a quote, a backslash, or a control character (< 0x20).
+func stringSpecials(w uint64) uint64 {
+	q := w ^ (swarLSB * '"')
+	s := w ^ (swarLSB * '\\')
+	return ((q - swarLSB) &^ q & swarMSB) |
+		((s - swarLSB) &^ s & swarMSB) |
+		((w - swarLSB*0x20) &^ w & swarMSB)
+}
+
+// scanStringSlow unescapes a string into the decoder's buffer, mirroring
+// encoding/json: standard escapes, \uXXXX with UTF-16 surrogate pairing,
+// lone surrogates become U+FFFD, raw invalid UTF-8 is copied through (the
+// caller sanitizes strings whose decoded value matters).
+func (d *Decoder) scanStringSlow(start, i int) (strRef, error) {
+	data := d.data
+	off := int32(len(d.buf))
+	d.buf = append(d.buf, data[start:i]...)
+	for i < len(data) {
+		c := data[i]
+		switch {
+		case c == '"':
+			d.pos = i + 1
+			return strRef{off: off, n: int32(len(d.buf)) - off, buf: true}, nil
+		case c < 0x20:
+			d.pos = i
+			return strRef{}, d.errf("invalid control character in string")
+		case c != '\\':
+			d.buf = append(d.buf, c)
+			i++
+		default:
+			i++
+			if i >= len(data) {
+				d.pos = i
+				return strRef{}, d.errf("unterminated string escape")
+			}
+			switch data[i] {
+			case '"', '\\', '/':
+				d.buf = append(d.buf, data[i])
+				i++
+			case 'b':
+				d.buf = append(d.buf, '\b')
+				i++
+			case 'f':
+				d.buf = append(d.buf, '\f')
+				i++
+			case 'n':
+				d.buf = append(d.buf, '\n')
+				i++
+			case 'r':
+				d.buf = append(d.buf, '\r')
+				i++
+			case 't':
+				d.buf = append(d.buf, '\t')
+				i++
+			case 'u':
+				rr := getu4(data[i-1:])
+				if rr < 0 {
+					d.pos = i
+					return strRef{}, d.errf("invalid \\u escape")
+				}
+				i += 5
+				if utf16.IsSurrogate(rr) {
+					rr1 := getu4(data[i:])
+					if dec := utf16.DecodeRune(rr, rr1); dec != utf8.RuneError {
+						i += 6
+						d.buf = utf8.AppendRune(d.buf, dec)
+						break
+					}
+					rr = utf8.RuneError
+				}
+				d.buf = utf8.AppendRune(d.buf, rr)
+			default:
+				d.pos = i
+				return strRef{}, d.errf("invalid escape character %q", data[i])
+			}
+		}
+	}
+	d.pos = len(data)
+	return strRef{}, d.errf("unterminated string")
+}
+
+// getu4 decodes \uXXXX from the start of s, returning -1 on malformation —
+// the same contract as encoding/json's helper.
+func getu4(s []byte) rune {
+	if len(s) < 6 || s[0] != '\\' || s[1] != 'u' {
+		return -1
+	}
+	var r rune
+	for _, c := range s[2:6] {
+		switch {
+		case '0' <= c && c <= '9':
+			c -= '0'
+		case 'a' <= c && c <= 'f':
+			c = c - 'a' + 10
+		case 'A' <= c && c <= 'F':
+			c = c - 'A' + 10
+		default:
+			return -1
+		}
+		r = r*16 + rune(c)
+	}
+	return r
+}
+
+// sanitize replaces invalid UTF-8 sequences with U+FFFD, exactly as
+// encoding/json does while decoding strings.
+func (d *Decoder) sanitize(b []byte) []byte {
+	off := len(d.buf)
+	for i := 0; i < len(b); {
+		r, size := utf8.DecodeRune(b[i:])
+		if r == utf8.RuneError && size <= 1 {
+			d.buf = utf8.AppendRune(d.buf, utf8.RuneError)
+			i++
+			continue
+		}
+		d.buf = append(d.buf, b[i:i+size]...)
+		i += size
+	}
+	return d.buf[off:]
+}
+
+// ── numbers ─────────────────────────────────────────────────────────────
+
+type number struct {
+	neg       bool
+	mant      uint64
+	sig       int
+	exp10     int
+	truncated bool
+	hasFrac   bool
+	hasExp    bool
+	tok       []byte
+}
+
+// scanNumber validates JSON number grammar while accumulating a decimal
+// mantissa and exponent for the fast conversion paths.
+func (d *Decoder) scanNumber() (number, error) {
+	var n number
+	data := d.data
+	start := d.pos
+	i := d.pos
+	if i < len(data) && data[i] == '-' {
+		n.neg = true
+		i++
+	}
+	if i >= len(data) || data[i] < '0' || data[i] > '9' {
+		d.pos = i
+		return n, d.errf("invalid number")
+	}
+	if data[i] == '0' {
+		i++
+	} else {
+		for i < len(data) && data[i] >= '0' && data[i] <= '9' {
+			if n.sig < 19 {
+				n.mant = n.mant*10 + uint64(data[i]-'0')
+				n.sig++
+			} else {
+				n.truncated = true
+				n.exp10++
+			}
+			i++
+		}
+	}
+	if i < len(data) && data[i] == '.' {
+		n.hasFrac = true
+		i++
+		if i >= len(data) || data[i] < '0' || data[i] > '9' {
+			d.pos = i
+			return n, d.errf("invalid number: no digits after decimal point")
+		}
+		for i < len(data) && data[i] >= '0' && data[i] <= '9' {
+			switch {
+			case n.sig == 0 && data[i] == '0':
+				n.exp10-- // leading zeros of a sub-1 number
+			case n.sig < 19:
+				n.mant = n.mant*10 + uint64(data[i]-'0')
+				n.sig++
+				n.exp10--
+			default:
+				n.truncated = true
+			}
+			i++
+		}
+	}
+	if i < len(data) && (data[i] == 'e' || data[i] == 'E') {
+		n.hasExp = true
+		i++
+		esign := 1
+		if i < len(data) && (data[i] == '+' || data[i] == '-') {
+			if data[i] == '-' {
+				esign = -1
+			}
+			i++
+		}
+		if i >= len(data) || data[i] < '0' || data[i] > '9' {
+			d.pos = i
+			return n, d.errf("invalid number: no exponent digits")
+		}
+		e := 0
+		for i < len(data) && data[i] >= '0' && data[i] <= '9' {
+			if e < 1<<28 {
+				e = e*10 + int(data[i]-'0')
+			}
+			i++
+		}
+		n.exp10 += esign * e
+	}
+	n.tok = data[start:i]
+	d.pos = i
+	return n, nil
+}
+
+// toInt converts per strconv.ParseInt semantics on the token: integer
+// grammar only, int64 range — anything else is the oracle's reject.
+func (n *number) toInt() (int64, bool) {
+	if n.hasFrac || n.hasExp || n.truncated || n.sig > 19 {
+		return 0, false
+	}
+	if n.neg {
+		if n.mant > 1<<63 {
+			return 0, false
+		}
+		return -int64(n.mant), true
+	}
+	if n.mant > 1<<63-1 {
+		return 0, false
+	}
+	return int64(n.mant), true
+}
+
+// pow10tab holds the exactly-representable powers of ten.
+var pow10tab = [...]float64{
+	1e0, 1e1, 1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10,
+	1e11, 1e12, 1e13, 1e14, 1e15, 1e16, 1e17, 1e18, 1e19, 1e20, 1e21, 1e22,
+}
+
+// toFloat converts with the classic exact fast path (mantissa ≤ 15 digits,
+// |decimal exponent| ≤ 22: one multiply or divide is correctly rounded);
+// everything else falls back to strconv.ParseFloat, the oracle's own
+// conversion, so results are bit-identical either way.
+func (n *number) toFloat() (float64, bool) {
+	if !n.truncated && n.sig <= 15 && n.exp10 >= -22 && n.exp10 <= 22 {
+		f := float64(n.mant)
+		switch {
+		case n.exp10 > 0:
+			f *= pow10tab[n.exp10]
+		case n.exp10 < 0:
+			f /= pow10tab[-n.exp10]
+		}
+		if n.neg {
+			f = -f
+		}
+		return f, true
+	}
+	f, err := strconv.ParseFloat(string(n.tok), 64)
+	if err != nil {
+		return 0, false
+	}
+	return f, true
+}
+
+// ── field parsers ───────────────────────────────────────────────────────
+
+// int64Field parses a strict-integer JSON number into p; null is a no-op
+// (encoding/json leaves the previous value), anything else rejects.
+func (d *Decoder) int64Field(p *int64, key string) error {
+	// Fast path: a plain run of up to 19 digits with no fraction, exponent
+	// or leading zero — every integer field a real dump carries.
+	data := d.data
+	i := d.pos
+	neg := false
+	if i < len(data) && data[i] == '-' {
+		neg = true
+		i++
+	}
+	digs := i
+	var mant uint64
+	for i < len(data) && data[i] >= '0' && data[i] <= '9' && i-digs < 19 {
+		mant = mant*10 + uint64(data[i]-'0')
+		i++
+	}
+	if i > digs && (data[digs] != '0' || i == digs+1) &&
+		(i == len(data) || (data[i] != '.' && data[i] != 'e' && data[i] != 'E' && (data[i] < '0' || data[i] > '9'))) {
+		if neg {
+			if mant > 1<<63 {
+				return d.errf("number %s does not fit integer field %s", data[d.pos:i], key)
+			}
+			*p = -int64(mant)
+		} else {
+			if mant > 1<<63-1 {
+				return d.errf("number %s does not fit integer field %s", data[d.pos:i], key)
+			}
+			*p = int64(mant)
+		}
+		d.pos = i
+		return nil
+	}
+
+	c, ok := d.peek()
+	if !ok {
+		return d.errf("unexpected end of input")
+	}
+	if c == 'n' {
+		return d.literal("null")
+	}
+	if c != '-' && (c < '0' || c > '9') {
+		return d.errf("cannot decode %q into integer field %s", c, key)
+	}
+	n, err := d.scanNumber()
+	if err != nil {
+		return err
+	}
+	v, ok := n.toInt()
+	if !ok {
+		return d.errf("number %s does not fit integer field %s", n.tok, key)
+	}
+	*p = v
+	return nil
+}
+
+func (d *Decoder) intField(p *int, key string) error {
+	v := int64(*p)
+	if err := d.int64Field(&v, key); err != nil {
+		return err
+	}
+	*p = int(v)
+	return nil
+}
+
+// strField parses a JSON string into ref; null is a no-op.
+func (d *Decoder) strField(ref *strRef, key string) error {
+	c, ok := d.peek()
+	if !ok {
+		return d.errf("unexpected end of input")
+	}
+	if c == 'n' {
+		return d.literal("null")
+	}
+	if c != '"' {
+		return d.errf("cannot decode %q into string field %s", c, key)
+	}
+	r, err := d.scanString()
+	if err != nil {
+		return err
+	}
+	*ref = r
+	return nil
+}
+
+// resolveAddr turns a decoded string into a netip.Addr through the
+// raw-bytes memo, sanitizing invalid UTF-8 first (the oracle decodes
+// through a Go string, which replaces invalid sequences with U+FFFD).
+func (d *Decoder) resolveAddr(ref strRef, field string) (netip.Addr, error) {
+	b := d.refBytes(ref)
+	if d.ParseAddr == nil {
+		// Dotted-quad addresses (the vast majority of Atlas traffic) parse
+		// inline for less than a map probe costs. Anything else — IPv6,
+		// zones, malformed text — goes through the memo and full parser.
+		// With an interning hook installed the memo stays authoritative, so
+		// the hook sees every distinct address exactly once.
+		if a, ok := parseV4(b); ok {
+			return a, nil
+		}
+	}
+	if !utf8.Valid(b) {
+		b = d.sanitize(b)
+	}
+	if a, ok := d.addrs[string(b)]; ok {
+		return a, nil
+	}
+	var a netip.Addr
+	var err error
+	if d.ParseAddr != nil {
+		a, err = d.ParseAddr(b)
+	} else {
+		a, err = netip.ParseAddr(string(b))
+	}
+	if err != nil {
+		return netip.Addr{}, &AddrError{Field: field, Value: string(b), Err: err}
+	}
+	if len(d.addrs) < maxAddrCache {
+		d.addrs[string(b)] = a
+	}
+	return a, nil
+}
+
+// parseV4 parses a dotted-quad IPv4 address with netip.ParseAddr's exact
+// grammar: four decimal octets, one to three digits, no leading zeros,
+// each at most 255. ok=false means "not a clean dotted quad" — the caller
+// falls back to the full parser, which produces the canonical error.
+func parseV4(b []byte) (netip.Addr, bool) {
+	var q [4]byte
+	i := 0
+	for f := 0; f < 4; f++ {
+		if f > 0 {
+			if i >= len(b) || b[i] != '.' {
+				return netip.Addr{}, false
+			}
+			i++
+		}
+		st := i
+		v := 0
+		for i < len(b) && b[i] >= '0' && b[i] <= '9' && i-st < 3 {
+			v = v*10 + int(b[i]-'0')
+			i++
+		}
+		if i == st || (b[st] == '0' && i-st > 1) || v > 255 {
+			return netip.Addr{}, false
+		}
+		q[f] = byte(v)
+	}
+	if i != len(b) {
+		return netip.Addr{}, false
+	}
+	return netip.AddrFrom4(q), true
+}
+
+// ── objects ─────────────────────────────────────────────────────────────
+
+var (
+	topKeys   = [][]byte{[]byte("msm_id"), []byte("prb_id"), []byte("timestamp"), []byte("src_addr"), []byte("dst_addr"), []byte("paris_id"), []byte("result")}
+	hopKeys   = [][]byte{[]byte("hop"), []byte("result")}
+	replyKeys = [][]byte{[]byte("from"), []byte("rtt"), []byte("x"), []byte("ttl"), []byte("size"), []byte("late"), []byte("err")}
+)
+
+// keyIndex matches a decoded key against a known set the way encoding/json
+// matches struct fields: exact first, then case-insensitively (Unicode
+// simple folding). -1 means unknown — the value is skipped structurally.
+// The key dispatchers switch on string(key) inline — the compiler elides
+// that conversion, whereas passing it through a func value would force a
+// heap copy per key. Exact match first (the hot path for machine-written
+// dumps), then the case-insensitive scan encoding/json falls back to.
+func foldIndex(key []byte, known [][]byte) int {
+	for i, k := range known {
+		if bytes.EqualFold(key, k) {
+			return i
+		}
+	}
+	return -1
+}
+
+func topKeyIndex(key []byte) int {
+	switch string(key) {
+	case "msm_id":
+		return 0
+	case "prb_id":
+		return 1
+	case "timestamp":
+		return 2
+	case "src_addr":
+		return 3
+	case "dst_addr":
+		return 4
+	case "paris_id":
+		return 5
+	case "result":
+		return 6
+	}
+	return foldIndex(key, topKeys)
+}
+
+func hopKeyIndex(key []byte) int {
+	switch string(key) {
+	case "hop":
+		return 0
+	case "result":
+		return 1
+	}
+	return foldIndex(key, hopKeys)
+}
+
+func replyKeyIndex(key []byte) int {
+	switch string(key) {
+	case "from":
+		return 0
+	case "rtt":
+		return 1
+	case "x":
+		return 2
+	case "ttl":
+		return 3
+	case "size":
+		return 4
+	case "late":
+		return 5
+	case "err":
+		return 6
+	}
+	return foldIndex(key, replyKeys)
+}
+
+// fastTop attempts the full canonical top-level shape — every field in
+// encoder order, fused into literal matches with no per-member dispatch.
+// Once the hop array has begun parsing the shape is committed: failures
+// from there are the same failures the generic parser would produce and
+// propagate as handled=true. Earlier mismatches rewind (the scratch
+// buffers are empty at entry, so resetting them is exact) and report
+// handled=false, leaving parseTop to do the generic walk.
+func (d *Decoder) fastTop(t *topFields) (handled bool, err error) {
+	start := d.pos
+	ok := d.match(`{"msm_id":`) &&
+		d.intField(&t.msmID, "msm_id") == nil &&
+		d.match(`,"prb_id":`) &&
+		d.intField(&t.prbID, "prb_id") == nil &&
+		d.match(`,"timestamp":`) &&
+		d.int64Field(&t.timestamp, "timestamp") == nil &&
+		d.match(`,"src_addr":`) &&
+		d.strField(&t.src, "src_addr") == nil &&
+		d.match(`,"dst_addr":`) &&
+		d.strField(&t.dst, "dst_addr") == nil &&
+		d.match(`,"paris_id":`) &&
+		d.intField(&t.parisID, "paris_id") == nil &&
+		d.match(`,"result":`)
+	if !ok {
+		d.pos = start
+		return false, nil
+	}
+	if err := d.parseHops(); err != nil {
+		return true, err
+	}
+	if !d.match(`}`) {
+		// Extra members after the hop array: rewind and drop everything
+		// the array parse appended.
+		d.hops = d.hops[:0]
+		d.replies = d.replies[:0]
+		d.pend = d.pend[:0]
+		d.pos = start
+		return false, nil
+	}
+	return true, nil
+}
+
+func (d *Decoder) parseTop(t *topFields) error {
+	d.pos++ // '{'
+	if err := d.push(); err != nil {
+		return err
+	}
+	d.skipWS()
+	if c, ok := d.peek(); ok && c == '}' {
+		d.pos++
+		d.depth--
+		return nil
+	}
+	seenHops := false
+	next := 0
+	for {
+		// Canonical-order probe: our own encoder (and real Atlas dumps)
+		// write keys in a fixed order, so one memcmp of `"key":` replaces
+		// the generic string scan plus dispatch. Any miss — reordered,
+		// escaped or unknown keys — falls back to scanKey (which skips
+		// whitespace itself, so the probe needs none on the hot path).
+		ki := -1
+		for j := next; j < len(topCanon); j++ {
+			if d.match(topCanon[j]) {
+				ki, next = j, j+1
+				d.skipWS()
+				break
+			}
+		}
+		if ki < 0 {
+			key, err := d.scanKey()
+			if err != nil {
+				return err
+			}
+			ki = topKeyIndex(key)
+			if ki >= next {
+				next = ki + 1
+			}
+		}
+		var err error
+		switch ki {
+		case 0:
+			err = d.intField(&t.msmID, "msm_id")
+		case 1:
+			err = d.intField(&t.prbID, "prb_id")
+		case 2:
+			err = d.int64Field(&t.timestamp, "timestamp")
+		case 3:
+			err = d.strField(&t.src, "src_addr")
+		case 4:
+			err = d.strField(&t.dst, "dst_addr")
+		case 5:
+			err = d.intField(&t.parisID, "paris_id")
+		case 6:
+			if seenHops {
+				return errFallback
+			}
+			seenHops = true
+			err = d.parseHops()
+		default:
+			err = d.skipValue()
+		}
+		if err != nil {
+			return err
+		}
+		more, err := d.endMember('}')
+		if err != nil {
+			return err
+		}
+		if !more {
+			return nil
+		}
+	}
+}
+
+// parseHops parses the top-level "result" array (called at most once per
+// line — duplicates take the fallback path).
+// fastHop attempts the canonical hop shape {"hop":N,"result":[…]}. It
+// reports handled=true once the shape is committed (the replies array has
+// begun parsing): from then on any failure is the same failure the generic
+// parser would produce, so it propagates rather than rewinds. Earlier
+// mismatches rewind — including truncating reply scratch — and report
+// handled=false.
+func (d *Decoder) fastHop() (handled bool, err error) {
+	start := d.pos
+	if !d.match(`{"hop":`) {
+		return false, nil
+	}
+	hr := hopRange{start: int32(len(d.replies))}
+	pendLen := len(d.pend)
+	if d.intField(&hr.index, "hop") != nil {
+		d.pos = start
+		return false, nil
+	}
+	if !d.match(`,"result":`) {
+		d.pos = start
+		return false, nil
+	}
+	if err := d.parseReplies(&hr); err != nil {
+		return true, err
+	}
+	if !d.match(`}`) {
+		// Extra or reordered members after the replies array: rewind,
+		// dropping whatever parseReplies appended to the scratch buffers.
+		d.replies = d.replies[:hr.start]
+		d.pend = d.pend[:pendLen]
+		d.pos = start
+		return false, nil
+	}
+	hr.end = int32(len(d.replies))
+	d.hops = append(d.hops, hr)
+	return true, nil
+}
+
+func (d *Decoder) parseHops() error {
+	c, ok := d.peek()
+	if !ok {
+		return d.errf("unexpected end of input")
+	}
+	if c == 'n' {
+		return d.literal("null")
+	}
+	if c != '[' {
+		return d.errf("cannot decode %q into the hop array", c)
+	}
+	d.pos++
+	if err := d.push(); err != nil {
+		return err
+	}
+	d.skipWS()
+	if c, ok := d.peek(); ok && c == ']' {
+		d.pos++
+		d.depth--
+		return nil
+	}
+	for {
+		// Whole-shape probe for the canonical hop form
+		// {"hop":N,"result":[…]}; a miss rewinds to the generic parser.
+		if ok, err := d.fastHop(); ok {
+			if err != nil {
+				return err
+			}
+			more, err := d.endMember(']')
+			if err != nil {
+				return err
+			}
+			if !more {
+				return nil
+			}
+			continue
+		}
+		d.skipWS()
+		c, ok := d.peek()
+		if !ok {
+			return d.errf("unexpected end of input")
+		}
+		var err error
+		switch c {
+		case '{':
+			err = d.parseHop()
+		case 'n':
+			// null hop element: a zero hop with no replies.
+			if err = d.literal("null"); err == nil {
+				end := int32(len(d.replies))
+				d.hops = append(d.hops, hopRange{start: end, end: end})
+			}
+		default:
+			err = d.errf("cannot decode %q into a hop object", c)
+		}
+		if err != nil {
+			return err
+		}
+		more, err := d.endMember(']')
+		if err != nil {
+			return err
+		}
+		if !more {
+			return nil
+		}
+	}
+}
+
+func (d *Decoder) parseHop() error {
+	d.pos++ // '{'
+	if err := d.push(); err != nil {
+		return err
+	}
+	hr := hopRange{start: int32(len(d.replies))}
+	d.skipWS()
+	if c, ok := d.peek(); ok && c == '}' {
+		d.pos++
+		d.depth--
+		hr.end = int32(len(d.replies))
+		d.hops = append(d.hops, hr)
+		return nil
+	}
+	seenReplies := false
+	next := 0
+	for {
+		ki := -1
+		for j := next; j < len(hopCanon); j++ {
+			if d.match(hopCanon[j]) {
+				ki, next = j, j+1
+				d.skipWS()
+				break
+			}
+		}
+		if ki < 0 {
+			key, err := d.scanKey()
+			if err != nil {
+				return err
+			}
+			ki = hopKeyIndex(key)
+			if ki >= next {
+				next = ki + 1
+			}
+		}
+		var err error
+		switch ki {
+		case 0:
+			err = d.intField(&hr.index, "hop")
+		case 1:
+			if seenReplies {
+				return errFallback
+			}
+			seenReplies = true
+			err = d.parseReplies(&hr)
+		default:
+			err = d.skipValue()
+		}
+		if err != nil {
+			return err
+		}
+		more, err := d.endMember('}')
+		if err != nil {
+			return err
+		}
+		if !more {
+			hr.end = int32(len(d.replies))
+			d.hops = append(d.hops, hr)
+			return nil
+		}
+	}
+}
+
+// parseReplies parses one hop's "result" array (parseHop guarantees it is
+// called at most once per hop — duplicates take the fallback path).
+// fastReply attempts the two canonical reply shapes — {"from":"…","rtt":N}
+// and {"x":"*"} — consuming the whole object on success. On any mismatch it
+// rewinds and reports false, leaving the generic member loop to parse (or
+// reject) the element with identical semantics.
+func (d *Decoder) fastReply() bool {
+	start := d.pos
+	if d.match(`{"x":"*"}`) {
+		d.replies = append(d.replies, Reply{Timeout: true})
+		return true
+	}
+	if !d.match(`{"from":"`) {
+		return false
+	}
+	d.pos-- // scanString expects the cursor on the opening quote
+	from, err := d.scanString()
+	if err != nil {
+		d.pos = start
+		return false
+	}
+	if !d.match(`,"rtt":`) {
+		d.pos = start
+		return false
+	}
+	var rtt float64
+	var hasRTT bool
+	if d.rttField(&rtt, &hasRTT) != nil {
+		d.pos = start
+		return false
+	}
+	if !d.match(`}`) {
+		d.pos = start
+		return false
+	}
+	// parseReply's finish() semantics with no x, err or extra members seen.
+	if from.n == 0 || !hasRTT || rtt < 0 {
+		d.replies = append(d.replies, Reply{Timeout: true})
+		return true
+	}
+	d.pend = append(d.pend, pendAddr{reply: int32(len(d.replies)), ref: from})
+	d.replies = append(d.replies, Reply{RTT: rtt})
+	return true
+}
+
+func (d *Decoder) parseReplies(hr *hopRange) error {
+	c, ok := d.peek()
+	if !ok {
+		return d.errf("unexpected end of input")
+	}
+	if c == 'n' {
+		return d.literal("null")
+	}
+	if c != '[' {
+		return d.errf("cannot decode %q into a reply array", c)
+	}
+	d.pos++
+	if err := d.push(); err != nil {
+		return err
+	}
+	d.skipWS()
+	if c, ok := d.peek(); ok && c == ']' {
+		d.pos++
+		d.depth--
+		return nil
+	}
+	for {
+		// Whole-shape probes for the two canonical reply forms. A matched
+		// shape skips the generic member loop entirely; any miss rewinds
+		// and re-parses generically, so semantics are unchanged.
+		if d.fastReply() {
+			more, err := d.endMember(']')
+			if err != nil {
+				return err
+			}
+			if !more {
+				return nil
+			}
+			continue
+		}
+		d.skipWS()
+		c, ok := d.peek()
+		if !ok {
+			return d.errf("unexpected end of input")
+		}
+		var err error
+		switch c {
+		case '{':
+			err = d.parseReply()
+		case 'n':
+			// null reply element: the zero reply, which degrades to a
+			// timeout (no address, no RTT).
+			if err = d.literal("null"); err == nil {
+				d.replies = append(d.replies, Reply{Timeout: true})
+			}
+		default:
+			err = d.errf("cannot decode %q into a reply object", c)
+		}
+		if err != nil {
+			return err
+		}
+		more, err := d.endMember(']')
+		if err != nil {
+			return err
+		}
+		if !more {
+			return nil
+		}
+	}
+}
+
+func (d *Decoder) parseReply() error {
+	d.pos++ // '{'
+	if err := d.push(); err != nil {
+		return err
+	}
+	var (
+		from     strRef
+		rtt      float64
+		hasRTT   bool
+		xPresent bool
+		errSeen  bool
+		scratch  int
+	)
+	finish := func() {
+		// The per-reply leniency rules of the reference decoder: a
+		// timeout marker, an error entry, a missing address, a missing
+		// RTT (late packets, ICMP errors) or a negative-RTT clock
+		// artifact all degrade to a timeout rather than rejecting.
+		if xPresent || errSeen || from.n == 0 || !hasRTT || rtt < 0 {
+			d.replies = append(d.replies, Reply{Timeout: true})
+			return
+		}
+		d.pend = append(d.pend, pendAddr{reply: int32(len(d.replies)), ref: from})
+		d.replies = append(d.replies, Reply{RTT: rtt})
+	}
+	d.skipWS()
+	if c, ok := d.peek(); ok && c == '}' {
+		d.pos++
+		d.depth--
+		finish()
+		return nil
+	}
+	next := 0
+	for {
+		ki := -1
+		for j := next; j < len(replyCanon); j++ {
+			if d.match(replyCanon[j]) {
+				ki, next = j, j+1
+				d.skipWS()
+				break
+			}
+		}
+		if ki < 0 {
+			key, err := d.scanKey()
+			if err != nil {
+				return err
+			}
+			ki = replyKeyIndex(key)
+			if ki >= next {
+				next = ki + 1
+			}
+		}
+		var err error
+		switch ki {
+		case 0:
+			err = d.strField(&from, "from")
+		case 1:
+			err = d.rttField(&rtt, &hasRTT)
+		case 2:
+			var x strRef
+			x.n = -1 // sentinel: distinguish "null no-op" from "set to empty"
+			if err = d.strField(&x, "x"); err == nil && x.n >= 0 {
+				xPresent = x.n > 0
+			}
+		case 3:
+			err = d.intField(&scratch, "ttl")
+		case 4:
+			err = d.intField(&scratch, "size")
+		case 5:
+			err = d.skipValue()
+		case 6:
+			// Any err value — even null — makes the raw message non-empty,
+			// so the reply degrades to a timeout.
+			errSeen = true
+			err = d.skipValue()
+		default:
+			err = d.skipValue()
+		}
+		if err != nil {
+			return err
+		}
+		more, err := d.endMember('}')
+		if err != nil {
+			return err
+		}
+		if !more {
+			finish()
+			return nil
+		}
+	}
+}
+
+// rttField parses the rtt value: a JSON number per ParseFloat, or null,
+// which clears the field (the oracle's *float64 becomes nil).
+func (d *Decoder) rttField(rtt *float64, has *bool) error {
+	// Fast path: digits['.'digits] with at most 15 digits and no exponent
+	// — every rtt a real dump carries. One multiply-free accumulate plus
+	// one exact pow10 divide (the Clinger fast case, identical rounding to
+	// ParseFloat).
+	data := d.data
+	i := d.pos
+	neg := false
+	if i < len(data) && data[i] == '-' {
+		neg = true
+		i++
+	}
+	ds := i
+	var mant uint64
+	nd := 0
+	for i < len(data) && data[i] >= '0' && data[i] <= '9' && nd < 15 {
+		mant = mant*10 + uint64(data[i]-'0')
+		nd++
+		i++
+	}
+	if intDigs := i - ds; intDigs > 0 && (data[ds] != '0' || intDigs == 1) {
+		exp := 0
+		if i < len(data) && data[i] == '.' {
+			fs := i + 1
+			for i = fs; i < len(data) && data[i] >= '0' && data[i] <= '9' && nd < 15; i++ {
+				mant = mant*10 + uint64(data[i]-'0')
+				nd++
+				exp--
+			}
+			if i == fs {
+				i = fs - 1 // no fraction digits (or none within budget): slow path
+			}
+		}
+		if i > ds && (i == len(data) ||
+			(data[i] != 'e' && data[i] != 'E' && data[i] != '.' && (data[i] < '0' || data[i] > '9'))) {
+			f := float64(mant)
+			if exp < 0 {
+				f /= pow10tab[-exp]
+			}
+			if neg {
+				f = -f
+			}
+			*rtt = f
+			*has = true
+			d.pos = i
+			return nil
+		}
+	}
+
+	c, ok := d.peek()
+	if !ok {
+		return d.errf("unexpected end of input")
+	}
+	if c == 'n' {
+		if err := d.literal("null"); err != nil {
+			return err
+		}
+		*has = false
+		return nil
+	}
+	if c != '-' && (c < '0' || c > '9') {
+		return d.errf("cannot decode %q into the rtt field", c)
+	}
+	n, err := d.scanNumber()
+	if err != nil {
+		return err
+	}
+	f, ok2 := n.toFloat()
+	if !ok2 {
+		return d.errf("number %s out of float range", n.tok)
+	}
+	*rtt, *has = f, true
+	return nil
+}
+
+// ── structural skipping ─────────────────────────────────────────────────
+
+// skipValue validates and discards one JSON value of any shape — how
+// unknown fields (ttl-adjacent compat keys, future Atlas extensions) pass
+// through without building anything.
+func (d *Decoder) skipValue() error {
+	d.skipWS()
+	c, ok := d.peek()
+	if !ok {
+		return d.errf("unexpected end of input")
+	}
+	switch c {
+	case '"':
+		_, err := d.scanString()
+		return err
+	case 't':
+		return d.literal("true")
+	case 'f':
+		return d.literal("false")
+	case 'n':
+		return d.literal("null")
+	case '{':
+		d.pos++
+		if err := d.push(); err != nil {
+			return err
+		}
+		d.skipWS()
+		if c, ok := d.peek(); ok && c == '}' {
+			d.pos++
+			d.depth--
+			return nil
+		}
+		for {
+			if _, err := d.scanKey(); err != nil {
+				return err
+			}
+			if err := d.skipValue(); err != nil {
+				return err
+			}
+			more, err := d.endMember('}')
+			if err != nil {
+				return err
+			}
+			if !more {
+				return nil
+			}
+		}
+	case '[':
+		d.pos++
+		if err := d.push(); err != nil {
+			return err
+		}
+		d.skipWS()
+		if c, ok := d.peek(); ok && c == ']' {
+			d.pos++
+			d.depth--
+			return nil
+		}
+		for {
+			if err := d.skipValue(); err != nil {
+				return err
+			}
+			more, err := d.endMember(']')
+			if err != nil {
+				return err
+			}
+			if !more {
+				return nil
+			}
+		}
+	default:
+		if c == '-' || ('0' <= c && c <= '9') {
+			_, err := d.scanNumber()
+			return err
+		}
+		return d.errf("invalid character %q looking for a value", c)
+	}
+}

@@ -1,0 +1,157 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"net/netip"
+	"strconv"
+	"unicode/utf8"
+)
+
+// AppendResult appends the Atlas wire encoding of r to dst and returns the
+// extended slice. The output is byte-identical to Result.MarshalJSON
+// (asserted by TestAppendResultGolden and the differential fuzzer): same
+// field order, same float formatting, same string escaping — so streams
+// written through the fast path stay comparable with golden files recorded
+// through encoding/json. The only error is an RTT that JSON cannot
+// represent (NaN or infinity), mirroring json.Marshal's rejection.
+func AppendResult(dst []byte, r Result) ([]byte, error) {
+	dst = append(dst, `{"msm_id":`...)
+	dst = strconv.AppendInt(dst, int64(r.MsmID), 10)
+	dst = append(dst, `,"prb_id":`...)
+	dst = strconv.AppendInt(dst, int64(r.PrbID), 10)
+	dst = append(dst, `,"timestamp":`...)
+	dst = strconv.AppendInt(dst, r.Time.Unix(), 10)
+	dst = append(dst, `,"src_addr":`...)
+	dst = appendAddr(dst, r.Src)
+	dst = append(dst, `,"dst_addr":`...)
+	dst = appendAddr(dst, r.Dst)
+	dst = append(dst, `,"paris_id":`...)
+	dst = strconv.AppendInt(dst, int64(r.ParisID), 10)
+	dst = append(dst, `,"result":[`...)
+	for i, h := range r.Hops {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = append(dst, `{"hop":`...)
+		dst = strconv.AppendInt(dst, int64(h.Index), 10)
+		dst = append(dst, `,"result":[`...)
+		for j, rep := range h.Replies {
+			if j > 0 {
+				dst = append(dst, ',')
+			}
+			if rep.Timeout {
+				dst = append(dst, `{"x":"*"}`...)
+				continue
+			}
+			dst = append(dst, `{"from":`...)
+			dst = appendAddr(dst, rep.From)
+			dst = append(dst, `,"rtt":`...)
+			var err error
+			dst, err = appendRTT(dst, rep.RTT)
+			if err != nil {
+				return dst, err
+			}
+			dst = append(dst, '}')
+		}
+		dst = append(dst, `]}`...)
+	}
+	dst = append(dst, `]}`...)
+	return dst, nil
+}
+
+// appendAddr appends the quoted JSON encoding of an address. For valid
+// zoneless addresses Addr.AppendTo emits only [0-9a-f.:], which never needs
+// escaping; zones can carry arbitrary text, so they route through the full
+// escaper. The zero Addr stringifies as "invalid IP" (Addr.String's
+// behavior, which the reference encoder goes through).
+func appendAddr(dst []byte, a netip.Addr) []byte {
+	if !a.IsValid() {
+		return append(dst, `"invalid IP"`...)
+	}
+	if a.Zone() == "" {
+		dst = append(dst, '"')
+		dst = a.AppendTo(dst)
+		return append(dst, '"')
+	}
+	return appendJSONString(dst, a.AppendTo(make([]byte, 0, 64)))
+}
+
+// appendRTT appends a float exactly as encoding/json does: shortest
+// representation, 'f' format except for magnitudes outside [1e-6, 1e21)
+// which use 'e' with the exponent's leading zero trimmed.
+func appendRTT(dst []byte, f float64) ([]byte, error) {
+	if math.IsInf(f, 0) || math.IsNaN(f) {
+		return dst, fmt.Errorf("trace: unsupported rtt value %v", f)
+	}
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	dst = strconv.AppendFloat(dst, f, format, -1, 64)
+	if format == 'e' {
+		if n := len(dst); n >= 4 && dst[n-4] == 'e' && dst[n-3] == '-' && dst[n-2] == '0' {
+			dst[n-2] = dst[n-1]
+			dst = dst[:n-1]
+		}
+	}
+	return dst, nil
+}
+
+const hexDigits = "0123456789abcdef"
+
+// appendJSONString appends a quoted JSON string the way encoding/json's
+// encoder does with HTML escaping on: <, >, & and controls escaped,
+// \b \f \n \r \t shorthands, invalid UTF-8 replaced by a literal �
+// escape, U+2028/U+2029 escaped for JavaScript embedding.
+func appendJSONString(dst, src []byte) []byte {
+	dst = append(dst, '"')
+	start := 0
+	for i := 0; i < len(src); {
+		if b := src[i]; b < utf8.RuneSelf {
+			if b >= 0x20 && b != '"' && b != '\\' && b != '<' && b != '>' && b != '&' {
+				i++
+				continue
+			}
+			dst = append(dst, src[start:i]...)
+			switch b {
+			case '\\', '"':
+				dst = append(dst, '\\', b)
+			case '\b':
+				dst = append(dst, '\\', 'b')
+			case '\f':
+				dst = append(dst, '\\', 'f')
+			case '\n':
+				dst = append(dst, '\\', 'n')
+			case '\r':
+				dst = append(dst, '\\', 'r')
+			case '\t':
+				dst = append(dst, '\\', 't')
+			default:
+				dst = append(dst, '\\', 'u', '0', '0', hexDigits[b>>4], hexDigits[b&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		c, size := utf8.DecodeRune(src[i:])
+		if c == utf8.RuneError && size == 1 {
+			dst = append(dst, src[start:i]...)
+			dst = append(dst, '\\', 'u', 'f', 'f', 'f', 'd')
+			i += size
+			start = i
+			continue
+		}
+		if c == '\u2028' || c == '\u2029' {
+			dst = append(dst, src[start:i]...)
+			dst = append(dst, '\\', 'u', '2', '0', '2', hexDigits[c&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	dst = append(dst, src[start:]...)
+	return append(dst, '"')
+}

@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// corpusLines extracts the wire lines from the checked-in fuzz corpus
+// (go test fuzz v1 format: one quoted []byte per file).
+func corpusLines(t *testing.T) [][]byte {
+	t.Helper()
+	files, err := filepath.Glob("testdata/fuzz/FuzzDecodeResult/atlasgen_*")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no corpus files: %v", err)
+	}
+	var out [][]byte
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ln := range strings.Split(string(data), "\n") {
+			if !strings.HasPrefix(ln, "[]byte(") {
+				continue
+			}
+			q := strings.TrimSuffix(strings.TrimPrefix(ln, "[]byte("), ")")
+			s, err := strconv.Unquote(q)
+			if err != nil {
+				t.Fatalf("corpus line %q: %v", ln, err)
+			}
+			out = append(out, []byte(s))
+		}
+	}
+	return out
+}
+
+// TestAppendResultGolden is the encoder's byte-identity contract: for every
+// atlasgen corpus line and a set of edge results, AppendResult produces
+// exactly json.Marshal's bytes.
+func TestAppendResultGolden(t *testing.T) {
+	check := func(t *testing.T, r Result) {
+		t.Helper()
+		want, wantErr := json.Marshal(r)
+		got, gotErr := AppendResult(nil, r)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("error mismatch: json.Marshal=%v AppendResult=%v", wantErr, gotErr)
+		}
+		if wantErr == nil && !bytes.Equal(want, got) {
+			t.Fatalf("bytes differ:\noracle: %s\nfast:   %s", want, got)
+		}
+	}
+
+	for i, line := range corpusLines(t) {
+		var r Result
+		if err := json.Unmarshal(line, &r); err != nil {
+			t.Fatalf("corpus line %d does not decode: %v", i, err)
+		}
+		check(t, r)
+	}
+
+	mk := func(rtt float64) Result {
+		return Result{
+			MsmID: 1, PrbID: 2, Time: time.Unix(3, 0).UTC(), ParisID: 4,
+			Src: netip.MustParseAddr("10.0.0.1"), Dst: netip.MustParseAddr("2001:db8::2"),
+			Hops: []Hop{{Index: 1, Replies: []Reply{{From: netip.MustParseAddr("192.0.2.1"), RTT: rtt}}}},
+		}
+	}
+	edges := map[string]Result{
+		"zero result":     {},
+		"no hops":         {Src: netip.MustParseAddr("1.1.1.1"), Dst: netip.MustParseAddr("2.2.2.2")},
+		"empty replies":   {Hops: []Hop{{Index: 1, Replies: []Reply{}}}},
+		"timeouts":        {Hops: []Hop{{Index: 1, Replies: []Reply{{Timeout: true}, {Timeout: true}}}}},
+		"zoned addr":      {Src: netip.MustParseAddr("fe80::1%eth0"), Hops: []Hop{{Index: 1, Replies: []Reply{{From: netip.MustParseAddr("fe80::2%zone<&>\"\\"), RTT: 1}}}}},
+		"v4-mapped":       {Src: netip.MustParseAddr("::ffff:1.2.3.4")},
+		"negative times":  {Time: time.Unix(-9223372036854775808, 0).UTC()},
+		"rtt zero":        mk(0),
+		"rtt neg zero":    mk(math.Copysign(0, -1)),
+		"rtt tiny":        mk(5e-324),
+		"rtt small e":     mk(1e-7),
+		"rtt boundary lo": mk(1e-6),
+		"rtt huge":        mk(1e21),
+		"rtt below huge":  mk(9.999999999999999e20),
+		"rtt long tail":   mk(0.30000000000000004),
+		"rtt max":         mk(math.MaxFloat64),
+		"rtt nan":         mk(math.NaN()),
+		"rtt +inf":        mk(math.Inf(1)),
+		"rtt -inf":        mk(math.Inf(-1)),
+	}
+	for name, r := range edges {
+		t.Run(name, func(t *testing.T) { check(t, r) })
+	}
+
+	for i := 0; i < 50; i++ {
+		r := sampleResult()
+		r.PrbID = i
+		r.Hops[0].Replies[0].RTT = float64(i) * 1.0000000001e-7
+		check(t, r)
+	}
+}
+
+// TestWriterUsesFastEncoder pins that the stream writer's output is
+// unchanged by the fast encoder (same bytes as json.Marshal + newline) and
+// that encoder errors surface through Write.
+func TestWriterUsesFastEncoder(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	r := sampleResult()
+	if err := w.Write(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != string(want)+"\n" {
+		t.Fatalf("writer bytes differ:\ngot:  %q\nwant: %q", got, string(want)+"\n")
+	}
+
+	bad := sampleResult()
+	bad.Hops[0].Replies[0].RTT = math.NaN()
+	if err := w.Write(bad); err == nil {
+		t.Fatal("expected error for NaN rtt")
+	}
+}

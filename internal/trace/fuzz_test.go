@@ -1,7 +1,9 @@
 package trace
 
 import (
+	"bytes"
 	"encoding/json"
+	"errors"
 	"reflect"
 	"testing"
 )
@@ -18,8 +20,9 @@ import (
 // The checked-in corpus under testdata/fuzz/FuzzDecodeResult holds lines
 // drawn from atlasgen output; the seeds below add hand-written artifact
 // cases from real-dump pathologies.
-func FuzzDecodeResult(f *testing.F) {
-	seeds := []string{
+// fuzzSeeds are shared by FuzzDecodeResult and FuzzDecodeDifferential.
+func fuzzSeeds() []string {
+	return []string{
 		// Canonical atlasgen-style line.
 		`{"msm_id":5001,"prb_id":42,"timestamp":1448866800,"src_addr":"10.0.0.1","dst_addr":"193.0.14.129","paris_id":3,"result":[{"hop":1,"result":[{"from":"10.0.0.254","rtt":0.52},{"x":"*"}]}]}`,
 		// IPv6 with compat fields.
@@ -35,8 +38,15 @@ func FuzzDecodeResult(f *testing.F) {
 		`{"timestamp":-9223372036854775808,"src_addr":"::","dst_addr":"0.0.0.0","result":[{"hop":-1,"result":[{"from":"::ffff:1.2.3.4","rtt":5e-324}]}]}`,
 		// Zoned IPv6 and v4-mapped addresses.
 		`{"src_addr":"fe80::1%eth0","dst_addr":"255.255.255.255","result":[{"hop":1,"result":[{"from":"fe80::2%0","rtt":1e3}]}]}`,
+		// Escapes, folded keys, duplicate keys, exponent forms — fast-path
+		// edge territory.
+		`{"SRC_ADDR":"1.1.1.1","dst_addr":"2.2.2.2","result":[{"hop":1,"result":[{"from":"3.3.3.3","rtt":1.25e1,"x":null}]}],"result":[]}`,
+		`{"src_addr":"fe80::1%eth😀","dst_addr":"2.2.2.2","result":[{"hop":1,"result":[{"from":"3.3.3.3","rtt":0.30000000000000004}]}]}`,
 	}
-	for _, s := range seeds {
+}
+
+func FuzzDecodeResult(f *testing.F) {
+	for _, s := range fuzzSeeds() {
 		f.Add([]byte(s))
 	}
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -54,6 +64,51 @@ func FuzzDecodeResult(f *testing.F) {
 		}
 		if !reflect.DeepEqual(r, r2) {
 			t.Fatalf("round-trip not stable:\ninput: %q\nfirst:  %#v\nsecond: %#v", data, r, r2)
+		}
+	})
+}
+
+// FuzzDecodeDifferential is the fast-path contract: for every input, the
+// hand-rolled decoder (Decoder.Decode) and the encoding/json oracle
+// (Result.UnmarshalJSON) either produce the same Result or both reject —
+// and when they reject on a malformed address, they agree on which one.
+// When both accept, the fast encoder must also reproduce the oracle
+// encoder's bytes exactly.
+func FuzzDecodeDifferential(f *testing.F) {
+	for _, s := range fuzzSeeds() {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var want Result
+		oracleErr := json.Unmarshal(data, &want)
+
+		var got Result
+		fastErr := DecodeResult(data, &got)
+
+		if (oracleErr == nil) != (fastErr == nil) {
+			t.Fatalf("accept/reject mismatch:\ninput: %q\noracle: %v\nfast:   %v", data, oracleErr, fastErr)
+		}
+		if oracleErr != nil {
+			var wantAddr, gotAddr *AddrError
+			if errors.As(oracleErr, &wantAddr) != errors.As(fastErr, &gotAddr) {
+				t.Fatalf("AddrError mismatch:\ninput: %q\noracle: %v\nfast:   %v", data, oracleErr, fastErr)
+			}
+			if wantAddr != nil && (wantAddr.Field != gotAddr.Field || wantAddr.Value != gotAddr.Value) {
+				t.Fatalf("AddrError detail mismatch:\ninput: %q\noracle: %v\nfast:   %v", data, oracleErr, fastErr)
+			}
+			return
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("decoded results differ:\ninput: %q\noracle: %#v\nfast:   %#v", data, want, got)
+		}
+
+		wantB, wantEncErr := json.Marshal(want)
+		gotB, gotEncErr := AppendResult(nil, got)
+		if (wantEncErr == nil) != (gotEncErr == nil) {
+			t.Fatalf("encoder accept/reject mismatch:\noracle: %v\nfast: %v", wantEncErr, gotEncErr)
+		}
+		if wantEncErr == nil && !bytes.Equal(wantB, gotB) {
+			t.Fatalf("encoded bytes differ:\noracle: %s\nfast:   %s", wantB, gotB)
 		}
 	})
 }

@@ -169,7 +169,8 @@ func ReadArray(r io.Reader) ([]Result, error) {
 
 // Writer writes results as JSON Lines.
 type Writer struct {
-	bw *bufio.Writer
+	bw  *bufio.Writer
+	buf []byte // reused per-line encode buffer
 }
 
 // NewWriter returns a JSONL writer over w.
@@ -177,16 +178,18 @@ func NewWriter(w io.Writer) *Writer {
 	return &Writer{bw: bufio.NewWriter(w)}
 }
 
-// Write appends one result as a single JSON line.
+// Write appends one result as a single JSON line. It encodes through
+// AppendResult into a buffer reused across calls — byte-identical to the
+// json.Marshal encoding (TestWriterUsesFastEncoder) without its per-line
+// allocations.
 func (w *Writer) Write(r Result) error {
-	b, err := json.Marshal(r)
+	b, err := AppendResult(w.buf[:0], r)
 	if err != nil {
 		return err
 	}
-	if _, err := w.bw.Write(b); err != nil {
-		return err
-	}
-	return w.bw.WriteByte('\n')
+	w.buf = append(b, '\n')
+	_, err = w.bw.Write(w.buf)
+	return err
 }
 
 // Flush flushes buffered output. Call it before closing the underlying
@@ -197,37 +200,91 @@ func (w *Writer) Flush() error { return w.bw.Flush() }
 // reference decoder: internal/ingest's parallel pipeline is asserted
 // equivalent to it (production callers use ingest for gzip, multi-file and
 // worker support; this stays the independent implementation the
-// equivalence tests compare against).
+// equivalence tests compare against). It therefore decodes through
+// encoding/json, not the fast path — keeping the two sides of the
+// differential contract independent.
+//
+// Line accounting matches ingest's chunker exactly: blank lines and
+// oversized-drained lines advance the reported line number, an oversized
+// line (over MaxLineBytes) is drained to the next newline and reported as a
+// line-numbered error wrapping ErrLineTooLong, and the stream stays
+// readable past it.
 type Reader struct {
-	sc   *bufio.Scanner
+	br   *bufio.Reader
 	line int
+	acc  []byte // continuation buffer for lines spanning reader buffers
+	err  error  // sticky stream-level read error
 }
 
-// NewReader returns a JSONL reader over r. Lines up to 16 MiB are accepted.
+// NewReader returns a JSONL reader over r. Lines up to MaxLineBytes are
+// accepted.
 func NewReader(r io.Reader) *Reader {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	return &Reader{sc: sc}
+	return &Reader{br: bufio.NewReaderSize(r, 256*1024)}
 }
 
-// Read returns the next result, or io.EOF at end of stream.
+// Read returns the next result, or io.EOF at end of stream. Line-scoped
+// failures (malformed JSON, an oversized line) return an error mentioning
+// the 1-based line number and leave the stream positioned at the next
+// line, so callers may skip and continue; errors.Is(err, ErrLineTooLong)
+// identifies drained oversized lines. Stream-level read errors are sticky.
 func (r *Reader) Read() (Result, error) {
-	for r.sc.Scan() {
-		r.line++
-		line := r.sc.Bytes()
-		if len(line) == 0 {
-			continue
-		}
-		var res Result
-		if err := json.Unmarshal(line, &res); err != nil {
-			return Result{}, fmt.Errorf("trace: line %d: %w", r.line, err)
-		}
-		return res, nil
+	if r.err != nil {
+		return Result{}, r.err
 	}
-	if err := r.sc.Err(); err != nil {
-		return Result{}, err
+	r.acc = r.acc[:0]
+	for {
+		frag, rerr := r.br.ReadSlice('\n')
+		if rerr == bufio.ErrBufferFull {
+			r.acc = append(r.acc, frag...)
+			if len(r.acc) <= MaxLineBytes {
+				continue
+			}
+			// Oversized line: drain to the next newline so the stream stays
+			// aligned, then report it with its line number.
+			r.acc = r.acc[:0]
+			for rerr == bufio.ErrBufferFull {
+				frag, rerr = r.br.ReadSlice('\n')
+			}
+			if rerr != nil && rerr != io.EOF {
+				r.err = rerr
+			}
+			r.line++
+			return Result{}, fmt.Errorf("trace: line %d: %w", r.line, ErrLineTooLong)
+		}
+		if rerr != nil && rerr != io.EOF {
+			r.err = rerr
+			return Result{}, rerr
+		}
+		b := frag
+		if rerr == nil {
+			b = b[:len(b)-1] // strip the newline
+		}
+		if len(r.acc) > 0 {
+			r.acc = append(r.acc, b...)
+			b = r.acc
+		}
+		if n := len(b); n > 0 && b[n-1] == '\r' { // CRLF dumps
+			b = b[:n-1]
+		}
+		if len(b) > 0 || rerr == nil {
+			r.line++
+			if len(b) > MaxLineBytes {
+				// The final fragment pushed the line over the limit.
+				return Result{}, fmt.Errorf("trace: line %d: %w", r.line, ErrLineTooLong)
+			}
+			if len(b) > 0 {
+				var res Result
+				if err := json.Unmarshal(b, &res); err != nil {
+					return Result{}, fmt.Errorf("trace: line %d: %w", r.line, err)
+				}
+				return res, nil
+			}
+		}
+		r.acc = r.acc[:0]
+		if rerr == io.EOF {
+			return Result{}, io.EOF
+		}
 	}
-	return Result{}, io.EOF
 }
 
 // ReadAll drains the stream into a slice.

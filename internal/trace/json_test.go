@@ -3,6 +3,7 @@ package trace
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"io"
 	"strings"
 	"testing"
@@ -144,4 +145,47 @@ func mustLine(t *testing.T) string {
 		t.Fatal(err)
 	}
 	return string(b)
+}
+
+func TestReaderExactLineNumbers(t *testing.T) {
+	// Blank lines count toward line numbers: the bad line below is line 5.
+	data := "\n\n" + mustLine(t) + "\n\nnot json\n" + mustLine(t) + "\n"
+	rd := NewReader(strings.NewReader(data))
+	if _, err := rd.Read(); err != nil {
+		t.Fatalf("first read: %v", err)
+	}
+	_, err := rd.Read()
+	if err == nil || !strings.Contains(err.Error(), "line 5") {
+		t.Fatalf("bad line should be reported as line 5, got: %v", err)
+	}
+	// Line-scoped errors leave the stream readable.
+	if _, err := rd.Read(); err != nil {
+		t.Fatalf("read after bad line: %v", err)
+	}
+	if _, err := rd.Read(); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}
+
+func TestReaderOversizedLineRecoverable(t *testing.T) {
+	huge := strings.Repeat("x", MaxLineBytes+2)
+	data := mustLine(t) + "\n" + huge + "\n" + mustLine(t) + "\n"
+	rd := NewReader(strings.NewReader(data))
+	if _, err := rd.Read(); err != nil {
+		t.Fatalf("first read: %v", err)
+	}
+	_, err := rd.Read()
+	if err == nil || !errors.Is(err, ErrLineTooLong) {
+		t.Fatalf("want ErrLineTooLong, got: %v", err)
+	}
+	if !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("oversized line should be reported as line 2, got: %v", err)
+	}
+	// The drain left the stream aligned on the next line.
+	if _, err := rd.Read(); err != nil {
+		t.Fatalf("read after oversized line: %v", err)
+	}
+	if _, err := rd.Read(); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
 }
