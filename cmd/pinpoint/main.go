@@ -24,6 +24,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -45,18 +46,26 @@ import (
 )
 
 // splitPaths parses the -input list, rejecting an effectively empty one.
-func splitPaths(s string) []string {
+func splitPaths(s string) ([]string, error) {
 	out := ingest.SplitPaths(s)
 	if len(out) == 0 {
-		log.Fatal("-input lists no dump paths")
+		return nil, errors.New("-input lists no dump paths")
 	}
-	return out
+	return out, nil
 }
 
+// main only parses the exit status; the whole run lives in run() so its
+// defers — crucially StopCPUProfile and the -memprofile writer — fire on
+// every error path instead of being skipped by log.Fatal's os.Exit.
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("pinpoint: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
 
+func run() error {
 	in := flag.String("in", "-", "results NDJSON input path (- for stdin; gzip auto-detected)")
 	input := flag.String("input", "", "comma-separated dump paths to replay (NDJSON, .gz ok, - for stdin); with -case the case supplies the metadata")
 	metaPath := flag.String("meta", "", "metadata JSON path (required for dump input unless -case)")
@@ -80,10 +89,11 @@ func main() {
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			log.Fatalf("-cpuprofile: %v", err)
+			f.Close()
+			return fmt.Errorf("-cpuprofile: %w", err)
 		}
 		defer func() {
 			pprof.StopCPUProfile()
@@ -92,7 +102,7 @@ func main() {
 	}
 	if *memProfile != "" {
 		// Registered after the CPU-profile defer so it runs first; errors
-		// must not log.Fatal here or the CPU profile would never be flushed.
+		// only log so the CPU profile still flushes.
 		defer func() {
 			f, err := os.Create(*memProfile)
 			if err != nil {
@@ -134,24 +144,24 @@ func main() {
 	if *caseName != "" {
 		scale, err := experiments.ParseScale(*scaleName)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		c, err = experiments.NewCase(*caseName, scale)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 	}
 
 	if *input != "" && *in != "-" {
-		log.Fatal("-in and -input are mutually exclusive; list every dump in -input")
+		return errors.New("-in and -input are mutually exclusive; list every dump in -input")
 	}
 	if c != nil && *in != "-" {
-		log.Fatal("-case generates its own data; use -input to replay a dump of the case")
+		return errors.New("-case generates its own data; use -input to replay a dump of the case")
 	}
 
 	// replay analyzes one or more NDJSON dumps through the parallel ingest
 	// pipeline (gzip auto-detected, ordered reorder-buffer delivery).
-	replay := func(paths []string, probeASN func(int) (ipmap.ASN, bool), table *ipmap.Table) {
+	replay := func(paths []string, probeASN func(int) (ipmap.ASN, bool), table *ipmap.Table) error {
 		a = core.New(cfg, probeASN, table)
 		hookIncremental(a)
 		opts := ingest.Options{Workers: *decodeWorkers}
@@ -169,11 +179,12 @@ func main() {
 			last = rs[len(rs)-1].Time
 		})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		elapsed = time.Since(t0)
 		fmt.Printf("ingested %d lines (%d results, %d skipped) from %d dump(s)\n",
 			st.Lines, st.Results, st.Skipped, len(paths))
+		return nil
 	}
 
 	switch {
@@ -184,7 +195,7 @@ func main() {
 		hookIncremental(a)
 		t0 := time.Now()
 		if err := a.RunPlatform(context.Background(), c.Platform, c.Start, c.End); err != nil {
-			log.Fatal(err)
+			return err
 		}
 		elapsed = time.Since(t0)
 		first, last = c.Start, c.End
@@ -194,29 +205,39 @@ func main() {
 		// Mixed mode: replay a dump of the scenario; the case supplies the
 		// probe and prefix metadata instead of a -meta sidecar.
 		fmt.Printf("case %s (%s), dump replay\n", c.Name, c.Description)
-		replay(splitPaths(*input), c.Platform.ProbeASN, c.Net.Prefixes())
+		paths, err := splitPaths(*input)
+		if err != nil {
+			return err
+		}
+		if err := replay(paths, c.Platform.ProbeASN, c.Net.Prefixes()); err != nil {
+			return err
+		}
 	default:
 		if *metaPath == "" {
-			log.Fatal("-meta is required (probe and prefix mappings)")
+			return errors.New("-meta is required (probe and prefix mappings)")
 		}
 		mf, err := os.Open(*metaPath)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		meta, err := atlas.ReadMetadata(mf)
 		mf.Close()
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		table, err := meta.Table()
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		paths := []string{*in}
 		if *input != "" {
-			paths = splitPaths(*input)
+			if paths, err = splitPaths(*input); err != nil {
+				return err
+			}
 		}
-		replay(paths, meta.ProbeASN(), table)
+		if err := replay(paths, meta.ProbeASN(), table); err != nil {
+			return err
+		}
 	}
 	defer a.Close()
 
@@ -289,19 +310,21 @@ func main() {
 			var err error
 			around, err = netip.ParseAddr(*dotAround)
 			if err != nil {
-				log.Fatalf("-dot-around: %v", err)
+				return fmt.Errorf("-dot-around: %w", err)
 			}
 		}
 		f, err := os.Create(*dotPath)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if err := g.WriteDOT(f, around, nil); err != nil {
-			log.Fatal(err)
+			f.Close()
+			return err
 		}
 		if err := f.Close(); err != nil {
-			log.Fatal(err)
+			return err
 		}
 		fmt.Printf("\nalarm graph written to %s\n", *dotPath)
 	}
+	return nil
 }

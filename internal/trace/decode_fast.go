@@ -906,6 +906,11 @@ func (d *Decoder) fastTop(t *topFields) (handled bool, err error) {
 		d.pos = start
 		return false, nil
 	}
+	// The consumed '{' counts one nesting level, exactly like parseTop's
+	// push, so the depth limit trips on the same inputs as the oracle
+	// (Decode calls fastTop at depth 0, so the limit cannot trip here).
+	d.depth++
+	d.skipWS()
 	if err := d.parseHops(); err != nil {
 		return true, err
 	}
@@ -915,9 +920,11 @@ func (d *Decoder) fastTop(t *topFields) (handled bool, err error) {
 		d.hops = d.hops[:0]
 		d.replies = d.replies[:0]
 		d.pend = d.pend[:0]
+		d.depth--
 		d.pos = start
 		return false, nil
 	}
+	d.depth--
 	return true, nil
 }
 
@@ -1017,6 +1024,15 @@ func (d *Decoder) fastHop() (handled bool, err error) {
 		d.pos = start
 		return false, nil
 	}
+	// The consumed '{' counts one nesting level, mirroring parseHop's
+	// push; at the limit, rewind so the generic path reports the oracle's
+	// depth error.
+	if d.depth >= maxDecodeDepth {
+		d.pos = start
+		return false, nil
+	}
+	d.depth++
+	d.skipWS()
 	if err := d.parseReplies(&hr); err != nil {
 		return true, err
 	}
@@ -1025,9 +1041,11 @@ func (d *Decoder) fastHop() (handled bool, err error) {
 		// dropping whatever parseReplies appended to the scratch buffers.
 		d.replies = d.replies[:hr.start]
 		d.pend = d.pend[:pendLen]
+		d.depth--
 		d.pos = start
 		return false, nil
 	}
+	d.depth--
 	hr.end = int32(len(d.replies))
 	d.hops = append(d.hops, hr)
 	return true, nil
@@ -1171,6 +1189,12 @@ func (d *Decoder) parseHop() error {
 // rewinds and reports false, leaving the generic member loop to parse (or
 // reject) the element with identical semantics.
 func (d *Decoder) fastReply() bool {
+	// The reply object is one nesting level; its canonical shapes hold no
+	// nested values, so the level is only observable at the depth limit —
+	// rewind there and let the generic path report the oracle's error.
+	if d.depth >= maxDecodeDepth {
+		return false
+	}
 	start := d.pos
 	if d.match(`{"x":"*"}`) {
 		d.replies = append(d.replies, Reply{Timeout: true})

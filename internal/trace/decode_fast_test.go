@@ -3,8 +3,10 @@ package trace
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/netip"
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -105,6 +107,28 @@ func TestDecodeFastArtifacts(t *testing.T) {
 		{"x null keeps earlier marker", `{"src_addr":"1.1.1.1","dst_addr":"2.2.2.2","result":[{"hop":1,"result":[{"from":"3.3.3.3","rtt":1,"x":"*","x":null}]}]}`},
 		{"x emptied un-times-out", `{"src_addr":"1.1.1.1","dst_addr":"2.2.2.2","result":[{"hop":1,"result":[{"from":"3.3.3.3","rtt":1,"x":"*","x":""}]}]}`},
 		{"err null still degrades", `{"src_addr":"1.1.1.1","dst_addr":"2.2.2.2","result":[{"hop":1,"result":[{"from":"3.3.3.3","rtt":1,"err":null}]}]}`},
+
+		// Regression: whitespace after the canonical `"result":` keys must
+		// not derail the committed fast shapes — the probes skip it exactly
+		// like the generic parser.
+		{"space after top result", `{"msm_id":1,"prb_id":2,"timestamp":3,"src_addr":"1.1.1.1","dst_addr":"2.2.2.2","paris_id":4,"result": []}`},
+		{"space after hop result", `{"msm_id":1,"prb_id":2,"timestamp":3,"src_addr":"1.1.1.1","dst_addr":"2.2.2.2","paris_id":4,"result":[{"hop":1,"result": [{"from":"3.3.3.3","rtt":1},{"x":"*"}]}]}`},
+		{"newline after hop result", "{\"msm_id\":1,\"prb_id\":2,\"timestamp\":3,\"src_addr\":\"1.1.1.1\",\"dst_addr\":\"2.2.2.2\",\"paris_id\":4,\"result\":[{\"hop\":1,\"result\":\n\t[{\"x\":\"*\"}]}]}"},
+	}
+	// Regression: the fast-shape probes count the object braces they
+	// consume, so the 10000-level nesting limit trips on the same inputs as
+	// the oracle. The deep array sits 5 levels in (top object, hop array,
+	// hop object, reply array, reply object): 9995 arrays touch the limit
+	// exactly, 9996 exceed it.
+	for _, n := range []int{9995, 9996} {
+		lines = append(lines, struct {
+			name string
+			line string
+		}{
+			fmt.Sprintf("depth boundary %d", n),
+			`{"src_addr":"1.1.1.1","dst_addr":"2.2.2.2","result":[{"hop":1,"result":[{"from":"3.3.3.3","rtt":1,"zz":` +
+				strings.Repeat("[", n) + strings.Repeat("]", n) + `}]}]}`,
+		})
 	}
 	for _, tc := range lines {
 		t.Run(tc.name, func(t *testing.T) {
