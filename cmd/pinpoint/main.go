@@ -84,6 +84,7 @@ func run() error {
 	internFused := flag.Bool("intern-fused", false, "fuse address interning into the NDJSON decode workers (pre-warms the identity registry straight from wire bytes)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this path")
 	memProfile := flag.String("memprofile", "", "write a heap profile (taken at exit, after a GC) to this path")
+	binCloseStats := flag.Bool("binclose-stats", false, "print bin-close kernel throughput (bins/links/flows closed, samples/s) after the run")
 	flag.Parse()
 
 	if *cpuProfile != "" {
@@ -251,6 +252,16 @@ func run() error {
 		reg.Addrs(), reg.Links(), reg.Flows(), reg.Routers())
 	fmt.Printf("delay alarms: %d; forwarding alarms: %d\n\n",
 		len(a.DelayAlarms()), len(a.ForwardingAlarms()))
+
+	if *binCloseStats {
+		dc, fc := a.BinCloseStats()
+		rate := 0.0
+		if dc.Dur > 0 {
+			rate = float64(dc.Samples) / dc.Dur.Seconds()
+		}
+		fmt.Printf("bin-close: %d bins; %d link-bins (%d ∆ samples, %.3gM samples/s through the kernels, %v); %d flow-bins (%v)\n\n",
+			dc.Bins, dc.Links, dc.Samples, rate/1e6, dc.Dur.Round(time.Millisecond), fc.Flows, fc.Dur.Round(time.Millisecond))
+	}
 
 	if *verbose {
 		for _, al := range a.DelayAlarms() {

@@ -433,6 +433,18 @@ func (a *Analyzer) AvgNextHops() float64 {
 	return a.fwdDet.AvgNextHops()
 }
 
+// BinCloseStats returns cumulative bin-close kernel accounting from both
+// detectors, aggregated across workers (cmd/pinpoint's -binclose-stats
+// summary). On the sharded backend the durations sum shard CPU time, not
+// elapsed time.
+func (a *Analyzer) BinCloseStats() (delay.CloseStats, forwarding.CloseStats) {
+	if a.eng != nil {
+		st := a.eng.Stats()
+		return st.DelayClose, st.FwdClose
+	}
+	return a.delayDet.CloseStats(), a.fwdDet.CloseStats()
+}
+
 // DelayAlarms returns retained delay alarms (RetainAlarms must be set).
 func (a *Analyzer) DelayAlarms() []delay.Alarm { return a.delayAlarms }
 

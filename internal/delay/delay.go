@@ -249,12 +249,17 @@ type sampleEntry struct {
 
 // linkState is the columnar per-link record, indexed by ident.LinkID. The
 // entries buffer is truncated (capacity kept) when a new bin first touches
-// the link, so steady-state ingestion reuses the same backing arrays.
+// the link, so steady-state ingestion reuses the same backing arrays. The
+// reverse-resolved key is cached here at slot creation (a LinkID's address
+// pair never changes), so bin close never goes back to the registry.
 type linkState struct {
 	epoch   uint32        // bin epoch of the entries buffer
 	entries []sampleEntry // this bin's ∆ samples, arrival order
 	seen    bool          // counted in linksSeen
 	hasRef  bool          // ref initialized (link passed filtering once)
+	isV4    bool          // both addresses are 4-byte: key64 is valid
+	key     trace.LinkKey // reverse-resolved (Near, Far), cached once
+	key64   uint64        // big-endian-packed (Near, Far) for the radix close order
 	ref     linkRef
 }
 
@@ -307,21 +312,46 @@ type Detector struct {
 
 	sink func(Sample) // bound once; avoids a closure alloc per result
 
-	// Bin-close scratch, reused across bins.
-	keyBuf     []linkAt
+	// Bin-close scratch, reused across bins so steady-state close is
+	// alloc-free. closeKeys/closeOrd (+ their radix ping-pong buffers) hold
+	// the link close-order permutation and stay live across the whole link
+	// loop; lkeyBuf/ltmpBuf are the per-link radix scratch reused by
+	// groupEntries and filterDiversity (their decoded permutations land in
+	// ordBuf/idxBuf, so the key buffers are dead between uses).
+	closeKeys  []uint64
+	closeOrd   []int32
+	closeTmpK  []uint64
+	closeTmpV  []int32
+	lkeyBuf    []uint64
+	ltmpBuf    []uint64
 	ordBuf     []int32
 	groupBuf   []probeGroup
 	idxBuf     []int32
 	bucketBuf  []asBucket
 	countsBuf  []int
 	samplesBuf []float64
+
+	// Cumulative bin-close accounting (CloseStats).
+	binsClosed    int
+	linksClosed   int
+	kernelSamples int64
+	closeDur      time.Duration
 }
 
-// linkAt pairs a touched LinkID with its reverse-resolved key for the
-// deterministic close order.
-type linkAt struct {
-	id  ident.LinkID
-	key trace.LinkKey
+// CloseStats is cumulative bin-close activity: how much work flowed
+// through the close-time statistics kernels and how long it took. It backs
+// the cmd/pinpoint -binclose-stats summary so detector-side performance is
+// visible without a profiler.
+type CloseStats struct {
+	Bins    int           // bins closed
+	Links   int           // link-bins evaluated (after diversity filtering)
+	Samples int64         // ∆ samples fed through the median/CI kernels
+	Dur     time.Duration // wall time spent closing bins
+}
+
+// CloseStats returns the detector's cumulative bin-close accounting.
+func (d *Detector) CloseStats() CloseStats {
+	return CloseStats{Bins: d.binsClosed, Links: d.linksClosed, Samples: d.kernelSamples, Dur: d.closeDur}
 }
 
 // NewDetector returns a Detector with the given configuration; probeASN
@@ -413,7 +443,18 @@ func (d *Detector) IngestSample(s Sample) {
 	if si < 0 {
 		si = int32(len(d.links))
 		d.slotOf[li] = si
-		d.links = append(d.links, linkState{})
+		// Resolve the address pair once, at slot creation: every later bin
+		// close reads the cached key instead of going through the registry's
+		// read lock, and the packed big-endian form drives the radix close
+		// order for IPv4 links.
+		key := d.reg.LinkKeyOf(s.Link)
+		st := linkState{key: key}
+		if key.Near.Is4() && key.Far.Is4() {
+			n4, f4 := key.Near.As4(), key.Far.As4()
+			st.key64 = uint64(binary.BigEndian.Uint32(n4[:]))<<32 | uint64(binary.BigEndian.Uint32(f4[:]))
+			st.isV4 = true
+		}
+		d.links = append(d.links, st)
 	}
 	ls := &d.links[si]
 	if ls.epoch != d.epoch {
@@ -430,26 +471,51 @@ func (d *Detector) IngestSample(s Sample) {
 
 // closeBin runs steps 2–5 of §4.2 on the accumulated bin and resets it.
 func (d *Detector) closeBin() []Alarm {
+	t0 := time.Now()
 	var alarms []Alarm
-	// Deterministic iteration: resolve every touched LinkID back to its
-	// address pair and sort by (Near, Far). The probe-dropping step consumes
-	// randomness keyed per link, and downstream consumers accumulate floats
-	// in emission order, so the close order must stay exactly the address
-	// order the pre-ID detector used — never the (run-dependent) ID order.
-	keys := d.keyBuf[:0]
-	for _, id := range d.touched {
-		keys = append(keys, linkAt{id: id, key: d.reg.LinkKeyOf(id)})
-	}
-	slices.SortFunc(keys, func(a, b linkAt) int {
-		if c := a.key.Near.Compare(b.key.Near); c != 0 {
-			return c
+	// Deterministic iteration: links are evaluated in (Near, Far) address
+	// order. The probe-dropping step consumes randomness keyed per link, and
+	// downstream consumers accumulate floats in emission order, so the close
+	// order must stay exactly the address order the pre-ID detector used —
+	// never the (run-dependent) ID order. When every touched link is IPv4
+	// (the normal case) the order comes from a radix sort over packed
+	// big-endian (Near, Far) keys: two Is4 addresses compare by their 4-byte
+	// big-endian value under netip.Addr.Compare (same BitLen, same v4-mapped
+	// prefix), so uint64 key order ≡ the comparison order, and distinct
+	// LinkIDs always pack to distinct keys. Any non-IPv4 link falls back to
+	// the comparison sort on the cached keys.
+	keys64 := d.closeKeys[:0]
+	order := d.closeOrd[:0]
+	allV4 := true
+	for i, id := range d.touched {
+		ls := &d.links[d.slotOf[id]]
+		if !ls.isV4 {
+			allV4 = false
+			break
 		}
-		return a.key.Far.Compare(b.key.Far)
-	})
+		keys64 = append(keys64, ls.key64)
+		order = append(order, int32(i))
+	}
+	if allV4 {
+		d.closeTmpK, d.closeTmpV = stats.RadixSortUint64Pairs(keys64, order, d.closeTmpK, d.closeTmpV)
+	} else {
+		order = order[:0]
+		for i := range d.touched {
+			order = append(order, int32(i))
+		}
+		slices.SortFunc(order, func(a, b int32) int {
+			ka := &d.links[d.slotOf[d.touched[a]]].key
+			kb := &d.links[d.slotOf[d.touched[b]]].key
+			if c := ka.Near.Compare(kb.Near); c != 0 {
+				return c
+			}
+			return ka.Far.Compare(kb.Far)
+		})
+	}
 
-	for _, lk := range keys {
-		ls := &d.links[d.slotOf[lk.id]]
-		key := lk.key
+	for _, ti := range order {
+		ls := &d.links[d.slotOf[d.touched[ti]]]
+		key := ls.key
 		ord, groups := d.groupEntries(ls.entries)
 		var samples []float64
 		var ok bool
@@ -464,12 +530,20 @@ func (d *Detector) closeBin() []Alarm {
 		if !ok || len(samples) < d.cfg.MinSamples {
 			continue
 		}
-		sort.Float64s(samples)
+		d.linksClosed++
+		d.kernelSamples += int64(len(samples))
 		var obs stats.MedianCI
 		if d.cfg.UseMeanCI {
+			// The ablation's Mean/Stddev accumulate floats in element order;
+			// keep the historical full sort so its summation order (and thus
+			// its rounding) stays bit-identical.
+			sort.Float64s(samples)
 			obs = stats.MeanCI(samples, d.cfg.Z)
 		} else {
-			obs = stats.MedianWilsonSorted(samples, d.cfg.Z)
+			// Three order statistics, selected in O(n) — same MedianCI the
+			// sorted path produced (stats.MedianWilsonSorted stays as the
+			// fuzz-pinned oracle).
+			obs = stats.MedianWilsonSelect(samples, d.cfg.Z)
 		}
 
 		if !ls.hasRef {
@@ -521,33 +595,35 @@ func (d *Detector) closeBin() []Alarm {
 		ref.observe(obs)
 	}
 
-	d.keyBuf = keys[:0]
+	d.closeKeys = keys64[:0]
+	d.closeOrd = order[:0]
 	d.touched = d.touched[:0]
 	d.epoch++
+	d.binsClosed++
+	d.closeDur += time.Since(t0)
 	return alarms
 }
 
 // groupEntries groups a link-bin's entries by probe without moving them:
-// it sorts an index permutation by (probe, arrival index) — a total order,
-// so the type-specialized unstable sort is deterministic and effectively
-// stable, with 4-byte swaps instead of reflection-driven 16-byte moves —
-// and returns per-probe groups, probe-ascending, as ranges over that
-// permutation. Each probe's samples stay in arrival order, exactly as the
-// old per-probe append buffers kept them.
+// it orders an index permutation by (probe, arrival index) — a total order
+// over values that pack losslessly into a uint64 (sign-biased probe in the
+// high word, arrival index in the low word), so an LSD radix sort over the
+// packed keys replaces the comparison sort and the permutation decodes
+// straight out of the keys' low words. The result is identical to the old
+// sort: probe-ascending groups, each probe's samples in arrival order,
+// exactly as the old per-probe append buffers kept them.
 func (d *Detector) groupEntries(entries []sampleEntry) ([]int32, []probeGroup) {
-	ord := d.ordBuf[:0]
+	keys := d.lkeyBuf[:0]
 	for i := range entries {
-		ord = append(ord, int32(i))
+		// XOR-biasing the int32 probe maps signed order onto unsigned order.
+		keys = append(keys, uint64(uint32(entries[i].probe)^0x80000000)<<32|uint64(uint32(i)))
 	}
-	slices.SortFunc(ord, func(a, b int32) int {
-		if pa, pb := entries[a].probe, entries[b].probe; pa != pb {
-			if pa < pb {
-				return -1
-			}
-			return 1
-		}
-		return int(a) - int(b)
-	})
+	d.ltmpBuf = stats.RadixSortUint64(keys, d.ltmpBuf)
+	ord := d.ordBuf[:0]
+	for _, k := range keys {
+		ord = append(ord, int32(uint32(k)))
+	}
+	d.lkeyBuf = keys[:0]
 	groups := d.groupBuf[:0]
 	for i := 0; i < len(ord); {
 		p := entries[ord[i]].probe
@@ -594,21 +670,21 @@ func (d *Detector) reseed(key trace.LinkKey) {
 // ties on the smallest ASN, so the PRNG sees the same draw sequence.
 func (d *Detector) filterDiversity(entries []sampleEntry, ord []int32, groups []probeGroup) (samples []float64, probes, ases int, ok bool) {
 	// Bucket the probe groups per AS, ASN-ascending. Group indices within a
-	// bucket are probe-ascending because groups already are.
+	// bucket are probe-ascending because groups already are: the radix key
+	// packs (uint32 ASN, group index) so key order is exactly the old
+	// comparator's (asn, index) total order, index doubling as the
+	// deterministic tie-break.
 	buckets := d.bucketBuf[:0]
-	idx := d.idxBuf[:0]
+	keys := d.lkeyBuf[:0]
 	for gi := range groups {
-		idx = append(idx, int32(gi))
+		keys = append(keys, uint64(groups[gi].asn)<<32|uint64(uint32(gi)))
 	}
-	slices.SortFunc(idx, func(a, b int32) int {
-		if ga, gb := groups[a].asn, groups[b].asn; ga != gb {
-			if ga < gb {
-				return -1
-			}
-			return 1
-		}
-		return int(a) - int(b) // tie-break keeps probe-ascending order stable
-	})
+	d.ltmpBuf = stats.RadixSortUint64(keys, d.ltmpBuf)
+	idx := d.idxBuf[:0]
+	for _, k := range keys {
+		idx = append(idx, int32(uint32(k)))
+	}
+	d.lkeyBuf = keys[:0]
 	for i := 0; i < len(idx); {
 		j := i + 1
 		for j < len(idx) && groups[idx[j]].asn == groups[idx[i]].asn {

@@ -33,7 +33,6 @@ package engine
 
 import (
 	"runtime"
-	"slices"
 	"sync"
 	"time"
 
@@ -95,6 +94,13 @@ type Stats struct {
 	LinksSeen   int     // distinct links with ∆ samples (§4)
 	RoutersSeen int     // distinct router IPs modeled (§5)
 	AvgNextHops float64 // mean responsive next hops per reference model
+
+	// Bin-close kernel accounting, aggregated across shards: Bins is the
+	// per-shard maximum (every shard closes every bin), the remaining
+	// fields sum over the shard partition — so Dur is CPU time spent
+	// closing, not elapsed time (parallel shard closes overlap).
+	DelayClose delay.CloseStats
+	FwdClose   forwarding.CloseStats
 }
 
 // shardMsg is one unit of channel traffic to a shard: either an ingest
@@ -117,6 +123,8 @@ type shardResult struct {
 	routersSeen int
 	refModels   int
 	refNextHops int
+	delayClose  delay.CloseStats
+	fwdClose    forwarding.CloseStats
 }
 
 type shard struct {
@@ -138,6 +146,8 @@ func (s *shard) run(wg *sync.WaitGroup) {
 			res.linksSeen = s.delayDet.LinksSeen()
 			res.routersSeen = s.fwdDet.RoutersSeen()
 			res.refModels, res.refNextHops = s.fwdDet.RefStats()
+			res.delayClose = s.delayDet.CloseStats()
+			res.fwdClose = s.fwdDet.CloseStats()
 			msg.reply <- res
 			continue
 		}
@@ -323,58 +333,118 @@ func (e *Engine) dispatch() {
 
 // barrier drains the pipeline: pending buffers are dispatched, every shard
 // receives a synchronization request, and the replies are collected. With
-// flush set each shard also closes its open bin and reports the alarms.
-func (e *Engine) barrier(flush bool) (shardResult, []delay.Alarm, []forwarding.Alarm) {
+// flush set each shard also closes its open bin and reports the alarms;
+// the per-shard alarm runs are returned unmerged (reply-arrival order),
+// each already in the shard detector's sorted emission order.
+func (e *Engine) barrier(flush bool) (shardResult, [][]delay.Alarm, [][]forwarding.Alarm) {
 	e.dispatch()
 	for _, s := range e.shards {
 		s.ch <- shardMsg{reply: e.reply, flush: flush}
 	}
 	var agg shardResult
-	var da []delay.Alarm
-	var fa []forwarding.Alarm
+	var daRuns [][]delay.Alarm
+	var faRuns [][]forwarding.Alarm
 	for range e.shards {
 		res := <-e.reply
-		da = append(da, res.delayAlarms...)
-		fa = append(fa, res.fwdAlarms...)
+		if len(res.delayAlarms) > 0 {
+			daRuns = append(daRuns, res.delayAlarms)
+		}
+		if len(res.fwdAlarms) > 0 {
+			faRuns = append(faRuns, res.fwdAlarms)
+		}
 		agg.linksSeen += res.linksSeen
 		agg.routersSeen += res.routersSeen
 		agg.refModels += res.refModels
 		agg.refNextHops += res.refNextHops
+		agg.delayClose.Links += res.delayClose.Links
+		agg.delayClose.Samples += res.delayClose.Samples
+		agg.delayClose.Dur += res.delayClose.Dur
+		agg.delayClose.Bins = max(agg.delayClose.Bins, res.delayClose.Bins)
+		agg.fwdClose.Flows += res.fwdClose.Flows
+		agg.fwdClose.Dur += res.fwdClose.Dur
+		agg.fwdClose.Bins = max(agg.fwdClose.Bins, res.fwdClose.Bins)
 	}
-	e.lastStats = Stats{LinksSeen: agg.linksSeen, RoutersSeen: agg.routersSeen}
+	e.lastStats = Stats{
+		LinksSeen:   agg.linksSeen,
+		RoutersSeen: agg.routersSeen,
+		DelayClose:  agg.delayClose,
+		FwdClose:    agg.fwdClose,
+	}
 	if agg.refModels > 0 {
 		e.lastStats.AvgNextHops = float64(agg.refNextHops) / float64(agg.refModels)
 	}
-	return agg, da, fa
+	return agg, daRuns, faRuns
+}
+
+// mergeRuns k-way merges per-shard alarm runs into one slice. Each run is
+// already in the shard detector's sorted emission order, and any given
+// alarm key is owned by exactly one shard, so cross-run ties cannot occur
+// and the merge restores exactly the global order the sequential detector
+// emits — what the old concat-and-sort produced, without the O(n log n)
+// comparison sort over alarms that are already 1/W-sorted. The linear head
+// scan is O(total·W); W ≤ GOMAXPROCS and alarm counts are tiny next to
+// bin-close work. A single non-empty run is returned as-is (the shard's
+// close builds a fresh slice per bin, so no aliasing hazard).
+func mergeRuns[T any](runs [][]T, cmp func(a, b T) int) []T {
+	switch len(runs) {
+	case 0:
+		return nil
+	case 1:
+		return runs[0]
+	}
+	total := 0
+	for _, r := range runs {
+		total += len(r)
+	}
+	out := make([]T, 0, total)
+	heads := make([]int, len(runs))
+	for len(out) < total {
+		best := -1
+		for i, r := range runs {
+			if heads[i] >= len(r) {
+				continue
+			}
+			if best < 0 || cmp(r[heads[i]], runs[best][heads[best]]) < 0 {
+				best = i
+			}
+		}
+		out = append(out, runs[best][heads[best]])
+		heads[best]++
+	}
+	return out
+}
+
+func cmpDelayAlarm(a, b delay.Alarm) int {
+	if c := a.Bin.Compare(b.Bin); c != 0 {
+		return c
+	}
+	if c := a.Link.Near.Compare(b.Link.Near); c != 0 {
+		return c
+	}
+	return a.Link.Far.Compare(b.Link.Far)
+}
+
+func cmpFwdAlarm(a, b forwarding.Alarm) int {
+	if c := a.Bin.Compare(b.Bin); c != 0 {
+		return c
+	}
+	if c := a.Router.Compare(b.Router); c != 0 {
+		return c
+	}
+	return a.Dst.Compare(b.Dst)
 }
 
 // closeBin closes the open bin on every shard in parallel and merges the
-// alarms into the sequential order: by bin, then link (Near, Far) for delay
-// and (Router, Dst) for forwarding. Within one close all alarms share a
-// bin, so the key sort alone restores the order a single detector's sorted
-// close loop emits — which keeps the downstream aggregator's floating-point
-// accumulation, hook order and retained-slice order bit-identical.
+// per-shard alarm runs into the sequential order: by bin, then link
+// (Near, Far) for delay and (Router, Dst) for forwarding. Within one close
+// all alarms share a bin and each shard's run is already key-sorted, so
+// the k-way merge alone restores the order a single detector's sorted
+// close loop emits — which keeps the downstream aggregator's
+// floating-point accumulation, hook order and retained-slice order
+// bit-identical.
 func (e *Engine) closeBin() ([]delay.Alarm, []forwarding.Alarm) {
-	_, da, fa := e.barrier(true)
-	slices.SortFunc(da, func(a, b delay.Alarm) int {
-		if c := a.Bin.Compare(b.Bin); c != 0 {
-			return c
-		}
-		if c := a.Link.Near.Compare(b.Link.Near); c != 0 {
-			return c
-		}
-		return a.Link.Far.Compare(b.Link.Far)
-	})
-	slices.SortFunc(fa, func(a, b forwarding.Alarm) int {
-		if c := a.Bin.Compare(b.Bin); c != 0 {
-			return c
-		}
-		if c := a.Router.Compare(b.Router); c != 0 {
-			return c
-		}
-		return a.Dst.Compare(b.Dst)
-	})
-	return da, fa
+	_, daRuns, faRuns := e.barrier(true)
+	return mergeRuns(daRuns, cmpDelayAlarm), mergeRuns(faRuns, cmpFwdAlarm)
 }
 
 // Flush closes the open bin (if any) across all shards and returns the

@@ -9,7 +9,7 @@ package events
 import (
 	"fmt"
 	"net/netip"
-	"sort"
+	"slices"
 	"time"
 
 	"pinpoint/internal/delay"
@@ -227,7 +227,7 @@ func (a *Aggregator) ASes() []ipmap.ASN {
 	for asn := range seen {
 		out = append(out, asn)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out) // ASNs are unique map keys: total order, deterministic
 	return out
 }
 
@@ -284,14 +284,20 @@ func (a *Aggregator) Events(from, to time.Time) []Event {
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if !out[i].Bin.Equal(out[j].Bin) {
-			return out[i].Bin.Before(out[j].Bin)
+	// (Bin, ASN, Type) is a total order here — each AS contributes at most
+	// one event per (bin, type) — so the type-specialized unstable sort
+	// needs no further tiebreak to be deterministic.
+	slices.SortFunc(out, func(a, b Event) int {
+		if c := a.Bin.Compare(b.Bin); c != 0 {
+			return c
 		}
-		if out[i].ASN != out[j].ASN {
-			return out[i].ASN < out[j].ASN
+		if a.ASN != b.ASN {
+			if a.ASN < b.ASN {
+				return -1
+			}
+			return 1
 		}
-		return out[i].Type < out[j].Type
+		return int(a.Type) - int(b.Type)
 	})
 	return out
 }

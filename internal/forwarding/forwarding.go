@@ -17,6 +17,7 @@
 package forwarding
 
 import (
+	"encoding/binary"
 	"math"
 	"net/netip"
 	"slices"
@@ -204,11 +205,17 @@ func ExtractContributions(in *ident.Interner, r trace.Result, fn func(Contributi
 
 // flowState is the columnar per-flow record, indexed by ident.FlowID. The
 // cur vector is truncated (capacity kept) when a new bin first touches the
-// flow; ref is the smoothed reference, nil until seeded.
+// flow; ref is the smoothed reference, nil until seeded. The reverse-
+// resolved (router, dst) addresses are cached at slot creation — a FlowID's
+// pair never changes — so bin close never goes back to the registry.
 type flowState struct {
 	epoch  uint32
-	cur    []hopCount // this bin's pattern
 	hasRef bool
+	isV4   bool       // both addresses are 4-byte: key64 is valid
+	router netip.Addr // reverse-resolved, cached once
+	dst    netip.Addr
+	key64  uint64     // big-endian-packed (router, dst) for the radix close order
+	cur    []hopCount // this bin's pattern
 	ref    []hopCount // smoothed reference (Eq 8)
 }
 
@@ -245,18 +252,37 @@ type Detector struct {
 
 	sink func(Contribution) // bound once; avoids a closure alloc per result
 
-	// Bin-close scratch, reused across bins.
-	keyBuf   []flowAt
-	unionBuf []unionHop
-	fBuf     []float64
-	fbarBuf  []float64
+	// Bin-close scratch, reused across bins so steady-state close is
+	// alloc-free: the flow close-order permutation (closeKeys/closeOrd +
+	// radix ping-pong buffers), the union resolution buffer, the Pearson
+	// vectors, and the per-union radix scratch.
+	closeKeys []uint64
+	closeOrd  []int32
+	closeTmpK []uint64
+	closeTmpV []int32
+	unionBuf  []unionHop
+	fBuf      []float64
+	fbarBuf   []float64
+	usort     unionSort
+
+	// Cumulative bin-close accounting (CloseStats).
+	binsClosed  int
+	flowsClosed int
+	closeDur    time.Duration
 }
 
-// flowAt pairs a touched FlowID with its reverse-resolved addresses for the
-// deterministic close order.
-type flowAt struct {
-	id          ident.FlowID
-	router, dst netip.Addr
+// CloseStats is cumulative bin-close activity, the forwarding twin of
+// delay.CloseStats: how many patterns were evaluated against their
+// reference and how long closing took.
+type CloseStats struct {
+	Bins  int           // bins closed
+	Flows int           // flow-bins evaluated against a reference
+	Dur   time.Duration // wall time spent closing bins
+}
+
+// CloseStats returns the detector's cumulative bin-close accounting.
+func (d *Detector) CloseStats() CloseStats {
+	return CloseStats{Bins: d.binsClosed, Flows: d.flowsClosed, Dur: d.closeDur}
 }
 
 // unionHop is one next hop in the union of a bin's pattern and reference,
@@ -379,7 +405,16 @@ func (d *Detector) IngestContribution(c Contribution) {
 	if si < 0 {
 		si = int32(len(d.flows))
 		d.slotOf[fi] = si
-		d.flows = append(d.flows, flowState{})
+		// Resolve the address pair once, at slot creation; bin close reads
+		// the cached addresses and radix-sorts IPv4 flows by the packed key.
+		router, dst := d.reg.FlowAddrsOf(c.Flow)
+		st := flowState{router: router, dst: dst}
+		if router.Is4() && dst.Is4() {
+			r4, d4 := router.As4(), dst.As4()
+			st.key64 = uint64(binary.BigEndian.Uint32(r4[:]))<<32 | uint64(binary.BigEndian.Uint32(d4[:]))
+			st.isV4 = true
+		}
+		d.flows = append(d.flows, st)
 	}
 	fs := &d.flows[si]
 	if fs.epoch != d.epoch {
@@ -410,24 +445,47 @@ func (d *Detector) IngestContribution(c Contribution) {
 // closeBin evaluates every pattern of the bin against its reference and
 // then folds the bin into the reference (Eq 8).
 func (d *Detector) closeBin() []Alarm {
+	t0 := time.Now()
 	var alarms []Alarm
-	// Deterministic iteration: resolve every touched FlowID back to its
-	// (router, dst) addresses and sort by them — the pre-ID emission order
-	// the downstream single-writer aggregation depends on.
-	keys := d.keyBuf[:0]
-	for _, id := range d.touched {
-		router, dst := d.reg.FlowAddrsOf(id)
-		keys = append(keys, flowAt{id: id, router: router, dst: dst})
-	}
-	slices.SortFunc(keys, func(a, b flowAt) int {
-		if c := a.router.Compare(b.router); c != 0 {
-			return c
+	// Deterministic iteration: flows are evaluated in (router, dst) address
+	// order — the pre-ID emission order the downstream single-writer
+	// aggregation depends on. As in the delay detector, all-IPv4 bins (the
+	// normal case) get the order from a radix sort over the packed
+	// big-endian keys cached in flowState (identical to the comparison
+	// order, since two Is4 addresses compare by their 4-byte big-endian
+	// value and distinct FlowIDs pack to distinct keys); anything else
+	// falls back to the comparison sort on the cached addresses.
+	keys64 := d.closeKeys[:0]
+	order := d.closeOrd[:0]
+	allV4 := true
+	for i, id := range d.touched {
+		fs := &d.flows[d.slotOf[id]]
+		if !fs.isV4 {
+			allV4 = false
+			break
 		}
-		return a.dst.Compare(b.dst)
-	})
+		keys64 = append(keys64, fs.key64)
+		order = append(order, int32(i))
+	}
+	if allV4 {
+		d.closeTmpK, d.closeTmpV = stats.RadixSortUint64Pairs(keys64, order, d.closeTmpK, d.closeTmpV)
+	} else {
+		order = order[:0]
+		for i := range d.touched {
+			order = append(order, int32(i))
+		}
+		slices.SortFunc(order, func(a, b int32) int {
+			fa := &d.flows[d.slotOf[d.touched[a]]]
+			fb := &d.flows[d.slotOf[d.touched[b]]]
+			if c := fa.router.Compare(fb.router); c != 0 {
+				return c
+			}
+			return fa.dst.Compare(fb.dst)
+		})
+	}
 
-	for _, fk := range keys {
-		fs := &d.flows[d.slotOf[fk.id]]
+	for _, ti := range order {
+		fs := &d.flows[d.slotOf[d.touched[ti]]]
 		cur := fs.cur
 
 		total := 0.0
@@ -436,20 +494,21 @@ func (d *Detector) closeBin() []Alarm {
 		}
 
 		if fs.hasRef && total >= float64(d.cfg.MinPackets) {
+			d.flowsClosed++
 			rho, scores := d.compare(cur, fs.ref)
 			anomalous := !math.IsNaN(rho) && rho < d.cfg.Tau
 			if anomalous {
 				alarms = append(alarms, Alarm{
 					Bin:    d.curBin,
-					Router: fk.router,
-					Dst:    fk.dst,
+					Router: fs.router,
+					Dst:    fs.dst,
 					Rho:    rho,
 					Hops:   scores,
 				})
 			}
 			if d.cfg.Observer != nil {
 				d.cfg.Observer(Observation{
-					Bin: d.curBin, Router: fk.router, Dst: fk.dst,
+					Bin: d.curBin, Router: fs.router, Dst: fs.dst,
 					Rho: rho, Anomalous: anomalous, Packets: total,
 				})
 			}
@@ -496,10 +555,61 @@ func (d *Detector) closeBin() []Alarm {
 		}
 	}
 
-	d.keyBuf = keys[:0]
+	d.closeKeys = keys64[:0]
+	d.closeOrd = order[:0]
 	d.touched = d.touched[:0]
 	d.epoch++
+	d.binsClosed++
+	d.closeDur += time.Since(t0)
 	return alarms
+}
+
+// unionSort is the radix scratch of sortUnion, owned by the detector so
+// the hot path's union ordering is alloc-free; the exported Compare passes
+// nil and takes the comparison sort.
+type unionSort struct {
+	keys []uint64
+	tmp  []uint64
+	hops []unionHop
+}
+
+// sortUnion orders union ascending by address with the unresponsive zero
+// address first — exactly netip.Addr.Compare's order, which sorts the
+// invalid address before everything. With scratch and all-IPv4 addresses
+// the order comes from a radix sort over packed keys (bit 63: address is
+// valid, bits 62..31: big-endian IPv4, bits 30..0: input index — distinct
+// addresses give distinct keys, the index decodes the permutation);
+// otherwise it falls back to the comparison sort.
+func sortUnion(union []unionHop, sc *unionSort) {
+	if sc != nil {
+		allV4 := true
+		for i := range union {
+			if union[i].addr.IsValid() && !union[i].addr.Is4() {
+				allV4 = false
+				break
+			}
+		}
+		if allV4 {
+			keys := sc.keys[:0]
+			for i := range union {
+				k := uint64(uint32(i))
+				if a := union[i].addr; a.IsValid() {
+					a4 := a.As4()
+					k |= 1<<63 | uint64(binary.BigEndian.Uint32(a4[:]))<<31
+				}
+				keys = append(keys, k)
+			}
+			sc.tmp = stats.RadixSortUint64(keys, sc.tmp)
+			hops := sc.hops[:0]
+			for _, k := range keys {
+				hops = append(hops, union[uint32(k)&0x7fffffff])
+			}
+			copy(union, hops)
+			sc.keys, sc.hops = keys[:0], hops[:0]
+			return
+		}
+	}
+	slices.SortFunc(union, func(a, b unionHop) int { return a.addr.Compare(b.addr) })
 }
 
 // scoreUnion is the single implementation of the §5.2 arithmetic, shared
@@ -507,8 +617,8 @@ func (d *Detector) closeBin() []Alarm {
 // address, fills the Pearson vectors in that order (into the provided
 // scratch, which may be nil), and returns ρ and the Σ|Fᵢ−F̄ᵢ| normalizer
 // of Eq 9.
-func scoreUnion(union []unionHop, f, fbar []float64) (rho, absDiff float64, fOut, fbarOut []float64) {
-	slices.SortFunc(union, func(a, b unionHop) int { return a.addr.Compare(b.addr) })
+func scoreUnion(union []unionHop, f, fbar []float64, sc *unionSort) (rho, absDiff float64, fOut, fbarOut []float64) {
+	sortUnion(union, sc)
 	f, fbar = f[:0:cap(f)], fbar[:0:cap(fbar)]
 	for _, u := range union {
 		f = append(f, u.f)
@@ -556,7 +666,7 @@ func (d *Detector) compare(cur, ref []hopCount) (rho float64, scores []HopScore)
 			union = append(union, unionHop{addr: a, fbar: h.v})
 		}
 	}
-	rho, absDiff, f, fbar := scoreUnion(union, d.fBuf, d.fbarBuf)
+	rho, absDiff, f, fbar := scoreUnion(union, d.fBuf, d.fbarBuf, &d.usort)
 	if !math.IsNaN(rho) && rho < d.cfg.Tau {
 		scores = unionScores(union, rho, absDiff)
 	}
@@ -589,6 +699,6 @@ func Compare(cur, ref map[netip.Addr]float64) (rho float64, scores []HopScore) {
 			union = append(union, unionHop{addr: a, fbar: v})
 		}
 	}
-	rho, absDiff, _, _ := scoreUnion(union, nil, nil)
+	rho, absDiff, _, _ := scoreUnion(union, nil, nil, nil)
 	return rho, unionScores(union, rho, absDiff)
 }

@@ -300,6 +300,24 @@ type Interner struct {
 	flows   map[pairKey]FlowID
 	routers map[AddrID]RouterID
 	texts   map[string]addrMemo // wire-text → parsed+interned, see AddrBytes
+
+	// Two-slot LRU in front of the addrs map. Extraction interns each
+	// hop's three replies back to back, and adjacent hop pairs share one
+	// hop, so the last two distinct addresses cover most calls without
+	// hashing a 24-byte netip.Addr key. The zero value is coherent: the
+	// zero Addr maps to ZeroAddr (0) in addrs too.
+	memoAddr [2]netip.Addr
+	memoID   [2]AddrID
+
+	// One-slot memos for the pair maps. Extraction visits every
+	// (near reply × far reply) combination of a hop pair — up to nine
+	// Link calls that almost always carry the same two addresses.
+	memoLink    pairKey
+	memoLinkID  LinkID
+	memoLinkSet bool
+	memoFlow    pairKey
+	memoFlowID  FlowID
+	memoFlowSet bool
 }
 
 // addrMemo caches one wire-text address form: its parsed value and ID.
@@ -324,11 +342,21 @@ func (in *Interner) Registry() *Registry { return in.reg }
 
 // Addr interns an address through the memo.
 func (in *Interner) Addr(a netip.Addr) AddrID {
-	if id, ok := in.addrs[a]; ok {
-		return id
+	if a == in.memoAddr[0] {
+		return in.memoID[0]
 	}
-	id := in.reg.Addr(a)
-	in.addrs[a] = id
+	if a == in.memoAddr[1] {
+		in.memoAddr[0], in.memoAddr[1] = in.memoAddr[1], in.memoAddr[0]
+		in.memoID[0], in.memoID[1] = in.memoID[1], in.memoID[0]
+		return in.memoID[0]
+	}
+	id, ok := in.addrs[a]
+	if !ok {
+		id = in.reg.Addr(a)
+		in.addrs[a] = id
+	}
+	in.memoAddr[1], in.memoID[1] = in.memoAddr[0], in.memoID[0]
+	in.memoAddr[0], in.memoID[0] = a, id
 	return id
 }
 
@@ -359,22 +387,30 @@ func (in *Interner) AddrBytes(b []byte) (AddrID, netip.Addr, error) {
 // Link interns the ordered address pair (near, far) through the memo.
 func (in *Interner) Link(near, far AddrID) LinkID {
 	k := mkPair(near, far)
-	if id, ok := in.links[k]; ok {
-		return id
+	if in.memoLinkSet && k == in.memoLink {
+		return in.memoLinkID
 	}
-	id := in.reg.Link(near, far)
-	in.links[k] = id
+	id, ok := in.links[k]
+	if !ok {
+		id = in.reg.Link(near, far)
+		in.links[k] = id
+	}
+	in.memoLink, in.memoLinkID, in.memoLinkSet = k, id, true
 	return id
 }
 
 // Flow interns the (router, destination) pair through the memo.
 func (in *Interner) Flow(router, dst AddrID) FlowID {
 	k := mkPair(router, dst)
-	if id, ok := in.flows[k]; ok {
-		return id
+	if in.memoFlowSet && k == in.memoFlow {
+		return in.memoFlowID
 	}
-	id := in.reg.Flow(router, dst)
-	in.flows[k] = id
+	id, ok := in.flows[k]
+	if !ok {
+		id = in.reg.Flow(router, dst)
+		in.flows[k] = id
+	}
+	in.memoFlow, in.memoFlowID, in.memoFlowSet = k, id, true
 	return id
 }
 

@@ -1,0 +1,163 @@
+package stats
+
+// LSD radix sorting kernels for the detectors' bin-close permutation
+// sorts. Every close-time ordering pass in internal/delay and
+// internal/forwarding is a total order over values that pack losslessly
+// into a uint64 (dense integer IDs, biased int32 probe IDs, big-endian
+// IPv4 addresses), so an 8-bit-digit LSD counting sort replaces the
+// comparison sorts: O(n) passes, no comparator calls, and — because
+// counting sort is stable and callers pack unique keys — output identical
+// to slices.SortFunc on the unpacked order.
+//
+// Both kernels take caller-owned scratch and return it (possibly grown) so
+// steady-state use across bins is allocation-free.
+
+// radixCutoff is the size below which binary-insertion sort beats setting
+// up eight 256-counter histograms.
+const radixCutoff = 48
+
+// RadixSortUint64 sorts keys ascending in place. tmp is scratch of at
+// least len(keys) (grown and returned for reuse; pass nil the first time).
+func RadixSortUint64(keys []uint64, tmp []uint64) []uint64 {
+	n := len(keys)
+	if n < radixCutoff {
+		insertionSortUint64(keys)
+		return tmp
+	}
+	if cap(tmp) < n {
+		tmp = make([]uint64, n)
+	}
+	tmp = tmp[:n]
+
+	// One pass builds all eight per-byte histograms.
+	var count [8][256]int32
+	for _, k := range keys {
+		count[0][byte(k)]++
+		count[1][byte(k>>8)]++
+		count[2][byte(k>>16)]++
+		count[3][byte(k>>24)]++
+		count[4][byte(k>>32)]++
+		count[5][byte(k>>40)]++
+		count[6][byte(k>>48)]++
+		count[7][byte(k>>56)]++
+	}
+
+	src, dst := keys, tmp
+	for b := 0; b < 8; b++ {
+		c := &count[b]
+		shift := uint(b * 8)
+		// A digit shared by every key sorts to a no-op pass; skip it.
+		// (Common: high bytes of small ID spaces.)
+		if c[byte(src[0]>>shift)] == int32(n) {
+			continue
+		}
+		var pos [256]int32
+		var sum int32
+		for d := 0; d < 256; d++ {
+			pos[d] = sum
+			sum += c[d]
+		}
+		for _, k := range src {
+			d := byte(k >> shift)
+			dst[pos[d]] = k
+			pos[d]++
+		}
+		src, dst = dst, src
+	}
+	if &src[0] != &keys[0] {
+		copy(keys, src)
+	}
+	return tmp
+}
+
+// RadixSortUint64Pairs sorts keys ascending in place, permuting vals the
+// same way (vals[i] travels with keys[i]); len(vals) must equal len(keys).
+// The sort is stable, so equal keys keep their input order — callers that
+// pack only part of their order into the key rely on this. tmpK/tmpV are
+// scratch of at least len(keys) (grown and returned; pass nil first).
+func RadixSortUint64Pairs(keys []uint64, vals []int32, tmpK []uint64, tmpV []int32) ([]uint64, []int32) {
+	n := len(keys)
+	if n != len(vals) {
+		panic("stats: RadixSortUint64Pairs length mismatch")
+	}
+	if n < radixCutoff {
+		insertionSortUint64Pairs(keys, vals)
+		return tmpK, tmpV
+	}
+	if cap(tmpK) < n {
+		tmpK = make([]uint64, n)
+	}
+	if cap(tmpV) < n {
+		tmpV = make([]int32, n)
+	}
+	tmpK, tmpV = tmpK[:n], tmpV[:n]
+
+	var count [8][256]int32
+	for _, k := range keys {
+		count[0][byte(k)]++
+		count[1][byte(k>>8)]++
+		count[2][byte(k>>16)]++
+		count[3][byte(k>>24)]++
+		count[4][byte(k>>32)]++
+		count[5][byte(k>>40)]++
+		count[6][byte(k>>48)]++
+		count[7][byte(k>>56)]++
+	}
+
+	srcK, dstK := keys, tmpK
+	srcV, dstV := vals, tmpV
+	for b := 0; b < 8; b++ {
+		c := &count[b]
+		shift := uint(b * 8)
+		if c[byte(srcK[0]>>shift)] == int32(n) {
+			continue
+		}
+		var pos [256]int32
+		var sum int32
+		for d := 0; d < 256; d++ {
+			pos[d] = sum
+			sum += c[d]
+		}
+		for i, k := range srcK {
+			d := byte(k >> shift)
+			p := pos[d]
+			dstK[p] = k
+			dstV[p] = srcV[i]
+			pos[d] = p + 1
+		}
+		srcK, dstK = dstK, srcK
+		srcV, dstV = dstV, srcV
+	}
+	if &srcK[0] != &keys[0] {
+		copy(keys, srcK)
+		copy(vals, srcV)
+	}
+	return tmpK, tmpV
+}
+
+// insertionSortUint64 sorts small key slices ascending.
+func insertionSortUint64(keys []uint64) {
+	for i := 1; i < len(keys); i++ {
+		k := keys[i]
+		j := i
+		for j > 0 && keys[j-1] > k {
+			keys[j] = keys[j-1]
+			j--
+		}
+		keys[j] = k
+	}
+}
+
+// insertionSortUint64Pairs is insertionSortUint64 carrying a payload;
+// stable (strict > guard), matching the counting-sort passes.
+func insertionSortUint64Pairs(keys []uint64, vals []int32) {
+	for i := 1; i < len(keys); i++ {
+		k, v := keys[i], vals[i]
+		j := i
+		for j > 0 && keys[j-1] > k {
+			keys[j], vals[j] = keys[j-1], vals[j-1]
+			j--
+		}
+		keys[j], vals[j] = k, v
+	}
+}

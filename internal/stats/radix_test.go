@@ -1,0 +1,110 @@
+package stats
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// radixSizes straddles the insertion-sort cutoff and includes sizes large
+// enough to take all eight counting passes.
+var radixSizes = []int{0, 1, 2, 3, radixCutoff - 1, radixCutoff, radixCutoff + 1, 100, 1000, 4096}
+
+func radixPatterns(rng *rand.Rand, n int) map[string][]uint64 {
+	pats := map[string][]uint64{
+		"random":   nil,
+		"sorted":   nil,
+		"reverse":  nil,
+		"allequal": nil,
+		"lowbyte":  nil, // only the low byte varies: 7 skipped passes
+		"highbyte": nil, // only the high byte varies: 7 skipped passes
+		"dup":      nil,
+	}
+	for name := range pats {
+		keys := make([]uint64, n)
+		for i := range keys {
+			switch name {
+			case "random":
+				keys[i] = rng.Uint64()
+			case "sorted":
+				keys[i] = uint64(i) * 3
+			case "reverse":
+				keys[i] = uint64(n-i) << 17
+			case "allequal":
+				keys[i] = 0xdeadbeefcafe
+			case "lowbyte":
+				keys[i] = 0xab00 | uint64(rng.Intn(256))
+			case "highbyte":
+				keys[i] = uint64(rng.Intn(256))<<56 | 0x42
+			case "dup":
+				keys[i] = uint64(rng.Intn(5))
+			}
+		}
+		pats[name] = keys
+	}
+	return pats
+}
+
+func TestRadixSortUint64(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var tmp []uint64 // reused across calls: exercises the scratch contract
+	for _, n := range radixSizes {
+		for name, keys := range radixPatterns(rng, n) {
+			want := append([]uint64(nil), keys...)
+			slices.Sort(want)
+			tmp = RadixSortUint64(keys, tmp)
+			if !slices.Equal(keys, want) {
+				t.Fatalf("n=%d %s: radix %v != sorted %v", n, name, keys, want)
+			}
+		}
+	}
+}
+
+func TestRadixSortUint64Pairs(t *testing.T) {
+	type pair struct {
+		k uint64
+		v int32
+	}
+	rng := rand.New(rand.NewSource(5))
+	var tmpK []uint64
+	var tmpV []int32
+	for _, n := range radixSizes {
+		for name, keys := range radixPatterns(rng, n) {
+			vals := make([]int32, n)
+			for i := range vals {
+				vals[i] = int32(i)
+			}
+			// Stable reference: sort (key, original index) pairs stably by
+			// key only — equal keys must keep input order.
+			want := make([]pair, n)
+			for i := range want {
+				want[i] = pair{keys[i], vals[i]}
+			}
+			slices.SortStableFunc(want, func(a, b pair) int {
+				switch {
+				case a.k < b.k:
+					return -1
+				case a.k > b.k:
+					return 1
+				}
+				return 0
+			})
+			tmpK, tmpV = RadixSortUint64Pairs(keys, vals, tmpK, tmpV)
+			for i := range keys {
+				if keys[i] != want[i].k || vals[i] != want[i].v {
+					t.Fatalf("n=%d %s: pair %d = (%d,%d), stable oracle (%d,%d)",
+						n, name, i, keys[i], vals[i], want[i].k, want[i].v)
+				}
+			}
+		}
+	}
+}
+
+func TestRadixSortUint64PairsLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	RadixSortUint64Pairs(make([]uint64, 3), make([]int32, 2), nil, nil)
+}

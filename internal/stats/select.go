@@ -1,0 +1,221 @@
+package stats
+
+import (
+	"math"
+	"math/bits"
+	"sort"
+)
+
+// This file holds the selection kernels of the detectors' bin-close hot
+// path. Closing a bin needs three order statistics per link (the median and
+// the two Wilson-score rank bounds, §4.2.2); a full sort.Float64s is
+// O(n log n) per link-bin just to read three ranks, while Floyd–Rivest
+// selection finds them in O(n) expected time. The contract is strict:
+// SelectKths places at every requested rank exactly the value an ascending
+// sort.Float64s would place there, so MedianWilsonSelect returns the same
+// MedianCI as MedianWilsonSorted on the sorted input — MedianWilsonSorted
+// is retained unchanged as the executable oracle, and FuzzSelectVsSort
+// pins kernel ≡ oracle over adversarial inputs (duplicates, NaN/±Inf,
+// tiny n).
+
+// fless is the strict weak ordering sort.Float64s sorts by: NaN values
+// first, then ascending. The selection entry points realize this order by
+// sweeping NaNs to the front once (nanSweep), which lets every partition
+// loop below compare with bare < instead of paying a NaN test per
+// comparison; fless itself remains the specification the tests check
+// partition invariants against.
+func fless(a, b float64) bool {
+	return a < b || (math.IsNaN(a) && !math.IsNaN(b))
+}
+
+// nanSweep moves every NaN to the front of xs, preserving nothing else,
+// and returns their count m. Afterwards xs[:m] is exactly where
+// sort.Float64s would leave the NaNs, and xs[m:] is NaN-free, so ranks
+// below m are already satisfied and ranks at or above m reduce to
+// selection under plain <. The common all-finite case costs one
+// predictable never-taken branch per element.
+func nanSweep(xs []float64) int {
+	m := 0
+	for i, x := range xs {
+		if x != x {
+			xs[i], xs[m] = xs[m], xs[i]
+			m++
+		}
+	}
+	return m
+}
+
+// SelectKths partially orders xs in place so that for every rank k in ks,
+// xs[k] holds the k-th smallest element — the value sort.Float64s would
+// put there — with xs[:k] ≤ xs[k] ≤ xs[k+1:] under the same NaN-first
+// order. Expected time is O(n · |ks|) with no allocation; ranks must be
+// valid indices into xs or SelectKths panics. When equivalent elements
+// (duplicates, two NaN payloads, -0 vs +0) straddle a requested rank, the
+// value at the rank is equivalent under == (NaN position included) to the
+// oracle's, though not necessarily the same bit pattern — the detectors
+// never see that distinction because equivalent floats compare and
+// subtract identically downstream.
+func SelectKths(xs []float64, ks ...int) {
+	for _, k := range ks {
+		if k < 0 || k >= len(xs) {
+			panic("stats: SelectKths rank out of range")
+		}
+	}
+	if len(ks) == 0 {
+		return
+	}
+	m := nanSweep(xs)
+	if len(ks) == 1 {
+		if ks[0] >= m {
+			floydRivest(xs, m, len(xs)-1, ks[0])
+		}
+		return
+	}
+	// Sort and dedupe the ranks (at most a handful: insertion sort).
+	var buf [8]int
+	sorted := append(buf[:0], ks...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	uniq := sorted[:0]
+	for _, k := range sorted {
+		// Ranks below the NaN prefix already hold their oracle value.
+		if k >= m && (len(uniq) == 0 || k != uniq[len(uniq)-1]) {
+			uniq = append(uniq, k)
+		}
+	}
+	if len(uniq) > 0 {
+		multiSelect(xs, m, len(xs)-1, uniq)
+	}
+}
+
+// multiSelect resolves an ascending list of ranks within xs[lo:hi+1]:
+// selecting the middle rank fully partitions the segment around it, so the
+// remaining ranks split into independent sub-segments (left recursed,
+// right handled by the loop — the deeper side shrinks geometrically).
+func multiSelect(xs []float64, lo, hi int, ks []int) {
+	for len(ks) > 0 {
+		if len(ks) == 1 {
+			floydRivest(xs, lo, hi, ks[0])
+			return
+		}
+		m := len(ks) / 2
+		k := ks[m]
+		floydRivest(xs, lo, hi, k)
+		if m > 0 {
+			multiSelect(xs, lo, k-1, ks[:m])
+		}
+		lo, ks = k+1, ks[m+1:]
+	}
+}
+
+// floydRivest places the k-th smallest element of xs[lo:hi+1] at xs[k]
+// and partitions the segment around it. Callers guarantee the segment is
+// NaN-free (nanSweep ran), so plain < is the oracle's order here. This is the
+// classic SELECT of Floyd & Rivest (CACM '75): on large segments a small
+// recursively-selected sample brackets the target rank so the partition
+// pivot lands within O(√(n log n)) of it, giving n + min(k, n−k) + o(n)
+// expected comparisons. Selection is deterministic — no randomness — and a
+// round budget guards against adversarial inputs that defeat the sampled
+// pivots: past it the segment is handed to sort.Float64s, the oracle
+// itself, so the equivalence contract holds trivially on every path.
+func floydRivest(xs []float64, lo, hi, k int) {
+	rounds := 0
+	maxRounds := 2*bits.Len(uint(hi-lo+1)) + 8
+	for hi > lo {
+		if hi-lo < 16 {
+			insertionSortFloat(xs, lo, hi)
+			return
+		}
+		if rounds++; rounds > maxRounds {
+			sort.Float64s(xs[lo : hi+1])
+			return
+		}
+		if hi-lo > 600 {
+			// Sample bracketing: select the same rank inside a subrange
+			// sized ~n^(2/3) around the expected position, then use the
+			// now-exact xs[k] of the sample as the partition pivot below.
+			n := float64(hi - lo + 1)
+			i := float64(k - lo + 1)
+			z := math.Log(n)
+			s := 0.5 * math.Exp(2*z/3)
+			sd := 0.5 * math.Sqrt(z*s*(n-s)/n)
+			if i < n/2 {
+				sd = -sd
+			}
+			nlo := max(lo, int(float64(k)-i*s/n+sd))
+			nhi := min(hi, int(float64(k)+(n-i)*s/n+sd))
+			floydRivest(xs, nlo, nhi, k)
+		}
+		// Partition xs[lo:hi+1] around t = xs[k] (Hoare scheme with the
+		// boundary fix-up of Algorithm 489).
+		t := xs[k]
+		i, j := lo, hi
+		xs[lo], xs[k] = xs[k], xs[lo]
+		if t < xs[hi] {
+			xs[lo], xs[hi] = xs[hi], xs[lo]
+		}
+		for i < j {
+			xs[i], xs[j] = xs[j], xs[i]
+			i++
+			j--
+			for xs[i] < t {
+				i++
+			}
+			for t < xs[j] {
+				j--
+			}
+		}
+		if xs[lo] == t {
+			xs[lo], xs[j] = xs[j], xs[lo]
+		} else {
+			j++
+			xs[j], xs[hi] = xs[hi], xs[j]
+		}
+		if j <= k {
+			lo = j + 1
+		}
+		if k <= j {
+			hi = j - 1
+		}
+	}
+}
+
+// insertionSortFloat sorts a NaN-free xs[lo:hi+1] ascending.
+func insertionSortFloat(xs []float64, lo, hi int) {
+	for i := lo + 1; i <= hi; i++ {
+		for j := i; j > lo && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// MedianWilsonSelect computes exactly what MedianWilsonSorted computes on
+// sort.Float64s(xs) — the same order statistics at the same Wilson ranks,
+// hence the same MedianCI — without sorting: the three (four, for even n)
+// required ranks are selected in O(n). xs is partially reordered in place;
+// callers owning a scratch buffer (the delay detector's per-bin sample
+// buffer) lose nothing, others should copy first. For an empty slice it
+// returns a zero MedianCI with N == 0.
+func MedianWilsonSelect(xs []float64, z float64) MedianCI {
+	n := len(xs)
+	if n == 0 {
+		return MedianCI{}
+	}
+	lo, hi := wilsonRanks(n, z)
+	if n%2 == 1 {
+		SelectKths(xs, lo, n/2, hi)
+	} else {
+		SelectKths(xs, lo, n/2-1, n/2, hi)
+	}
+	// The median ranks are in their sorted positions now, so the sorted
+	// midpoint arithmetic applies verbatim.
+	return MedianCI{
+		Median: medianSorted(xs),
+		Lower:  xs[lo],
+		Upper:  xs[hi],
+		N:      n,
+	}
+}

@@ -77,14 +77,31 @@ func MedianWilson(xs []float64, z float64) MedianCI {
 }
 
 // MedianWilsonSorted is MedianWilson for an already ascending-sorted slice.
+// It is the executable oracle for MedianWilsonSelect: the selection kernel
+// must return exactly what this returns on the sorted input, and
+// FuzzSelectVsSort enforces it.
 func MedianWilsonSorted(sorted []float64, z float64) MedianCI {
 	n := len(sorted)
 	if n == 0 {
 		return MedianCI{}
 	}
+	lo, hi := wilsonRanks(n, z)
+	return MedianCI{
+		Median: medianSorted(sorted),
+		Lower:  sorted[lo],
+		Upper:  sorted[hi],
+		N:      n,
+	}
+}
+
+// wilsonRanks converts the Wilson bounds for p = 0.5 into the order-statistic
+// ranks l = floor(n·wl) and u = ceil(n·wu)−1 of the median confidence
+// interval, clamped to valid indices (Newcombe's recommendation for small n,
+// §4.2.2). Requires n ≥ 1; always returns 0 ≤ lo ≤ hi ≤ n−1.
+func wilsonRanks(n int, z float64) (lo, hi int) {
 	wl, wu := Wilson(n, 0.5, z)
-	lo := int(math.Floor(float64(n) * wl))
-	hi := int(math.Ceil(float64(n)*wu)) - 1
+	lo = int(math.Floor(float64(n) * wl))
+	hi = int(math.Ceil(float64(n)*wu)) - 1
 	if lo < 0 {
 		lo = 0
 	}
@@ -94,12 +111,7 @@ func MedianWilsonSorted(sorted []float64, z float64) MedianCI {
 	if hi < lo {
 		hi = lo
 	}
-	return MedianCI{
-		Median: medianSorted(sorted),
-		Lower:  sorted[lo],
-		Upper:  sorted[hi],
-		N:      n,
-	}
+	return lo, hi
 }
 
 // MeanCI is the parametric (CLT, standard-error) confidence interval around

@@ -5,7 +5,7 @@
 package timeseries
 
 import (
-	"sort"
+	"slices"
 	"time"
 
 	"pinpoint/internal/stats"
@@ -77,7 +77,9 @@ func (s *Series) Len() int { return len(s.points) }
 func (s *Series) Points() []Point {
 	out := make([]Point, len(s.points))
 	copy(out, s.points)
-	sort.Slice(out, func(i, j int) bool { return out[i].T.Before(out[j].T) })
+	// Bin times are unique (one index entry per bin), so T alone is a total
+	// order and the type-specialized unstable sort is deterministic.
+	slices.SortFunc(out, func(a, b Point) int { return a.T.Compare(b.T) })
 	return out
 }
 

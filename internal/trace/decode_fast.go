@@ -626,9 +626,11 @@ var pow10tab = [...]float64{
 }
 
 // toFloat converts with the classic exact fast path (mantissa ≤ 15 digits,
-// |decimal exponent| ≤ 22: one multiply or divide is correctly rounded);
-// everything else falls back to strconv.ParseFloat, the oracle's own
-// conversion, so results are bit-identical either way.
+// |decimal exponent| ≤ 22: one multiply or divide is correctly rounded),
+// then the Eisel–Lemire wide multiply for untruncated mantissas (16–19
+// digits — full-precision 'g'-format floats land here); whatever neither
+// can prove correctly rounded falls back to strconv.ParseFloat, the
+// oracle's own conversion, so results are bit-identical on every path.
 func (n *number) toFloat() (float64, bool) {
 	if !n.truncated && n.sig <= 15 && n.exp10 >= -22 && n.exp10 <= 22 {
 		f := float64(n.mant)
@@ -642,6 +644,11 @@ func (n *number) toFloat() (float64, bool) {
 			f = -f
 		}
 		return f, true
+	}
+	if !n.truncated {
+		if f, ok := eiselLemire64(n.mant, n.exp10, n.neg); ok {
+			return f, true
+		}
 	}
 	f, err := strconv.ParseFloat(string(n.tok), 64)
 	if err != nil {
@@ -1394,10 +1401,12 @@ func (d *Decoder) parseReply() error {
 // rttField parses the rtt value: a JSON number per ParseFloat, or null,
 // which clears the field (the oracle's *float64 becomes nil).
 func (d *Decoder) rttField(rtt *float64, has *bool) error {
-	// Fast path: digits['.'digits] with at most 15 digits and no exponent
-	// — every rtt a real dump carries. One multiply-free accumulate plus
-	// one exact pow10 divide (the Clinger fast case, identical rounding to
-	// ParseFloat).
+	// Fast path: digits['.'digits] with at most 19 digits and no exponent
+	// — every rtt a real dump carries. Up to 15 digits take one
+	// multiply-free accumulate plus one exact pow10 divide (the Clinger
+	// fast case); 16–19 digits — full-precision 'g'-formatted floats —
+	// take the Eisel–Lemire wide multiply. Both round identically to
+	// ParseFloat; anything either cannot prove drops to the slow path.
 	data := d.data
 	i := d.pos
 	neg := false
@@ -1408,7 +1417,7 @@ func (d *Decoder) rttField(rtt *float64, has *bool) error {
 	ds := i
 	var mant uint64
 	nd := 0
-	for i < len(data) && data[i] >= '0' && data[i] <= '9' && nd < 15 {
+	for i < len(data) && data[i] >= '0' && data[i] <= '9' && nd < 19 {
 		mant = mant*10 + uint64(data[i]-'0')
 		nd++
 		i++
@@ -1417,10 +1426,21 @@ func (d *Decoder) rttField(rtt *float64, has *bool) error {
 		exp := 0
 		if i < len(data) && data[i] == '.' {
 			fs := i + 1
-			for i = fs; i < len(data) && data[i] >= '0' && data[i] <= '9' && nd < 15; i++ {
+			i = fs
+			// Full-precision RTTs carry ~14 fraction digits: take them
+			// eight at a time (one SWAR validate + evaluate per chunk)
+			// before the byte-wise tail.
+			for i+8 <= len(data) && nd+8 <= 19 && isEightDigits(binary.LittleEndian.Uint64(data[i:])) {
+				mant = mant*100000000 + parseEightDigits(binary.LittleEndian.Uint64(data[i:]))
+				nd += 8
+				exp -= 8
+				i += 8
+			}
+			for i < len(data) && data[i] >= '0' && data[i] <= '9' && nd < 19 {
 				mant = mant*10 + uint64(data[i]-'0')
 				nd++
 				exp--
+				i++
 			}
 			if i == fs {
 				i = fs - 1 // no fraction digits (or none within budget): slow path
@@ -1428,17 +1448,26 @@ func (d *Decoder) rttField(rtt *float64, has *bool) error {
 		}
 		if i > ds && (i == len(data) ||
 			(data[i] != 'e' && data[i] != 'E' && data[i] != '.' && (data[i] < '0' || data[i] > '9'))) {
-			f := float64(mant)
-			if exp < 0 {
-				f /= pow10tab[-exp]
+			if nd <= 15 {
+				f := float64(mant)
+				if exp < 0 {
+					f /= pow10tab[-exp]
+				}
+				if neg {
+					f = -f
+				}
+				*rtt = f
+				*has = true
+				d.pos = i
+				return nil
 			}
-			if neg {
-				f = -f
+			if f, ok := eiselLemire64(mant, exp, neg); ok {
+				*rtt = f
+				*has = true
+				d.pos = i
+				return nil
 			}
-			*rtt = f
-			*has = true
-			d.pos = i
-			return nil
+			// Ambiguous rounding: d.pos untouched, rescan below.
 		}
 	}
 
