@@ -31,7 +31,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("atlasgen: ")
 
-	caseName := flag.String("case", "quiet", "scenario: quiet, ddos, leak or ixp")
+	caseName := flag.String("case", "quiet", "scenario: "+strings.Join(experiments.CaseNames, ", "))
 	scaleName := flag.String("scale", "quick", "workload scale: quick or full")
 	out := flag.String("out", "-", "results NDJSON output path (- for stdout; a .gz suffix compresses)")
 	flag.StringVar(out, "o", "-", "shorthand for -out")

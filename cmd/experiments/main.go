@@ -9,9 +9,11 @@
 //	experiments -scale full     # benchmark scale
 //	experiments -run F6,F7,F8   # one figure family
 //	experiments -dot out/       # also write alarm-graph DOT files
+//	experiments -robust BENCH_robust.json   # robustness grid instead
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -29,11 +31,42 @@ func main() {
 	scaleName := flag.String("scale", "quick", "workload scale: quick or full")
 	runList := flag.String("run", "all", "comma-separated experiment ids (e.g. F2,F6) or all")
 	dotDir := flag.String("dot", "", "directory for alarm-graph DOT output (F8, F12)")
+	robustOut := flag.String("robust", "", "run the robustness grid (cases × artifact mixes, corroboration ablation) and write the JSON report to this path instead of the paper experiments")
+	robustCases := flag.String("robust-cases", "", "comma-separated case subset for -robust (default all: "+strings.Join(experiments.CaseNames, ", ")+")")
+	workers := flag.Int("workers", 0, "platform/analyzer workers for -robust (0 = default)")
 	flag.Parse()
 
 	scale, err := experiments.ParseScale(*scaleName)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *robustOut != "" {
+		cfg := experiments.RobustConfig{Workers: *workers}
+		if *robustCases != "" {
+			for _, c := range strings.Split(*robustCases, ",") {
+				cfg.Cases = append(cfg.Cases, strings.TrimSpace(c))
+			}
+		}
+		rep, err := experiments.RunRobustness(scale, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*robustOut, buf, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		s := rep.Summary
+		fmt.Printf("robustness grid: %d cells → %s\n", len(rep.Cells), *robustOut)
+		fmt.Printf("clean true positives %d → %d, clean windows hit %d → %d under corroboration\n",
+			s.CleanTruePosBase, s.CleanTruePosCorr, s.CleanWindowsHitBase, s.CleanWindowsHitCorr)
+		fmt.Printf("artifact-run false positives %d → %d under corroboration\n",
+			s.ArtFalsePosBase, s.ArtFalsePosCorr)
+		return
 	}
 
 	want := map[string]bool{}

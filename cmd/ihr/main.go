@@ -36,6 +36,7 @@ import (
 	"log"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -69,13 +70,14 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("ihr: ")
 
-	caseName := flag.String("case", "ddos", "scenario: quiet, ddos, leak or ixp (with -input, supplies the metadata)")
+	caseName := flag.String("case", "ddos", "scenario: "+strings.Join(experiments.CaseNames, ", ")+" (with -input, supplies the metadata)")
 	scaleName := flag.String("scale", "quick", "workload scale: quick or full")
 	addr := flag.String("addr", ":8080", "HTTP listen address")
 	workers := flag.Int("workers", 0, "analysis worker shards (0 = all CPUs, 1 = sequential)")
 	genWorkers := flag.Int("gen-workers", 0, "measurement generator workers (0 = all CPUs, 1 = sequential)")
 	input := flag.String("input", "", "comma-separated NDJSON dump paths to analyze instead of live generation (.gz ok, - for stdin)")
 	decodeWorkers := flag.Int("decode-workers", 0, "NDJSON decode workers for -input (0 = all CPUs, 1 = sequential)")
+	corroborate := flag.Int("corroborate", 0, "require this many distinct corroborating alarm sources per event (0 = off, paper behaviour)")
 	flag.Parse()
 
 	// All flag validation happens before the listener opens: a bad flag must
@@ -99,6 +101,7 @@ func main() {
 	if cfg.Workers == 0 {
 		cfg.Workers = core.AutoWorkers
 	}
+	cfg.Events.Corroborate = *corroborate
 	// No RetainAlarms: the publisher keeps the wire-form record, so the
 	// analyzer does not need a second in-memory copy.
 	a := core.New(cfg, c.Platform.ProbeASN, c.Net.Prefixes())

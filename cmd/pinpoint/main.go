@@ -33,6 +33,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"strings"
 	"time"
 
 	"pinpoint/internal/atlas"
@@ -69,13 +70,14 @@ func run() error {
 	in := flag.String("in", "-", "results NDJSON input path (- for stdin; gzip auto-detected)")
 	input := flag.String("input", "", "comma-separated dump paths to replay (NDJSON, .gz ok, - for stdin); with -case the case supplies the metadata")
 	metaPath := flag.String("meta", "", "metadata JSON path (required for dump input unless -case)")
-	caseName := flag.String("case", "", "generate and analyze a scenario (quiet, ddos, leak, ixp) — or, with -input, supply its metadata for a dump replay")
+	caseName := flag.String("case", "", "generate and analyze a scenario ("+strings.Join(experiments.CaseNames, ", ")+") — or, with -input, supply its metadata for a dump replay")
 	scaleName := flag.String("scale", "quick", "workload scale for -case: quick or full")
 	genWorkers := flag.Int("gen-workers", 0, "generator workers for -case (0 = all CPUs, 1 = sequential)")
 	decodeWorkers := flag.Int("decode-workers", 0, "NDJSON decode workers for dump input (0 = all CPUs, 1 = sequential)")
 	skipBad := flag.Bool("skip-bad", false, "tolerate undecodable dump lines (skipped count is reported) instead of aborting")
 	threshold := flag.Float64("threshold", 10, "event magnitude threshold")
 	window := flag.Duration("window", 7*24*time.Hour, "magnitude sliding window")
+	corroborate := flag.Int("corroborate", 0, "require this many distinct corroborating alarm sources per event (0 = off, paper behaviour)")
 	workers := flag.Int("workers", 0, "analysis worker shards (0 = all CPUs, 1 = sequential)")
 	verbose := flag.Bool("v", false, "print every alarm")
 	topAS := flag.Int("top", 10, "number of ASes to summarize")
@@ -124,6 +126,7 @@ func run() error {
 	}
 	cfg.Events.Threshold = *threshold
 	cfg.Events.Window = *window
+	cfg.Events.Corroborate = *corroborate
 
 	// hookIncremental advances the aggregator's incremental magnitude/event
 	// read model as each bin closes, spreading §6 event extraction across

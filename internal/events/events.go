@@ -14,6 +14,7 @@ import (
 
 	"pinpoint/internal/delay"
 	"pinpoint/internal/forwarding"
+	"pinpoint/internal/hash"
 	"pinpoint/internal/ident"
 	"pinpoint/internal/ipmap"
 	"pinpoint/internal/timeseries"
@@ -24,6 +25,14 @@ type Config struct {
 	BinSize   time.Duration // must match the detectors'; default 1 hour
 	Window    time.Duration // magnitude window; paper: one week
 	Threshold float64       // |mag| at or above this is an event; default 10
+
+	// Corroborate, when ≥ 2, enables the empathy-style corroboration pass
+	// (see corroborate.go): an event is reported only when alarms from at
+	// least this many distinct sources (links or probe ASes for delay,
+	// implicated next-hop interfaces for forwarding) agree. 0 (the
+	// default) keeps the paper's §6 behaviour exactly — magnitudes and
+	// golden outputs are unchanged.
+	Corroborate int
 }
 
 func (c Config) withDefaults() Config {
@@ -87,6 +96,10 @@ type Aggregator struct {
 	// advanced by CloseBins (see incremental.go). The query methods answer
 	// from it when it covers the requested range.
 	inc incState
+
+	// corr is the corroboration source ledger, populated only when
+	// cfg.Corroborate ≥ 2 (see corroborate.go).
+	corr map[corrTypeKey]*corrSet
 }
 
 // NewAggregator returns an Aggregator resolving addresses with the given
@@ -162,6 +175,14 @@ func (a *Aggregator) AddDelayAlarm(al delay.Alarm) {
 	asns := a.asnsOf(al.Link.Near, al.Link.Far)
 	for _, asn := range asns {
 		a.series(a.delaySeries, asn).Add(al.Bin, al.Deviation)
+		if a.cfg.Corroborate >= 2 {
+			// One delay alarm aggregates many probes over one link: the
+			// link is the corroboration source and the alarm's probe-AS
+			// count is its own vantage diversity.
+			a.recordSource(asn, DelayChange, al.Bin,
+				hash.Fold(0xd31a_11, corrAddrHash(al.Link.Near), corrAddrHash(al.Link.Far)),
+				al.ASes, true)
+		}
 	}
 }
 
@@ -181,6 +202,16 @@ func (a *Aggregator) AddForwardingAlarm(al forwarding.Alarm) {
 			continue
 		}
 		a.series(a.fwdSeries, asn).Add(al.Bin, h.Responsibility)
+		if a.cfg.Corroborate >= 2 {
+			// The implicated next-hop interface is the corroboration
+			// source — it is whose responsibility lands in this AS's
+			// series. A genuine reroute spreads flows over several
+			// distinct detour hops; a lying router's forged surge funnels
+			// through its one stale address. Only newly-used (positive)
+			// hops corroborate a surge; hops of either sign enter the
+			// history ledger that backs dip corroboration.
+			a.recordSource(asn, ForwardingAnomaly, al.Bin, corrAddrHash(h.Hop), 1, h.Responsibility > 0)
+		}
 	}
 }
 
@@ -274,12 +305,12 @@ func (a *Aggregator) Events(from, to time.Time) []Event {
 	var out []Event
 	for _, asn := range a.ASes() {
 		for _, p := range a.DelayMagnitude(asn, from, to) {
-			if p.V >= a.cfg.Threshold {
+			if p.V >= a.cfg.Threshold && a.corroborated(asn, DelayChange, p.T, p.V) {
 				out = append(out, Event{ASN: asn, Bin: p.T, Type: DelayChange, Magnitude: p.V})
 			}
 		}
 		for _, p := range a.ForwardingMagnitude(asn, from, to) {
-			if p.V >= a.cfg.Threshold || p.V <= -a.cfg.Threshold {
+			if (p.V >= a.cfg.Threshold || p.V <= -a.cfg.Threshold) && a.corroborated(asn, ForwardingAnomaly, p.T, p.V) {
 				out = append(out, Event{ASN: asn, Bin: p.T, Type: ForwardingAnomaly, Magnitude: p.V})
 			}
 		}

@@ -99,14 +99,14 @@ func (a *Aggregator) CloseBins(upTo time.Time) []Event {
 			if s := a.delaySeries[asn]; s != nil {
 				v := a.magAt(s, t)
 				a.inc.delayMag[asn] = a.appendMag(a.inc.delayMag[asn], t, v)
-				if v >= a.cfg.Threshold {
+				if v >= a.cfg.Threshold && a.corroborated(asn, DelayChange, t, v) {
 					a.inc.events = append(a.inc.events, Event{ASN: asn, Bin: t, Type: DelayChange, Magnitude: v})
 				}
 			}
 			if s := a.fwdSeries[asn]; s != nil {
 				v := a.magAt(s, t)
 				a.inc.fwdMag[asn] = a.appendMag(a.inc.fwdMag[asn], t, v)
-				if v >= a.cfg.Threshold || v <= -a.cfg.Threshold {
+				if (v >= a.cfg.Threshold || v <= -a.cfg.Threshold) && a.corroborated(asn, ForwardingAnomaly, t, v) {
 					a.inc.events = append(a.inc.events, Event{ASN: asn, Bin: t, Type: ForwardingAnomaly, Magnitude: v})
 				}
 			}

@@ -9,9 +9,9 @@ import (
 )
 
 // Case is a ready-to-run measurement campaign over one of the scenarios:
-// the quiet baseline or one of the paper's three case studies. cmd/atlasgen
-// dumps cases to JSONL, cmd/ihr streams them, and the examples run them
-// directly.
+// the quiet baseline, one of the paper's three case studies, or one of the
+// adversity-suite disruptions. cmd/atlasgen dumps cases to JSONL, cmd/ihr
+// streams them, and the examples run them directly.
 type Case struct {
 	Name        string
 	Description string
@@ -24,17 +24,30 @@ type Case struct {
 	EventWindows [][2]time.Time
 }
 
-// CaseNames lists the valid case names for NewCase.
-var CaseNames = []string{"quiet", "ddos", "leak", "ixp"}
+// CaseNames lists the valid case names for NewCase. CLI -case flags derive
+// their usage strings from this list, so new cases show up in -h
+// automatically.
+var CaseNames = []string{"quiet", "ddos", "leak", "ixp", "anycast", "ixpfail", "fiber"}
 
-// NewCase builds the named scenario at the given scale.
+// NewCase builds the named scenario at the given scale, artifact-free.
 func NewCase(name string, scale Scale) (*Case, error) {
+	return NewCaseArtifacts(name, scale, netsim.Artifacts{})
+}
+
+// NewCaseArtifacts builds the named scenario with the given
+// measurement-artifact mix baked into the network. The zero Artifacts value
+// reproduces NewCase exactly, byte for byte. Scenario planning (DDoS
+// catchments, leak victim ranking, the fiber link census) always runs
+// against the clean quiet network — artifacts corrupt measurements, not the
+// ground truth.
+func NewCaseArtifacts(name string, scale Scale, art netsim.Artifacts) (*Case, error) {
 	switch name {
 	case "quiet":
 		topo, err := netsim.Generate(caseTopoConfig(scale, 42))
 		if err != nil {
 			return nil, err
 		}
+		topo.Builder.SetArtifacts(art)
 		n, err := topo.Build(nil)
 		if err != nil {
 			return nil, err
@@ -50,7 +63,7 @@ func NewCase(name string, scale Scale) (*Case, error) {
 			Start: start, End: end,
 		}, nil
 	case "ddos":
-		topo, n, _, err := buildDDoSCase(scale)
+		topo, n, _, err := buildDDoSCase(scale, art)
 		if err != nil {
 			return nil, err
 		}
@@ -65,7 +78,7 @@ func NewCase(name string, scale Scale) (*Case, error) {
 			},
 		}, nil
 	case "leak":
-		topo, n, _, err := buildLeakCase(scale)
+		topo, n, _, err := buildLeakCase(scale, art)
 		if err != nil {
 			return nil, err
 		}
@@ -78,7 +91,7 @@ func NewCase(name string, scale Scale) (*Case, error) {
 			EventWindows: [][2]time.Time{{leakStart, leakEnd}},
 		}, nil
 	case "ixp":
-		topo, n, err := buildIXPCase(scale)
+		topo, n, err := buildIXPCase(scale, art)
 		if err != nil {
 			return nil, err
 		}
@@ -89,6 +102,45 @@ func NewCase(name string, scale Scale) (*Case, error) {
 			Start:        quickHistory(scale, ixpHistoryStart, ixpOutageStart),
 			End:          ixpRunEnd,
 			EventWindows: [][2]time.Time{{ixpOutageStart, ixpOutageEnd}},
+		}, nil
+	case "anycast":
+		topo, n, err := buildAnycastCase(scale, art)
+		if err != nil {
+			return nil, err
+		}
+		return &Case{
+			Name:        name,
+			Description: "anycast catchment shift: two root instances withdrawn, their probes drain elsewhere",
+			Platform:    newCasePlatform(n, topo, 20150901), Topo: topo, Net: n,
+			Start:        quickHistory(scale, anycastHistoryStart, anycastShiftStart),
+			End:          anycastRunEnd,
+			EventWindows: [][2]time.Time{{anycastShiftStart, anycastShiftEnd}},
+		}, nil
+	case "ixpfail":
+		topo, n, err := buildIXPFailCase(scale, art)
+		if err != nil {
+			return nil, err
+		}
+		return &Case{
+			Name:        name,
+			Description: "IXP failover: peering LAN down, member traffic reroutes through transit",
+			Platform:    newCasePlatform(n, topo, 20150715), Topo: topo, Net: n,
+			Start:        quickHistory(scale, ixpfailHistoryStart, ixpfailStart),
+			End:          ixpfailRunEnd,
+			EventWindows: [][2]time.Time{{ixpfailStart, ixpfailEnd}},
+		}, nil
+	case "fiber":
+		topo, n, err := buildFiberCase(scale, art)
+		if err != nil {
+			return nil, err
+		}
+		return &Case{
+			Name:        name,
+			Description: "partial fiber degradation: one backbone direction degraded, return paths healthy",
+			Platform:    newCasePlatform(n, topo, 20151020), Topo: topo, Net: n,
+			Start:        quickHistory(scale, fiberHistoryStart, fiberStart),
+			End:          fiberRunEnd,
+			EventWindows: [][2]time.Time{{fiberStart, fiberEnd}},
 		}, nil
 	default:
 		return nil, fmt.Errorf("experiments: unknown case %q (valid: %v)", name, CaseNames)

@@ -31,9 +31,9 @@ var ddosMemo = struct {
 }{runs: map[Scale]*ddosData{}}
 
 // buildDDoSCase generates the topology, plans the attack against quiet
-// routing, and builds the scenario-laden network. Shared with cmd tools and
-// examples via NewCase.
-func buildDDoSCase(scale Scale) (*netsim.Topo, *netsim.Net, ddosPlan, error) {
+// routing, and builds the scenario-laden network (with the given artifact
+// mix baked in). Shared with cmd tools and examples via NewCase.
+func buildDDoSCase(scale Scale, art netsim.Artifacts) (*netsim.Topo, *netsim.Net, ddosPlan, error) {
 	topo, err := netsim.Generate(caseTopoConfig(scale, 20151130))
 	if err != nil {
 		return nil, nil, ddosPlan{}, err
@@ -43,6 +43,7 @@ func buildDDoSCase(scale Scale) (*netsim.Topo, *netsim.Net, ddosPlan, error) {
 		return nil, nil, ddosPlan{}, err
 	}
 	plan := planDDoS(quiet, topo, ddosHistoryStart)
+	topo.Builder.SetArtifacts(art)
 	n, err := topo.Build(netsim.NewScenario(ddosScenario(topo, plan)...))
 	if err != nil {
 		return nil, nil, ddosPlan{}, err
@@ -57,7 +58,7 @@ func runDDoS(scale Scale) (*ddosData, error) {
 		return d, nil
 	}
 
-	topo, n, plan, err := buildDDoSCase(scale)
+	topo, n, plan, err := buildDDoSCase(scale, netsim.Artifacts{})
 	if err != nil {
 		return nil, err
 	}

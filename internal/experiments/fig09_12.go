@@ -136,7 +136,7 @@ type leakSelection struct {
 
 // buildLeakCase generates the topology, picks victims by quiet-routing
 // diversity, and builds the scenario-laden network.
-func buildLeakCase(scale Scale) (*netsim.Topo, *netsim.Net, leakSelection, error) {
+func buildLeakCase(scale Scale, art netsim.Artifacts) (*netsim.Topo, *netsim.Net, leakSelection, error) {
 	topo, err := netsim.Generate(caseTopoConfig(scale, 20150612))
 	if err != nil {
 		return nil, nil, leakSelection{}, err
@@ -159,6 +159,7 @@ func buildLeakCase(scale Scale) (*netsim.Topo, *netsim.Net, leakSelection, error
 	ingress0 := ingressLinks(quiet, sel.v0)
 	ingress1 := ingressLinks(quiet, sel.v1)
 
+	topo.Builder.SetArtifacts(art)
 	n, err := topo.Build(netsim.NewScenario(
 		leakScenario(sel.v0, sel.v1, leaker, sel.linkA, sel.linkB, ingress0, ingress1)...))
 	if err != nil {
@@ -174,7 +175,7 @@ func runLeak(scale Scale) (*leakData, error) {
 		return d, nil
 	}
 
-	topo, n, sel, err := buildLeakCase(scale)
+	topo, n, sel, err := buildLeakCase(scale, netsim.Artifacts{})
 	if err != nil {
 		return nil, err
 	}

@@ -27,7 +27,7 @@ var ixpMemo = struct {
 }{runs: map[Scale]*ixpData{}}
 
 // buildIXPCase generates the topology and injects the LAN-wide fault.
-func buildIXPCase(scale Scale) (*netsim.Topo, *netsim.Net, error) {
+func buildIXPCase(scale Scale, art netsim.Artifacts) (*netsim.Topo, *netsim.Net, error) {
 	topo, err := netsim.Generate(caseTopoConfig(scale, 20150513))
 	if err != nil {
 		return nil, nil, err
@@ -48,6 +48,7 @@ func buildIXPCase(scale Scale) (*netsim.Topo, *netsim.Net, error) {
 			},
 		)
 	}
+	topo.Builder.SetArtifacts(art)
 	n, err := topo.Build(netsim.NewScenario(evs...))
 	if err != nil {
 		return nil, nil, err
@@ -62,7 +63,7 @@ func runIXP(scale Scale) (*ixpData, error) {
 		return d, nil
 	}
 
-	topo, n, err := buildIXPCase(scale)
+	topo, n, err := buildIXPCase(scale, netsim.Artifacts{})
 	if err != nil {
 		return nil, err
 	}

@@ -152,6 +152,22 @@ var (
 	ixpOutageStart  = time.Date(2015, 5, 13, 10, 0, 0, 0, time.UTC)
 	ixpOutageEnd    = time.Date(2015, 5, 13, 12, 0, 0, 0, time.UTC)
 	ixpRunEnd       = time.Date(2015, 5, 14, 0, 0, 0, 0, time.UTC)
+
+	// Adversity-suite cases (see adversity.go).
+	anycastHistoryStart = time.Date(2015, 8, 25, 0, 0, 0, 0, time.UTC)
+	anycastShiftStart   = time.Date(2015, 9, 1, 10, 0, 0, 0, time.UTC)
+	anycastShiftEnd     = time.Date(2015, 9, 1, 13, 0, 0, 0, time.UTC)
+	anycastRunEnd       = time.Date(2015, 9, 2, 0, 0, 0, 0, time.UTC)
+
+	ixpfailHistoryStart = time.Date(2015, 7, 8, 0, 0, 0, 0, time.UTC)
+	ixpfailStart        = time.Date(2015, 7, 15, 9, 0, 0, 0, time.UTC)
+	ixpfailEnd          = time.Date(2015, 7, 15, 12, 0, 0, 0, time.UTC)
+	ixpfailRunEnd       = time.Date(2015, 7, 16, 0, 0, 0, 0, time.UTC)
+
+	fiberHistoryStart = time.Date(2015, 10, 13, 0, 0, 0, 0, time.UTC)
+	fiberStart        = time.Date(2015, 10, 20, 8, 0, 0, 0, time.UTC)
+	fiberEnd          = time.Date(2015, 10, 20, 14, 0, 0, 0, time.UTC)
+	fiberRunEnd       = time.Date(2015, 10, 21, 0, 0, 0, 0, time.UTC)
 )
 
 // caseTopoConfig returns the shared multi-AS topology configuration for the

@@ -21,6 +21,10 @@ type Builder struct {
 	asNext   map[ipmap.ASN]int // next host offset within the AS prefix
 	asName   map[ipmap.ASN]string
 
+	artifacts Artifacts
+	aliases   []netip.Addr // lazily allocated per-router alias addresses
+	stale     []netip.Addr // lazily allocated per-router stale (lying) addresses
+
 	err error
 }
 
@@ -264,6 +268,106 @@ func (b *Builder) Service(addr string, asn ipmap.ASN, prefix string, instances .
 	b.services[a] = append([]RouterID(nil), instances...)
 }
 
+// SetArtifacts attaches a measurement-artifact configuration; subsequent
+// Build calls bake it into the returned Net. The zero Artifacts value (the
+// default) injects nothing and leaves the traceroute engine's PRNG draw
+// sequence untouched.
+func (b *Builder) SetArtifacts(a Artifacts) {
+	if b.err != nil {
+		return
+	}
+	if err := a.validate(); err != nil {
+		b.err = err
+		return
+	}
+	b.artifacts = a
+}
+
+// allocAliases assigns each router a second interface address from its AS
+// prefix (skipping routers whose AS is unregistered or exhausted). The
+// allocation happens once per Builder and is reused by later Build calls, so
+// building the same topology twice — the planning pattern of the case
+// studies — yields identical aliases.
+func (b *Builder) allocAliases() []netip.Addr {
+	if b.aliases != nil {
+		return b.aliases
+	}
+	aliases := make([]netip.Addr, len(b.routers))
+	for _, r := range b.routers {
+		p, ok := b.asPrefix[r.AS]
+		if !ok {
+			continue
+		}
+		addr, err := hostAddr(p, b.asNext[r.AS])
+		if err != nil {
+			continue // prefix exhausted: this router keeps a single address
+		}
+		b.asNext[r.AS]++
+		if _, dup := b.byAddr[addr]; dup {
+			continue
+		}
+		if _, dup := b.services[addr]; dup {
+			continue
+		}
+		aliases[r.ID] = addr
+	}
+	b.aliases = aliases
+	return aliases
+}
+
+// allocStale assigns each router a stale interface address used as the
+// forged reply source during lying-hop bursts. The address is drawn from
+// the prefix of the router's first cross-AS neighbor (falling back to its
+// own AS when it has none): real stale interfaces keep addresses from old
+// peering allocations, so the forged replies land in the *wrong* AS group —
+// without the cross-AS misattribution, the forged hop's positive
+// responsibility and the real hop's negative responsibility cancel inside
+// one AS series (the paper's intra-AS rerouting mitigation) and the
+// artifact would be invisible to the event layer it is meant to stress.
+// Like allocAliases it is idempotent, so repeated Build calls on one
+// Builder yield identical addresses; routers whose chosen AS is
+// unregistered or exhausted keep their own address, which neutralizes the
+// artifact for them.
+func (b *Builder) allocStale() []netip.Addr {
+	if b.stale != nil {
+		return b.stale
+	}
+	staleAS := make([]ipmap.ASN, len(b.routers))
+	for _, r := range b.routers {
+		staleAS[r.ID] = r.AS
+	}
+	crossAS := make([]bool, len(b.routers))
+	for _, e := range b.edges { // edges scanned in creation order: deterministic
+		if !crossAS[e.From] && b.routers[e.To].AS != b.routers[e.From].AS {
+			staleAS[e.From] = b.routers[e.To].AS
+			crossAS[e.From] = true
+		}
+	}
+	stale := make([]netip.Addr, len(b.routers))
+	for _, r := range b.routers {
+		stale[r.ID] = r.Addr // fallback: artifact no-op
+		asn := staleAS[r.ID]
+		p, ok := b.asPrefix[asn]
+		if !ok {
+			continue
+		}
+		addr, err := hostAddr(p, b.asNext[asn])
+		if err != nil {
+			continue
+		}
+		b.asNext[asn]++
+		if _, dup := b.byAddr[addr]; dup {
+			continue
+		}
+		if _, dup := b.services[addr]; dup {
+			continue
+		}
+		stale[r.ID] = addr
+	}
+	b.stale = stale
+	return stale
+}
+
 // Build finalizes the network with the given scenario (nil for none).
 func (b *Builder) Build(scenario *Scenario) (*Net, error) {
 	if b.err != nil {
@@ -288,18 +392,36 @@ func (b *Builder) Build(scenario *Scenario) (*Net, error) {
 		}
 	}
 	n := &Net{
-		routers:  b.routers,
-		edges:    b.edges,
-		out:      make([][]EdgeID, len(b.routers)),
-		in:       make([][]EdgeID, len(b.routers)),
-		byAddr:   b.byAddr,
-		services: b.services,
-		prefixes: &b.prefixes,
-		scenario: scenario,
+		routers:   b.routers,
+		edges:     b.edges,
+		out:       make([][]EdgeID, len(b.routers)),
+		in:        make([][]EdgeID, len(b.routers)),
+		byAddr:    b.byAddr,
+		services:  b.services,
+		prefixes:  &b.prefixes,
+		scenario:  scenario,
+		artifacts: b.artifacts,
 	}
 	for _, e := range b.edges {
 		n.out[e.From] = append(n.out[e.From], e.ID)
 		n.in[e.To] = append(n.in[e.To], e.ID)
+	}
+	if b.artifacts.AliasProb > 0 {
+		n.aliases = b.allocAliases()
+	}
+	if b.artifacts.LyingHopProb > 0 {
+		// A lying router replies from a stale interface: a dedicated
+		// address that belongs to no live router (think a decommissioned
+		// peering interface still configured in the ICMP source
+		// selection), drawn from a neighboring AS's prefix so the burst
+		// misattributes the hop across an AS boundary. A live neighbor's
+		// address would be silently discarded by the analyzers' self-loop
+		// filters; a dedicated cross-AS address makes the burst visible as
+		// a forged pattern change in the wrong AS — exactly the
+		// single-source false positive the corroboration pass exists to
+		// demote. Routers in unregistered or exhausted ASes fall back to
+		// their own address (the artifact is a no-op there).
+		n.staleAddr = b.allocStale()
 	}
 	return n, nil
 }

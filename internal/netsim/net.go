@@ -62,6 +62,16 @@ type Net struct {
 	prefixes *ipmap.Table
 	scenario *Scenario
 
+	// Measurement-artifact layer (see Artifacts). aliases[id] is the
+	// router's second interface address (invalid when unassigned) and
+	// staleAddr[id] the stale interface address a lying router replies
+	// with — drawn from a neighboring AS's prefix, or the router's own
+	// address when allocation was impossible (artifact no-op); both
+	// are only populated when the relevant artifact rate is nonzero.
+	artifacts Artifacts
+	aliases   []netip.Addr
+	staleAddr []netip.Addr
+
 	treeMu  sync.Mutex                              // serializes cache misses
 	trees   atomic.Pointer[map[treeKey]*towardTree] // immutable snapshot
 	scratch sync.Pool                               // *TracerouteScratch for Traceroute
@@ -104,6 +114,20 @@ func (n *Net) Prefixes() *ipmap.Table { return n.prefixes }
 // Scenario returns the scenario attached to the network (never nil; an
 // empty scenario when none was attached).
 func (n *Net) Scenario() *Scenario { return n.scenario }
+
+// Artifacts returns the measurement-artifact configuration baked in at
+// Build (the zero value when none was set).
+func (n *Net) Artifacts() Artifacts { return n.artifacts }
+
+// RouterAlias returns the alias (second interface) address of a router, or
+// an invalid address when the router has none. Aliases exist only on nets
+// built with Artifacts.AliasProb > 0.
+func (n *Net) RouterAlias(id RouterID) netip.Addr {
+	if n.aliases == nil || !validRouter(id, len(n.aliases)) {
+		return netip.Addr{}
+	}
+	return n.aliases[id]
+}
 
 // ServiceInstances returns the routers hosting the given service address
 // (one for unicast services, several for anycast).

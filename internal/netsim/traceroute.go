@@ -43,10 +43,12 @@ func (o TracerouteOpts) Defaults() TracerouteOpts {
 // high-water mark and are then reused, making steady-state traceroutes
 // allocation-free on the simulation side.
 type TracerouteScratch struct {
-	path    []RouterID    // forward path, probe first
-	retPath []RouterID    // per-packet return path, replying router first
-	hops    []trace.Hop   // reused hop headers
-	replies []trace.Reply // one backing array for every hop's replies
+	path     []RouterID    // forward path, probe first
+	altPath  []RouterID    // multipath-artifact alternate path
+	flipPath []RouterID    // route-flip-artifact recomputed path
+	retPath  []RouterID    // per-packet return path, replying router first
+	hops     []trace.Hop   // reused hop headers
+	replies  []trace.Reply // one backing array for every hop's replies
 }
 
 // TracerouteInto runs one traceroute using (and aliasing) the scratch: the
@@ -116,25 +118,66 @@ func (n *Net) TracerouteInto(sc *TracerouteScratch, probe RouterID, dst netip.Ad
 	sc.replies = sc.replies[:0]
 	sc.hops = sc.hops[:0]
 
+	// Artifact-layer setup. The strict contract here is that with the zero
+	// Artifacts config this block draws nothing from rng and every per-packet
+	// branch below collapses to the original code path: artifact-free runs
+	// must stay byte-identical to builds that never attached Artifacts.
+	art := n.artifacts
+	useArt := art.Enabled()
+	var altFull []RouterID
+	if useArt && art.multipathFlow(probe, dst, parisID) {
+		// A hash-selected flow crosses a load balancer that ignores the
+		// Paris flow identifier: packets split over a second path (walked
+		// with a perturbed flow selector), mixing two real paths' routers
+		// within single TTLs.
+		sc.altPath = append(sc.altPath[:0], probe)
+		sc.altPath, _ = fwd.appendPathFrom(sc.altPath, probe, parisID+1)
+		altFull = sc.altPath
+	}
+	slow := false
+	if useArt && art.RouteFlipProb > 0 {
+		// One coin per trace, drawn whenever the artifact is on (never
+		// conditioned on epoch boundaries) so the draw sequence is a pure
+		// function of the config.
+		slow = rng.Float64() < art.RouteFlipProb
+	}
+
 	gap := 0
 	lastIdx := len(full) - 1
+	hopFull, hopAt, flipEpoch := full, at, epoch
 	for i := 1; i <= opts.MaxTTL; i++ {
-		hopStart := len(sc.replies)
-		if i <= lastIdx {
-			target := full[i]
-			for p := 0; p < opts.PacketsPerHop; p++ {
-				sc.replies = append(sc.replies, n.probeHop(sc, full, i, target, dst, dstRouter, ret, at, rng, opts))
+		if slow {
+			// A slow trace: hop i fires later than hop i-1. When a
+			// route-affecting boundary falls inside the trace, the remaining
+			// TTLs probe the new route while the earlier hops recorded the
+			// old one — the inconsistent-traceroute artifact.
+			hopAt = at.Add(time.Duration(i-1) * RouteFlipHopStall)
+			if e2 := n.scenario.EpochKey(hopAt); e2 != flipEpoch {
+				flipEpoch = e2
+				sc.flipPath = append(sc.flipPath[:0], probe)
+				sc.flipPath, _ = n.towardTree(dstRouter, e2).appendPathFrom(sc.flipPath, probe, parisID)
+				hopFull = sc.flipPath
 			}
-		} else {
-			// Beyond the routable path (a routing dead end): packets vanish
-			// and the hop is pure timeouts, until the gap limit trips.
-			for p := 0; p < opts.PacketsPerHop; p++ {
+		}
+		hopStart := len(sc.replies)
+		for p := 0; p < opts.PacketsPerHop; p++ {
+			pktFull := hopFull
+			if altFull != nil && rng.Uint64()&1 == 1 {
+				pktFull = altFull
+			}
+			if i < len(pktFull) {
+				sc.replies = append(sc.replies, n.probeHop(sc, pktFull, i, pktFull[i], dst, dstRouter, ret, hopAt, parisID, rng, opts))
+			} else {
+				// Beyond the routable path (a routing dead end): the packet
+				// vanishes.
 				sc.replies = append(sc.replies, trace.Reply{Timeout: true})
 			}
 		}
 		hop := trace.Hop{Index: i, Replies: sc.replies[hopStart:len(sc.replies):len(sc.replies)]}
 		sc.hops = append(sc.hops, hop)
 
+		// Loop control keys on the base path: an artifact can change what a
+		// hop reports, never how far the probe walks.
 		if i <= lastIdx && full[i] == dstRouter && reached {
 			break
 		}
@@ -145,6 +188,21 @@ func (n *Net) TracerouteInto(sc *TracerouteScratch, probe RouterID, dst netip.Ad
 			}
 		} else {
 			gap = 0
+		}
+	}
+	if useArt && art.ReorderProb > 0 {
+		// Response reordering: one coin per adjacent hop boundary (drawn for
+		// every boundary, so the count only depends on the hop count), each
+		// success swapping the last reply of hop i with the first of hop
+		// i+1 — replies attributed to the wrong TTL create false links.
+		for h := 0; h+1 < len(sc.hops); h++ {
+			if rng.Float64() >= art.ReorderProb {
+				continue
+			}
+			a, b := sc.hops[h].Replies, sc.hops[h+1].Replies
+			if len(a) > 0 && len(b) > 0 {
+				a[len(a)-1], b[0] = b[0], a[len(a)-1]
+			}
 		}
 	}
 	res.Hops = sc.hops
@@ -192,7 +250,7 @@ func (n *Net) Traceroute(probe RouterID, dst netip.Addr, at time.Time, parisID i
 
 // probeHop simulates one packet probing hop index i (router target) of the
 // forward path and returns the resulting reply or timeout.
-func (n *Net) probeHop(sc *TracerouteScratch, full []RouterID, i int, target RouterID, dst netip.Addr, dstRouter RouterID, ret *towardTree, at time.Time, rng *rand.Rand, opts TracerouteOpts) trace.Reply {
+func (n *Net) probeHop(sc *TracerouteScratch, full []RouterID, i int, target RouterID, dst netip.Addr, dstRouter RouterID, ret *towardTree, at time.Time, parisID int, rng *rand.Rand, opts TracerouteOpts) trace.Reply {
 	// Forward leg over links full[0..i].
 	fwdMS, ok := n.legDelay(full[:i+1], at, rng)
 	if !ok {
@@ -235,6 +293,16 @@ func (n *Net) probeHop(sc *TracerouteScratch, full []RouterID, i int, target Rou
 		rtt = 0.01
 	}
 	from := router.Addr
+	// Address artifacts (hash-decided, no rng draws): a lying router answers
+	// from a stale interface address for a whole hour; an alias-selected
+	// router answers half its flows from a second interface address.
+	if n.staleAddr != nil && n.artifacts.lyingRouter(target, at) {
+		from = n.staleAddr[target]
+	} else if n.aliases != nil && n.artifacts.aliasedReply(target, parisID) {
+		if al := n.aliases[target]; al.IsValid() {
+			from = al
+		}
+	}
 	if target == dstRouter && len(n.services[dst]) > 0 {
 		// Replies from the service hop carry the service address (what
 		// anycast looks like in real traceroutes).
