@@ -7,10 +7,17 @@
 //
 //	ihr -case ddos -scale quick -addr :8080
 //	ihr -case ddos -input ddos.ndjson.gz -decode-workers 4
+//	ihr -case ddos -store /var/lib/ihr/ddos
 //
 // With -input the server replays an NDJSON dump (e.g. from atlasgen)
 // through the parallel ingest pipeline instead of generating live; the
 // -case still supplies the probe/prefix metadata and the display window.
+//
+// With -store every closed bin is committed to an append-only segment store
+// (internal/segstore) before it is announced; restarting with the same
+// directory rebuilds the snapshot from the committed segments, replays the
+// deterministic input as warmup, and resumes committing at the first
+// uncovered bin — serving byte-identical payloads to an uninterrupted run.
 //
 // Endpoints (see internal/serve for filters, pagination, ETag and SSE):
 //
@@ -19,6 +26,7 @@
 //	GET /api/alarms/forwarding forwarding anomalies
 //	GET /api/events            major per-AS events
 //	GET /api/magnitude?asn=N   hourly magnitude series for one AS
+//	GET /api/bins[?bin=T]      committed-bin index / one bin's payload (-store only)
 //	GET /api/stream            SSE delta stream (one event per closed bin)
 //	GET /                      human-readable summary
 //
@@ -41,8 +49,11 @@ import (
 	"time"
 
 	"pinpoint/internal/core"
+	"pinpoint/internal/delay"
 	"pinpoint/internal/experiments"
+	"pinpoint/internal/forwarding"
 	"pinpoint/internal/ingest"
+	"pinpoint/internal/segstore"
 	"pinpoint/internal/serve"
 	"pinpoint/internal/trace"
 )
@@ -78,6 +89,8 @@ func main() {
 	input := flag.String("input", "", "comma-separated NDJSON dump paths to analyze instead of live generation (.gz ok, - for stdin)")
 	decodeWorkers := flag.Int("decode-workers", 0, "NDJSON decode workers for -input (0 = all CPUs, 1 = sequential)")
 	corroborate := flag.Int("corroborate", 0, "require this many distinct corroborating alarm sources per event (0 = off, paper behaviour)")
+	storeDir := flag.String("store", "", "segment store directory for crash-safe per-bin persistence; reopening resumes past committed bins and adds /api/bins time travel")
+	evictIdle := flag.Int("evict-idle-bins", 0, "evict detector state for links/flows idle this many bins (0 = off, paper behaviour)")
 	flag.Parse()
 
 	// All flag validation happens before the listener opens: a bad flag must
@@ -102,15 +115,43 @@ func main() {
 		cfg.Workers = core.AutoWorkers
 	}
 	cfg.Events.Corroborate = *corroborate
+	cfg.Delay = delay.Config{EvictIdleBins: *evictIdle}
+	cfg.Forwarding = forwarding.Config{EvictIdleBins: *evictIdle}
 	// No RetainAlarms: the publisher keeps the wire-form record, so the
 	// analyzer does not need a second in-memory copy.
 	a := core.New(cfg, c.Platform.ProbeASN, c.Net.Prefixes())
-	pub := serve.NewPublisher(a, serve.Meta{
+	meta := serve.Meta{
 		Case:        c.Name,
 		Description: c.Description,
 		Start:       c.Start,
 		End:         c.End,
-	})
+	}
+	var pub *serve.Publisher
+	if *storeDir != "" {
+		st, err := segstore.Open(*storeDir)
+		if err != nil {
+			log.Fatalf("-store: %v", err)
+		}
+		if rec := st.Recovery(); rec.TruncatedEntries > 0 || rec.TruncatedData > 0 {
+			log.Printf("store %s: discarded torn tail (%d manifest bytes, %d data bytes)",
+				*storeDir, rec.TruncatedEntries, rec.TruncatedData)
+		}
+		pub, err = serve.NewPublisherWithStore(a, meta, st)
+		if err != nil {
+			log.Fatalf("-store: %v", err)
+		}
+		if at, ok := pub.Resumed(); ok {
+			// The input is replayed from the start to rebuild detector
+			// state; bins before the cursor are warmup only — they are
+			// never re-committed or re-announced.
+			log.Printf("store %s: %d committed bins, resuming at %s (replaying earlier input as warmup)",
+				*storeDir, st.Len(), at.Format(time.RFC3339))
+		} else {
+			log.Printf("store %s: empty, starting fresh", *storeDir)
+		}
+	} else {
+		pub = serve.NewPublisher(a, meta)
+	}
 	srv := serve.NewServer(pub, serve.Options{Addr: *addr})
 
 	c.Platform.SetWorkers(*genWorkers)

@@ -14,12 +14,20 @@
 // profiling of ingest; -intern-fused folds address interning into the
 // decode workers.
 //
+// With -store DIR (requires -case) every closed bin is committed to an
+// append-only segment store (internal/segstore) as the run progresses; a
+// rerun with the same directory resumes past the committed bins, replaying
+// the earlier deterministic input as warmup only. -evict-idle-bins bounds
+// detector memory by evicting per-link/per-flow state idle beyond the
+// threshold (a fidelity tradeoff; off by default).
+//
 // Usage:
 //
 //	pinpoint -in ddos.ndjson -meta ddos.ndjson.meta.json
 //	atlasgen -case leak | pinpoint -meta leak.meta.json
 //	pinpoint -case ddos -scale quick -gen-workers 4 -workers 4
 //	pinpoint -case ddos -input ddos.ndjson.gz -decode-workers 4
+//	pinpoint -case ddos -store /tmp/ddos.store
 package main
 
 import (
@@ -42,6 +50,8 @@ import (
 	"pinpoint/internal/ingest"
 	"pinpoint/internal/ipmap"
 	"pinpoint/internal/report"
+	"pinpoint/internal/segstore"
+	"pinpoint/internal/serve"
 	"pinpoint/internal/timeseries"
 	"pinpoint/internal/trace"
 )
@@ -87,6 +97,8 @@ func run() error {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this path")
 	memProfile := flag.String("memprofile", "", "write a heap profile (taken at exit, after a GC) to this path")
 	binCloseStats := flag.Bool("binclose-stats", false, "print bin-close kernel throughput (bins/links/flows closed, samples/s) after the run")
+	storeDir := flag.String("store", "", "segment store directory for crash-safe per-bin persistence (requires -case); reopening resumes past committed bins, reporting post-resume alarms only")
+	evictIdle := flag.Int("evict-idle-bins", 0, "evict detector state for links/flows idle this many bins (0 = off, paper behaviour)")
 	flag.Parse()
 
 	if *cpuProfile != "" {
@@ -127,6 +139,8 @@ func run() error {
 	cfg.Events.Threshold = *threshold
 	cfg.Events.Window = *window
 	cfg.Events.Corroborate = *corroborate
+	cfg.Delay.EvictIdleBins = *evictIdle
+	cfg.Forwarding.EvictIdleBins = *evictIdle
 
 	// hookIncremental advances the aggregator's incremental magnitude/event
 	// read model as each bin closes, spreading §6 event extraction across
@@ -162,12 +176,54 @@ func run() error {
 	if c != nil && *in != "-" {
 		return errors.New("-case generates its own data; use -input to replay a dump of the case")
 	}
+	if *storeDir != "" && c == nil {
+		// Resuming replays the deterministic input from the start; only a
+		// case supplies the run window the store's resume cursor needs.
+		return errors.New("-store requires -case")
+	}
+
+	// attach wires per-close processing: with -store, a headless publisher
+	// owns the close hook (committing each bin to the segment store and
+	// advancing the incremental region); otherwise the plain incremental
+	// hook runs. The publisher serves no HTTP here — it is the commit and
+	// resume machinery shared with cmd/ihr.
+	var pub *serve.Publisher
+	attach := func(a *core.Analyzer) error {
+		if *storeDir == "" {
+			hookIncremental(a)
+			return nil
+		}
+		st, err := segstore.Open(*storeDir)
+		if err != nil {
+			return fmt.Errorf("-store: %w", err)
+		}
+		if rec := st.Recovery(); rec.TruncatedEntries > 0 || rec.TruncatedData > 0 {
+			fmt.Printf("store %s: discarded torn tail (%d manifest bytes, %d data bytes)\n",
+				*storeDir, rec.TruncatedEntries, rec.TruncatedData)
+		}
+		pub, err = serve.NewPublisherWithStore(a, serve.Meta{
+			Case:        c.Name,
+			Description: c.Description,
+			Start:       c.Start,
+			End:         c.End,
+		}, st)
+		if err != nil {
+			return fmt.Errorf("-store: %w", err)
+		}
+		if at, ok := pub.Resumed(); ok {
+			fmt.Printf("store %s: %d committed bins, resuming at %s (replaying earlier input as warmup)\n",
+				*storeDir, st.Len(), at.Format(time.RFC3339))
+		}
+		return nil
+	}
 
 	// replay analyzes one or more NDJSON dumps through the parallel ingest
 	// pipeline (gzip auto-detected, ordered reorder-buffer delivery).
 	replay := func(paths []string, probeASN func(int) (ipmap.ASN, bool), table *ipmap.Table) error {
 		a = core.New(cfg, probeASN, table)
-		hookIncremental(a)
+		if err := attach(a); err != nil {
+			return err
+		}
 		opts := ingest.Options{Workers: *decodeWorkers}
 		if *internFused {
 			opts.Intern = a.Registry()
@@ -196,7 +252,9 @@ func run() error {
 		// Fused mode: generate and analyze in place.
 		c.Platform.SetWorkers(*genWorkers)
 		a = core.New(cfg, c.Platform.ProbeASN, c.Net.Prefixes())
-		hookIncremental(a)
+		if err := attach(a); err != nil {
+			return err
+		}
 		t0 := time.Now()
 		if err := a.RunPlatform(context.Background(), c.Platform, c.Start, c.End); err != nil {
 			return err
@@ -245,6 +303,19 @@ func run() error {
 	}
 	defer a.Close()
 
+	if pub != nil {
+		// Finish seals the run: any commit failure recorded during the run
+		// surfaces here, so a store with missing bins cannot pass as a
+		// completed analysis.
+		pub.Finish(nil)
+		if err := pub.StoreErr(); err != nil {
+			return fmt.Errorf("segment store: %w", err)
+		}
+		st := pub.Store()
+		fmt.Printf("segment store: %d committed bins in %s\n", st.Len(), *storeDir)
+		defer st.Close()
+	}
+
 	fmt.Printf("processed %d results, %s .. %s (%.0f results/s end-to-end)\n",
 		a.Results(), first.Format("2006-01-02 15:04"), last.Format("2006-01-02 15:04"),
 		float64(a.Results())/elapsed.Seconds())
@@ -262,8 +333,9 @@ func run() error {
 		if dc.Dur > 0 {
 			rate = float64(dc.Samples) / dc.Dur.Seconds()
 		}
-		fmt.Printf("bin-close: %d bins; %d link-bins (%d ∆ samples, %.3gM samples/s through the kernels, %v); %d flow-bins (%v)\n\n",
-			dc.Bins, dc.Links, dc.Samples, rate/1e6, dc.Dur.Round(time.Millisecond), fc.Flows, fc.Dur.Round(time.Millisecond))
+		fmt.Printf("bin-close: %d bins; %d link-bins (%d ∆ samples, %.3gM samples/s through the kernels, %v); %d flow-bins (%v); %d link / %d flow states evicted\n\n",
+			dc.Bins, dc.Links, dc.Samples, rate/1e6, dc.Dur.Round(time.Millisecond), fc.Flows, fc.Dur.Round(time.Millisecond),
+			dc.Evicted, fc.Evicted)
 	}
 
 	if *verbose {

@@ -111,6 +111,19 @@ type Analyzer struct {
 	haveBin      bool
 	closedchunks []time.Time // scratch for ObserveBatch bin closes
 
+	// Per-bin result accounting: openResults counts results observed in the
+	// open bin, closedResults the results in all closed bins, and
+	// lastCloseResults the closedResults value captured at the moment the
+	// most recent close was detected (a batch can detect several closes
+	// before their hooks fire). The split is a property of the input stream
+	// alone — batch boundaries and worker counts do not move it — which is
+	// what makes the segment store's per-bin records byte-identical across
+	// configurations.
+	openResults      int
+	closedResults    int
+	lastCloseResults int
+	closedcounts     []int // scratch parallel to closedchunks
+
 	// OnDelayAlarm and OnForwardingAlarm, when non-nil, are invoked for
 	// every alarm as its bin closes (the near-real-time reporting path).
 	OnDelayAlarm      func(delay.Alarm)
@@ -125,6 +138,11 @@ type Analyzer struct {
 	// closed bin, so Aggregator.CloseBins(bin+binSize) extends the
 	// incremental magnitude/event read model consistently.
 	OnBinClose func(bin time.Time)
+
+	// resumeAt, when warming is set, is the restart cursor: the first bin
+	// NOT yet covered by durable history (see SetResumeCursor).
+	resumeAt time.Time
+	warming  bool
 }
 
 // New returns an Analyzer. probeASN resolves probe ids to AS numbers (the
@@ -179,6 +197,7 @@ func (a *Analyzer) Observe(r trace.Result) {
 		a.dispatchFwd(a.fwdDet.Observe(r))
 	}
 	if didClose {
+		a.lastCloseResults = a.closedResults
 		a.binClosed(closed)
 	}
 }
@@ -191,10 +210,12 @@ func (a *Analyzer) ObserveBatch(rs []trace.Result) {
 			a.dirty = true
 		}
 		closes := a.closedchunks[:0]
+		counts := a.closedcounts[:0]
 		for _, r := range rs {
 			a.agg.ObserveBin(r.Time)
 			if c, ok := a.trackBin(r.Time); ok {
 				closes = append(closes, c)
+				counts = append(counts, a.closedResults)
 			}
 		}
 		da, fa := a.eng.ObserveBatch(rs)
@@ -203,10 +224,12 @@ func (a *Analyzer) ObserveBatch(rs []trace.Result) {
 		// Engine alarms come back merged per batch; each closed bin's
 		// alarms are all dispatched by now, so the hooks fire in close
 		// order after the dispatch.
-		for _, c := range closes {
+		for i, c := range closes {
+			a.lastCloseResults = counts[i]
 			a.binClosed(c)
 		}
 		a.closedchunks = closes[:0]
+		a.closedcounts = counts[:0]
 		return
 	}
 	for _, r := range rs {
@@ -224,10 +247,43 @@ func (a *Analyzer) trackBin(t time.Time) (closed time.Time, didClose bool) {
 	if !a.haveBin || b.After(a.curBin) {
 		a.curBin, a.haveBin = b, true
 	}
+	if didClose {
+		a.closedResults += a.openResults
+		a.openResults = 0
+	}
+	a.openResults++
 	return closed, didClose
 }
 
+// SetResumeCursor arms warmup-replay mode for a restart from durable
+// storage: the deterministic input stream is replayed from its beginning
+// so the detectors rebuild their reference state (EWMA references,
+// forwarding models — none of which is snapshotted) bit-identically, but
+// everything already covered by durable history is suppressed — alarms
+// whose bin starts before t are not dispatched (no aggregator feed, no
+// retention, no hooks) and OnBinClose does not fire for bins before t.
+// Results are still counted. From bin t on, the pipeline behaves exactly
+// as an uninterrupted run: same alarms, same closes, same bytes.
+//
+// Call it before the first Observe, with t = last durable bin + bin size
+// (serve.Publisher's restore path returns exactly this cursor). The
+// filter keys on each alarm's own bin, not on the cursor bin being
+// reached, because a closed bin's alarms only surface after a result
+// from a LATER bin arrives.
+func (a *Analyzer) SetResumeCursor(t time.Time) {
+	a.resumeAt = timeseries.Bin(t, a.binSize)
+	a.warming = true
+}
+
 func (a *Analyzer) binClosed(bin time.Time) {
+	if a.warming {
+		if bin.Before(a.resumeAt) {
+			return
+		}
+		// First non-suppressed close: every earlier bin has closed and
+		// dispatched by now, so the per-alarm filter can stand down.
+		a.warming = false
+	}
 	if a.OnBinClose != nil {
 		a.OnBinClose(bin)
 	}
@@ -253,6 +309,9 @@ func (a *Analyzer) Flush() {
 	if a.haveBin {
 		closed := a.curBin
 		a.haveBin = false
+		a.closedResults += a.openResults
+		a.openResults = 0
+		a.lastCloseResults = a.closedResults
 		a.binClosed(closed)
 	}
 }
@@ -268,6 +327,9 @@ func (a *Analyzer) Close() {
 
 func (a *Analyzer) dispatchDelay(alarms []delay.Alarm) {
 	for _, al := range alarms {
+		if a.warming && al.Bin.Before(a.resumeAt) {
+			continue // durable history replayed for detector state only
+		}
 		a.agg.AddDelayAlarm(al)
 		if a.cfg.RetainAlarms {
 			a.delayAlarms = append(a.delayAlarms, al)
@@ -280,6 +342,9 @@ func (a *Analyzer) dispatchDelay(alarms []delay.Alarm) {
 
 func (a *Analyzer) dispatchFwd(alarms []forwarding.Alarm) {
 	for _, al := range alarms {
+		if a.warming && al.Bin.Before(a.resumeAt) {
+			continue
+		}
 		a.agg.AddForwardingAlarm(al)
 		if a.cfg.RetainAlarms {
 			a.fwdAlarms = append(a.fwdAlarms, al)
@@ -395,6 +460,12 @@ func (a *Analyzer) runIngest(opts ingest.Options, onBatch []func([]trace.Result)
 
 // Results returns how many traceroute results have been ingested.
 func (a *Analyzer) Results() int { return a.results }
+
+// ResultsClosed returns the number of results observed in bins up to and
+// including the most recently closed one, as captured when that close was
+// detected. Unlike Results it is invariant under batch boundaries and
+// worker counts, so it is what the segment store records per bin.
+func (a *Analyzer) ResultsClosed() int { return a.lastCloseResults }
 
 // Workers returns the effective worker count of the detection backend
 // (1 for the sequential path).

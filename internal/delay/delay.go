@@ -45,6 +45,19 @@ type Config struct {
 	MinDiffMS  float64       // minimum median gap to report; paper: 1 ms
 	Seed       uint64        // seeds the random probe dropping of §4.3
 
+	// EvictIdleBins, when positive, evicts a link's per-link state (sample
+	// buffers and smoothed reference) once the link has produced no samples
+	// for that many consecutive bins, bounding detector memory on long runs
+	// with churning link populations. Eviction is an explicit fidelity
+	// tradeoff: a link returning after the idle window restarts reference
+	// warmup exactly as a never-seen link would, so alarms it would have
+	// raised against the old reference are lost. The decision depends only
+	// on the link's own sample history (bin timestamps, not close counts),
+	// so any shard layout evicts identically and sharded output stays
+	// bit-identical to sequential output. 0 (the default) disables eviction,
+	// preserving the paper's unbounded-memory behavior.
+	EvictIdleBins int
+
 	// Registry is the identity layer the detector interns links through.
 	// Leave nil for a private registry (the standalone sequential path);
 	// the sharded engine injects its shared registry here so the LinkIDs
@@ -251,13 +264,18 @@ type sampleEntry struct {
 // entries buffer is truncated (capacity kept) when a new bin first touches
 // the link, so steady-state ingestion reuses the same backing arrays. The
 // reverse-resolved key is cached here at slot creation (a LinkID's address
-// pair never changes), so bin close never goes back to the registry.
+// pair never changes), so bin close never goes back to the registry. With
+// EvictIdleBins set, idle slots are reclaimed onto a free list (dead marks
+// a reclaimed slot); lastBin records the bin the link last produced a
+// sample in, the sole input to the eviction decision.
 type linkState struct {
 	epoch   uint32        // bin epoch of the entries buffer
 	entries []sampleEntry // this bin's ∆ samples, arrival order
-	seen    bool          // counted in linksSeen
+	dead    bool          // slot reclaimed, waiting on the free list
 	hasRef  bool          // ref initialized (link passed filtering once)
 	isV4    bool          // both addresses are 4-byte: key64 is valid
+	id      ident.LinkID  // owning link, to clear slotOf on eviction
+	lastBin int64         // UnixNano of the bin the link last appeared in
 	key     trace.LinkKey // reverse-resolved (Near, Far), cached once
 	key64   uint64        // big-endian-packed (Near, Far) for the radix close order
 	ref     linkRef
@@ -308,7 +326,17 @@ type Detector struct {
 	slotOf    []int32
 	links     []linkState
 	touched   []ident.LinkID // links with samples in the open bin
+	linkSeen  []bool         // per-LinkID: ever counted in linksSeen (survives eviction)
 	linksSeen int
+
+	// Idle-state eviction (Config.EvictIdleBins). evictAfter is the idle
+	// threshold in nanoseconds (0 = disabled); freeSlots are reclaimed link
+	// slots awaiting reuse. The authoritative staleness check runs at touch
+	// time against lastBin, so the close-time sweep is pure memory
+	// reclamation and cannot change output.
+	evictAfter int64
+	freeSlots  []int32
+	evicted    int
 
 	sink func(Sample) // bound once; avoids a closure alloc per result
 
@@ -346,12 +374,13 @@ type CloseStats struct {
 	Bins    int           // bins closed
 	Links   int           // link-bins evaluated (after diversity filtering)
 	Samples int64         // ∆ samples fed through the median/CI kernels
+	Evicted int           // idle link states evicted (Config.EvictIdleBins)
 	Dur     time.Duration // wall time spent closing bins
 }
 
 // CloseStats returns the detector's cumulative bin-close accounting.
 func (d *Detector) CloseStats() CloseStats {
-	return CloseStats{Bins: d.binsClosed, Links: d.linksClosed, Samples: d.kernelSamples, Dur: d.closeDur}
+	return CloseStats{Bins: d.binsClosed, Links: d.linksClosed, Samples: d.kernelSamples, Evicted: d.evicted, Dur: d.closeDur}
 }
 
 // NewDetector returns a Detector with the given configuration; probeASN
@@ -368,6 +397,9 @@ func NewDetector(cfg Config, probeASN func(int) (ipmap.ASN, bool)) *Detector {
 		pcg:      pcg,
 		rng:      rand.New(pcg),
 		epoch:    1,
+	}
+	if cfg.EvictIdleBins > 0 {
+		d.evictAfter = int64(cfg.EvictIdleBins) * cfg.BinSize.Nanoseconds()
 	}
 	d.sink = d.IngestSample
 	return d
@@ -439,30 +471,51 @@ func (d *Detector) IngestSample(s Sample) {
 	if li >= len(d.slotOf) {
 		d.slotOf = ident.GrowTable(d.slotOf, li+1, -1)
 	}
+	if li >= len(d.linkSeen) {
+		d.linkSeen = ident.GrowTable(d.linkSeen, li+1, false)
+	}
 	si := d.slotOf[li]
 	if si < 0 {
-		si = int32(len(d.links))
-		d.slotOf[li] = si
 		// Resolve the address pair once, at slot creation: every later bin
 		// close reads the cached key instead of going through the registry's
 		// read lock, and the packed big-endian form drives the radix close
 		// order for IPv4 links.
 		key := d.reg.LinkKeyOf(s.Link)
-		st := linkState{key: key}
+		st := linkState{key: key, id: s.Link}
 		if key.Near.Is4() && key.Far.Is4() {
 			n4, f4 := key.Near.As4(), key.Far.As4()
 			st.key64 = uint64(binary.BigEndian.Uint32(n4[:]))<<32 | uint64(binary.BigEndian.Uint32(f4[:]))
 			st.isV4 = true
 		}
-		d.links = append(d.links, st)
+		if n := len(d.freeSlots); n > 0 {
+			si = d.freeSlots[n-1]
+			d.freeSlots = d.freeSlots[:n-1]
+			d.links[si] = st
+		} else {
+			si = int32(len(d.links))
+			d.links = append(d.links, st)
+		}
+		d.slotOf[li] = si
 	}
 	ls := &d.links[si]
 	if ls.epoch != d.epoch {
 		ls.epoch = d.epoch
 		ls.entries = ls.entries[:0]
 		d.touched = append(d.touched, s.Link)
-		if !ls.seen {
-			ls.seen = true
+		bin := d.curBin.UnixNano()
+		// Touch-time staleness is the authoritative eviction semantics: a
+		// link idle for more than EvictIdleBins full bins restarts from a
+		// cold reference, exactly as if the close-time sweep had reclaimed
+		// the slot. Because the check reads only (this bin, last sample
+		// bin), every shard layout decides identically.
+		if d.evictAfter > 0 && ls.hasRef && bin-ls.lastBin > d.evictAfter {
+			ls.hasRef = false
+			ls.ref = linkRef{}
+			d.evicted++
+		}
+		ls.lastBin = bin
+		if !d.linkSeen[li] {
+			d.linkSeen[li] = true
 			d.linksSeen++
 		}
 	}
@@ -593,6 +646,28 @@ func (d *Detector) closeBin() []Alarm {
 		// Step 5: update the reference with the latest values. The small α
 		// keeps anomalous bins from dragging the reference along.
 		ref.observe(obs)
+	}
+
+	// Idle-state sweep: reclaim slots whose link has produced no samples for
+	// EvictIdleBins consecutive bins (ending at the bin just closed). The
+	// sweep frees the dominant memory — sample buffers and references — and
+	// returns the slot to the free list; a returning link recreates it from
+	// scratch. It is strictly weaker than the touch-time check above (an
+	// evicted link's earliest possible return is one bin later, which the
+	// touch check also resets), so reclamation timing can never change
+	// output — only when memory is released.
+	if d.evictAfter > 0 {
+		cb := d.curBin.UnixNano()
+		for si := range d.links {
+			ls := &d.links[si]
+			if ls.dead || cb-ls.lastBin < d.evictAfter {
+				continue
+			}
+			d.slotOf[ls.id] = -1
+			*ls = linkState{dead: true}
+			d.freeSlots = append(d.freeSlots, int32(si))
+			d.evicted++
+		}
 	}
 
 	d.closeKeys = keys64[:0]

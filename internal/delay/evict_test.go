@@ -1,0 +1,144 @@
+package delay
+
+import (
+	"math/rand/v2"
+	"net/netip"
+	"testing"
+	"time"
+
+	"pinpoint/internal/trace"
+)
+
+var (
+	nearC = netip.MustParseAddr("10.0.2.1")
+	farD  = netip.MustParseAddr("10.0.3.1")
+)
+
+// mkResultOn is mkResult generalized to an arbitrary link.
+func mkResultOn(prb int, at time.Time, near, far netip.Addr, rttNear, rttFar float64, rng *rand.Rand) trace.Result {
+	jit := func(v float64) float64 { return v + rng.Float64()*0.2 }
+	return trace.Result{
+		MsmID: 5001, PrbID: prb, Time: at,
+		Src: netip.MustParseAddr("192.0.2.1"), Dst: netip.MustParseAddr("198.51.100.1"),
+		Hops: []trace.Hop{
+			{Index: 1, Replies: []trace.Reply{
+				{From: near, RTT: jit(rttNear)}, {From: near, RTT: jit(rttNear)}, {From: near, RTT: jit(rttNear)},
+			}},
+			{Index: 2, Replies: []trace.Reply{
+				{From: far, RTT: jit(rttFar)}, {From: far, RTT: jit(rttFar)}, {From: far, RTT: jit(rttFar)},
+			}},
+		},
+	}
+}
+
+// feedBinOn feeds one bin of results for one link.
+func feedBinOn(d *Detector, bin int, near, far netip.Addr, nProbes int, rng *rand.Rand) []Alarm {
+	var alarms []Alarm
+	at := t0.Add(time.Duration(bin) * time.Hour)
+	for p := 1; p <= nProbes; p++ {
+		base := 5 + float64(p%7)
+		r := mkResultOn(p, at.Add(time.Duration(p)*time.Minute), near, far, base, base+2, rng)
+		alarms = append(alarms, d.Observe(r)...)
+	}
+	return alarms
+}
+
+// TestEvictIdleBins drives one link warm, lets it fall idle past the
+// threshold while a second link keeps bins closing, and checks that the
+// idle slot is reclaimed (sweep), that LinksSeen stays exact when the link
+// returns, and that the returning link restarts reference warmup.
+func TestEvictIdleBins(t *testing.T) {
+	d := NewDetector(Config{Seed: 1, EvictIdleBins: 2}, testASN)
+	rng := rand.New(rand.NewPCG(7, 7))
+
+	// Bins 0..5: both links active; link (nearA, farB) builds a reference.
+	for bin := 0; bin < 6; bin++ {
+		feedBin(d, bin, 30, 0, rng)
+		feedBinOn(d, bin, nearC, farD, 30, rng)
+	}
+	if d.LinksSeen() != 2 {
+		t.Fatalf("LinksSeen = %d, want 2", d.LinksSeen())
+	}
+
+	// Bins 6..10: only (nearC, farD) appears; (nearA, farB) goes idle and
+	// must be swept once its idle run reaches EvictIdleBins.
+	for bin := 6; bin <= 10; bin++ {
+		feedBinOn(d, bin, nearC, farD, 30, rng)
+	}
+	if got := d.CloseStats().Evicted; got != 1 {
+		t.Fatalf("Evicted = %d, want 1 after the idle sweep", got)
+	}
+	if len(d.freeSlots) != 1 {
+		t.Fatalf("free slots = %d, want 1", len(d.freeSlots))
+	}
+
+	// The link returns: the freed slot is reused, LinksSeen must not
+	// recount it, and its reference must be rebuilt from scratch — so a
+	// shifted bin right after warmup start cannot alarm yet.
+	alarms := feedBin(d, 11, 30, 10, rng)
+	alarms = append(alarms, feedBinOn(d, 11, nearC, farD, 30, rng)...)
+	alarms = append(alarms, feedBin(d, 12, 30, 0, rng)...)
+	alarms = append(alarms, feedBinOn(d, 12, nearC, farD, 30, rng)...)
+	for _, a := range alarms {
+		if a.Link == (trace.LinkKey{Near: nearA, Far: farB}) {
+			t.Fatalf("evicted link alarmed during re-warmup: %+v", a)
+		}
+	}
+	if len(d.freeSlots) != 0 {
+		t.Fatalf("free slots = %d after reuse, want 0", len(d.freeSlots))
+	}
+	if d.LinksSeen() != 2 {
+		t.Errorf("LinksSeen = %d after return, want 2 (no recount)", d.LinksSeen())
+	}
+	d.Flush()
+}
+
+// TestEvictTouchResetMatchesSweep checks the touch-time staleness path: a
+// link that returns after the idle threshold but whose slot was never swept
+// (no interleaved traffic, so no bin closes happened while it was idle)
+// must still restart from a cold reference.
+func TestEvictTouchResetMatchesSweep(t *testing.T) {
+	d := NewDetector(Config{Seed: 1, EvictIdleBins: 2}, testASN)
+	rng := rand.New(rand.NewPCG(9, 9))
+
+	for bin := 0; bin < 6; bin++ {
+		feedBin(d, bin, 30, 0, rng)
+	}
+	// The stream jumps straight to bin 10: the detector closes bin 5 once
+	// (no closes for the empty bins 6..9), so the sweep never saw the slot
+	// idle. The gap is 4 full idle bins > EvictIdleBins, so the touch-time
+	// check must drop the reference, and the +10 ms shift in bin 10 must
+	// not alarm (no reference to compare against).
+	alarms := feedBin(d, 10, 30, 10, rng)
+	alarms = append(alarms, feedBin(d, 11, 30, 0, rng)...)
+	alarms = append(alarms, d.Flush()...)
+	if len(alarms) != 0 {
+		t.Fatalf("stale-reset link alarmed: %+v", alarms[0])
+	}
+	if got := d.CloseStats().Evicted; got != 1 {
+		t.Errorf("Evicted = %d, want 1 (touch-time reset)", got)
+	}
+	if d.LinksSeen() != 1 {
+		t.Errorf("LinksSeen = %d, want 1", d.LinksSeen())
+	}
+}
+
+// TestNoEvictionByDefault pins the paper behavior: with EvictIdleBins unset
+// an idle link keeps its reference across an arbitrary gap and alarms
+// immediately on a shifted return bin.
+func TestNoEvictionByDefault(t *testing.T) {
+	d := NewDetector(Config{Seed: 1}, testASN)
+	rng := rand.New(rand.NewPCG(9, 9))
+	for bin := 0; bin < 6; bin++ {
+		feedBin(d, bin, 30, 0, rng)
+	}
+	alarms := feedBin(d, 10, 30, 10, rng)
+	alarms = append(alarms, feedBin(d, 11, 30, 0, rng)...)
+	alarms = append(alarms, d.Flush()...)
+	if len(alarms) != 1 {
+		t.Fatalf("alarms = %d, want 1 (reference retained across the gap)", len(alarms))
+	}
+	if got := d.CloseStats().Evicted; got != 0 {
+		t.Errorf("Evicted = %d, want 0", got)
+	}
+}

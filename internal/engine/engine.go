@@ -358,9 +358,11 @@ func (e *Engine) barrier(flush bool) (shardResult, [][]delay.Alarm, [][]forwardi
 		agg.refNextHops += res.refNextHops
 		agg.delayClose.Links += res.delayClose.Links
 		agg.delayClose.Samples += res.delayClose.Samples
+		agg.delayClose.Evicted += res.delayClose.Evicted
 		agg.delayClose.Dur += res.delayClose.Dur
 		agg.delayClose.Bins = max(agg.delayClose.Bins, res.delayClose.Bins)
 		agg.fwdClose.Flows += res.fwdClose.Flows
+		agg.fwdClose.Evicted += res.fwdClose.Evicted
 		agg.fwdClose.Dur += res.fwdClose.Dur
 		agg.fwdClose.Bins = max(agg.fwdClose.Bins, res.fwdClose.Bins)
 	}

@@ -100,6 +100,12 @@ type Aggregator struct {
 	// corr is the corroboration source ledger, populated only when
 	// cfg.Corroborate ≥ 2 (see corroborate.go).
 	corr map[corrTypeKey]*corrSet
+
+	// segmentBacked marks durable history as immutable and splits query
+	// fallbacks at the region boundary (see restore.go); droppedStale
+	// counts the out-of-order mutations rejected under that contract.
+	segmentBacked bool
+	droppedStale  int
 }
 
 // NewAggregator returns an Aggregator resolving addresses with the given
@@ -145,6 +151,12 @@ func (a *Aggregator) lookupASN(addr netip.Addr) (ipmap.ASN, bool) {
 func (a *Aggregator) ObserveBin(t time.Time) {
 	b := timeseries.Bin(t, a.cfg.BinSize)
 	if !a.haveBin || b.Before(a.firstBin) {
+		if a.haveBin && a.segmentBacked && b.Before(a.firstBin) {
+			// Segment-backed history is immutable: the span start is
+			// durable and cannot move backwards.
+			a.droppedStale++
+			return
+		}
 		// Moving the span start below the incremental region's origin
 		// changes every window; the region must be rebuilt.
 		if a.inc.advanced && b.Before(a.inc.start) {
@@ -171,7 +183,11 @@ func (a *Aggregator) spanStart(s *timeseries.Series) time.Time {
 // ("alarms with IP addresses from different ASs are assigned to multiple
 // groups", §6).
 func (a *Aggregator) AddDelayAlarm(al delay.Alarm) {
-	a.markMutation(timeseries.Bin(al.Bin, a.cfg.BinSize))
+	b := timeseries.Bin(al.Bin, a.cfg.BinSize)
+	if a.rejectStaleMutation(b) {
+		return
+	}
+	a.markMutation(b)
 	asns := a.asnsOf(al.Link.Near, al.Link.Far)
 	for _, asn := range asns {
 		a.series(a.delaySeries, asn).Add(al.Bin, al.Deviation)
@@ -192,7 +208,11 @@ func (a *Aggregator) AddDelayAlarm(al delay.Alarm) {
 // when both hops sit in the same AS — the paper's intra-AS rerouting
 // mitigation. The unresponsive bucket has no address and is skipped.
 func (a *Aggregator) AddForwardingAlarm(al forwarding.Alarm) {
-	a.markMutation(timeseries.Bin(al.Bin, a.cfg.BinSize))
+	b := timeseries.Bin(al.Bin, a.cfg.BinSize)
+	if a.rejectStaleMutation(b) {
+		return
+	}
+	a.markMutation(b)
 	for _, h := range al.Hops {
 		if h.Hop == forwarding.Unresponsive || !h.Hop.IsValid() {
 			continue
@@ -278,6 +298,9 @@ func (a *Aggregator) DelayMagnitude(asn ipmap.ASN, from, to time.Time) []timeser
 	if pts, ok := a.cachedMagnitude(a.inc.delayMag[asn], from, to); ok {
 		return pts
 	}
+	if a.segmentBacked && a.inc.advanced {
+		return a.durableMagnitude(s, a.inc.delayMag[asn], from, to)
+	}
 	return s.MagnitudeSince(a.spanStart(s), from, to, a.cfg.Window)
 }
 
@@ -291,6 +314,9 @@ func (a *Aggregator) ForwardingMagnitude(asn ipmap.ASN, from, to time.Time) []ti
 	if pts, ok := a.cachedMagnitude(a.inc.fwdMag[asn], from, to); ok {
 		return pts
 	}
+	if a.segmentBacked && a.inc.advanced {
+		return a.durableMagnitude(s, a.inc.fwdMag[asn], from, to)
+	}
 	return s.MagnitudeSince(a.spanStart(s), from, to, a.cfg.Window)
 }
 
@@ -302,6 +328,24 @@ func (a *Aggregator) Events(from, to time.Time) []Event {
 	if a.covers(to) {
 		return a.incrementalEvents(from, to)
 	}
+	if a.segmentBacked && a.inc.advanced && !a.inc.stale {
+		// Segment-backed: the region answers its part (cached events were
+		// derived from complete data at close time); only bins at or
+		// beyond validThrough recompute, and their windows stay within
+		// the retained raw horizon.
+		head := a.incrementalEvents(from, a.inc.validThrough)
+		tailFrom := from
+		if tailFrom.Before(a.inc.validThrough) {
+			tailFrom = a.inc.validThrough
+		}
+		return append(head, a.recomputeEvents(tailFrom, to)...)
+	}
+	return a.recomputeEvents(from, to)
+}
+
+// recomputeEvents is the original full scan: every AS's two magnitude
+// series over [from, to), thresholded and sorted.
+func (a *Aggregator) recomputeEvents(from, to time.Time) []Event {
 	var out []Event
 	for _, asn := range a.ASes() {
 		for _, p := range a.DelayMagnitude(asn, from, to) {

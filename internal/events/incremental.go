@@ -65,7 +65,21 @@ func (a *Aggregator) markMutation(b time.Time) {
 // Consumers mirroring the list incrementally should use IncrementalEvents
 // and resynchronize when its generation changes (serve.Publisher does).
 func (a *Aggregator) CloseBins(upTo time.Time) []Event {
+	return a.CloseBinsRecord(upTo, nil)
+}
+
+// CloseBinsRecord is CloseBins with durability capture: when d is non-nil
+// it is reset and filled with everything this advance contributed to the
+// read model — the appended per-AS magnitude points (including zero
+// backfill) and the raw per-AS series sums of the processed bins, which a
+// restart needs to keep the magnitude windows exact. Raw sums are final
+// at close time: later writes into a closed bin would be out-of-order
+// mutations, which segment-backed aggregators reject.
+func (a *Aggregator) CloseBinsRecord(upTo time.Time, d *CloseDelta) []Event {
 	end := timeseries.Bin(upTo, a.cfg.BinSize)
+	if d != nil {
+		*d = CloseDelta{FirstBin: a.firstBin}
+	}
 	if a.inc.stale {
 		// Rebuild from scratch with fresh storage: published prefixes of
 		// the old slices must keep their contents. Bumping the generation
@@ -98,14 +112,28 @@ func (a *Aggregator) CloseBins(upTo time.Time) []Event {
 		for _, asn := range asns {
 			if s := a.delaySeries[asn]; s != nil {
 				v := a.magAt(s, t)
+				old := len(a.inc.delayMag[asn])
 				a.inc.delayMag[asn] = a.appendMag(a.inc.delayMag[asn], t, v)
+				if d != nil {
+					d.DelayMag = appendASPoints(d.DelayMag, asn, a.inc.delayMag[asn][old:])
+					if rv, ok := s.Value(t); ok {
+						d.DelayRaw = append(d.DelayRaw, ASPoint{ASN: asn, T: t, V: rv})
+					}
+				}
 				if v >= a.cfg.Threshold && a.corroborated(asn, DelayChange, t, v) {
 					a.inc.events = append(a.inc.events, Event{ASN: asn, Bin: t, Type: DelayChange, Magnitude: v})
 				}
 			}
 			if s := a.fwdSeries[asn]; s != nil {
 				v := a.magAt(s, t)
+				old := len(a.inc.fwdMag[asn])
 				a.inc.fwdMag[asn] = a.appendMag(a.inc.fwdMag[asn], t, v)
+				if d != nil {
+					d.FwdMag = appendASPoints(d.FwdMag, asn, a.inc.fwdMag[asn][old:])
+					if rv, ok := s.Value(t); ok {
+						d.FwdRaw = append(d.FwdRaw, ASPoint{ASN: asn, T: t, V: rv})
+					}
+				}
 				if (v >= a.cfg.Threshold || v <= -a.cfg.Threshold) && a.corroborated(asn, ForwardingAnomaly, t, v) {
 					a.inc.events = append(a.inc.events, Event{ASN: asn, Bin: t, Type: ForwardingAnomaly, Magnitude: v})
 				}

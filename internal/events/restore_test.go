@@ -1,0 +1,278 @@
+package events
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"pinpoint/internal/ipmap"
+	"pinpoint/internal/timeseries"
+)
+
+// binHour is the test bin size; windowBins the magnitude window in bins.
+const (
+	binHour    = time.Hour
+	windowBins = 6
+)
+
+func restoreConfig() Config {
+	return Config{BinSize: binHour, Window: windowBins * binHour, Threshold: 3}
+}
+
+// binAlarms is the deterministic per-bin alarm script: quiet history, a
+// burst (the event), then a tail.
+func binAlarms(i, n int) []float64 {
+	switch {
+	case i == n-4:
+		return []float64{40, 35} // the burst both ASes should flag
+	case i%3 == 0:
+		return []float64{1}
+	case i%5 == 2:
+		return []float64{2, 0.5}
+	default:
+		return nil
+	}
+}
+
+// segment is the per-bin state a fake "store" captures: the close delta
+// plus the events appended by the close.
+type segment struct {
+	bin   time.Time
+	delta CloseDelta
+	evs   []Event
+}
+
+// runPipeline drives an aggregator over n bins, returning a segment per
+// bin (the same capture the publisher persists).
+func runPipeline(t *testing.T, a *Aggregator, start time.Time, from, n int) []segment {
+	t.Helper()
+	segs := make([]segment, 0, n-from)
+	for i := from; i < n; i++ {
+		bin := start.Add(time.Duration(i) * binHour)
+		a.ObserveBin(bin)
+		for j, dev := range binAlarms(i, n) {
+			near, far := "10.1.0.1", "10.2.0.1"
+			if j%2 == 1 {
+				near, far = "10.1.0.2", "10.1.0.3"
+			}
+			a.AddDelayAlarm(delayAlarm(bin, near, far, dev))
+		}
+		var d CloseDelta
+		evs := a.CloseBinsRecord(bin.Add(binHour), &d)
+		segs = append(segs, segment{bin: bin, delta: d, evs: append([]Event(nil), evs...)})
+	}
+	return segs
+}
+
+// restoredState assembles RestoredState from the first k segments with
+// only the raw window retained — exactly what a boot from segments has.
+func restoredState(segs []segment, k int) RestoredState {
+	rs := RestoredState{
+		DelayMag: make(map[ipmap.ASN][]timeseries.Point),
+		FwdMag:   make(map[ipmap.ASN][]timeseries.Point),
+	}
+	rs.FirstBin = segs[0].delta.FirstBin
+	rs.ValidThrough = segs[k-1].bin.Add(binHour)
+	keep := rs.ValidThrough.Add(-windowBins * binHour)
+	for _, s := range segs[:k] {
+		rs.Events = append(rs.Events, s.evs...)
+		for _, p := range s.delta.DelayMag {
+			rs.DelayMag[p.ASN] = append(rs.DelayMag[p.ASN], timeseries.Point{T: p.T, V: p.V})
+		}
+		for _, p := range s.delta.FwdMag {
+			rs.FwdMag[p.ASN] = append(rs.FwdMag[p.ASN], timeseries.Point{T: p.T, V: p.V})
+		}
+		for _, p := range s.delta.DelayRaw {
+			if !p.T.Before(keep) {
+				rs.DelayRaw = append(rs.DelayRaw, p)
+			}
+		}
+		for _, p := range s.delta.FwdRaw {
+			if !p.T.Before(keep) {
+				rs.FwdRaw = append(rs.FwdRaw, p)
+			}
+		}
+	}
+	return rs
+}
+
+// TestRestoreMatchesUninterrupted is the staleness-fix regression test
+// (ISSUE 9 satellite): an aggregator restored at bin k from segment-
+// derived state — with history before the retained window living ONLY in
+// those segments — and driven over the remaining bins must answer every
+// query identically to the uninterrupted aggregator, including the
+// recompute fallbacks that previously assumed in-memory storage from bin
+// zero, and its generation counter must tell mirrors to resync.
+func TestRestoreMatchesUninterrupted(t *testing.T) {
+	const n = 24
+	start := t0
+	full := NewAggregator(restoreConfig(), testTable(t))
+	segs := runPipeline(t, full, start, 0, n)
+	end := start.Add(n * binHour)
+
+	for _, k := range []int{1, n / 2, n - 1} {
+		a := NewAggregator(restoreConfig(), testTable(t))
+		if err := a.RestoreIncremental(restoredState(segs, k)); err != nil {
+			t.Fatalf("k=%d: restore: %v", k, err)
+		}
+		if _, gen := a.IncrementalEvents(); gen == 0 {
+			t.Fatalf("k=%d: restore did not bump the region generation", k)
+		}
+		runPipeline(t, a, start, k, n)
+
+		// The incremental region itself.
+		wantEvs, _ := full.IncrementalEvents()
+		gotEvs, _ := a.IncrementalEvents()
+		if !reflect.DeepEqual(wantEvs, gotEvs) {
+			t.Fatalf("k=%d: incremental events differ\nwant %v\n got %v", k, wantEvs, gotEvs)
+		}
+		wd, wf, ws, wv, wok := full.MagnitudeSnapshot()
+		gd, gf, gs, gv, gok := a.MagnitudeSnapshot()
+		if !wok || !gok || !ws.Equal(gs) || !wv.Equal(gv) {
+			t.Fatalf("k=%d: snapshot bounds differ: %v %v %v %v %v %v", k, wok, gok, ws, gs, wv, gv)
+		}
+		comparePointMaps(t, k, "delay", wd, gd)
+		comparePointMaps(t, k, "fwd", wf, gf)
+
+		// Covered queries and the fallback paths: a query ending past the
+		// region forces the durable recompute split — this is what used to
+		// recompute garbage when early raw bins live only in segments.
+		for _, to := range []time.Time{end, end.Add(3 * binHour)} {
+			want := full.Events(start, to)
+			got := a.Events(start, to)
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("k=%d to=%v: Events differ\nwant %v\n got %v", k, to, want, got)
+			}
+			for _, asn := range full.ASes() {
+				wantPts := full.DelayMagnitude(asn, start.Add(-2*binHour), to)
+				gotPts := a.DelayMagnitude(asn, start.Add(-2*binHour), to)
+				if !pointsEqual(wantPts, gotPts) {
+					t.Fatalf("k=%d to=%v AS%d: magnitudes differ\nwant %v\n got %v", k, to, asn, wantPts, gotPts)
+				}
+			}
+		}
+	}
+}
+
+// TestRestoreAfterEviction drives the restored aggregator with eviction
+// after every close — bounded memory — and requires identical answers.
+func TestRestoreAfterEviction(t *testing.T) {
+	const n = 24
+	start := t0
+	full := NewAggregator(restoreConfig(), testTable(t))
+	segs := runPipeline(t, full, start, 0, n)
+	end := start.Add(n * binHour)
+
+	k := n / 2
+	a := NewAggregator(restoreConfig(), testTable(t))
+	if err := a.RestoreIncremental(restoredState(segs, k)); err != nil {
+		t.Fatal(err)
+	}
+	evicted := 0
+	for i := k; i < n; i++ {
+		bin := start.Add(time.Duration(i) * binHour)
+		a.ObserveBin(bin)
+		for j, dev := range binAlarms(i, n) {
+			near, far := "10.1.0.1", "10.2.0.1"
+			if j%2 == 1 {
+				near, far = "10.1.0.2", "10.1.0.3"
+			}
+			a.AddDelayAlarm(delayAlarm(bin, near, far, dev))
+		}
+		a.CloseBins(bin.Add(binHour))
+		evicted += a.EvictBefore(bin) // clamped internally to the window
+	}
+	if got, want := a.Events(start, end), full.Events(start, end); !reflect.DeepEqual(got, want) {
+		t.Fatalf("with eviction: Events differ\nwant %v\n got %v", want, got)
+	}
+	for _, asn := range full.ASes() {
+		if !pointsEqual(full.DelayMagnitude(asn, start, end), a.DelayMagnitude(asn, start, end)) {
+			t.Fatalf("with eviction: AS%d magnitudes differ", asn)
+		}
+	}
+	// The eviction must actually have dropped something, or this test
+	// proves nothing about bounded memory.
+	if evicted == 0 {
+		t.Fatal("eviction horizon never dropped a bin")
+	}
+}
+
+// TestSegmentBackedRejectsStaleMutations pins the immutable-history
+// contract: out-of-order alarms and span-start moves below durable bins
+// are dropped and counted, the region never goes stale, and the
+// generation is unchanged (mirrors keep their state).
+func TestSegmentBackedRejectsStaleMutations(t *testing.T) {
+	const n = 12
+	full := NewAggregator(restoreConfig(), testTable(t))
+	segs := runPipeline(t, full, t0, 0, n)
+
+	a := NewAggregator(restoreConfig(), testTable(t))
+	if err := a.RestoreIncremental(restoredState(segs, n)); err != nil {
+		t.Fatal(err)
+	}
+	_, gen0 := a.IncrementalEvents()
+	before := a.Events(t0, t0.Add(n*binHour))
+
+	a.AddDelayAlarm(delayAlarm(t0.Add(2*binHour), "10.1.0.1", "10.2.0.1", 99))
+	a.ObserveBin(t0.Add(-5 * binHour))
+	if got := a.DroppedStale(); got != 2 {
+		t.Fatalf("DroppedStale = %d, want 2", got)
+	}
+	if _, gen := a.IncrementalEvents(); gen != gen0 {
+		t.Fatalf("stale mutation bumped generation %d → %d", gen0, gen)
+	}
+	after := a.Events(t0, t0.Add(n*binHour))
+	if !reflect.DeepEqual(before, after) {
+		t.Fatal("rejected mutation changed query results")
+	}
+	// And the pipeline keeps going: the next in-order bin closes fine.
+	next := t0.Add(n * binHour)
+	a.ObserveBin(next)
+	a.AddDelayAlarm(delayAlarm(next, "10.1.0.1", "10.2.0.1", 1))
+	a.CloseBins(next.Add(binHour))
+}
+
+// TestRestoreRequiresFreshAggregator pins the restore preconditions.
+func TestRestoreRequiresFreshAggregator(t *testing.T) {
+	a := NewAggregator(restoreConfig(), testTable(t))
+	a.ObserveBin(t0)
+	if err := a.RestoreIncremental(RestoredState{FirstBin: t0, ValidThrough: t0}); err == nil {
+		t.Fatal("restore on a non-fresh aggregator succeeded")
+	}
+	c := restoreConfig()
+	c.Corroborate = 2
+	b := NewAggregator(c, testTable(t))
+	if err := b.RestoreIncremental(RestoredState{FirstBin: t0, ValidThrough: t0}); err == nil {
+		t.Fatal("restore with corroboration enabled succeeded")
+	}
+}
+
+func comparePointMaps(t *testing.T, k int, what string, want, got map[ipmap.ASN][]timeseries.Point) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("k=%d: %s mag map sizes differ: %d vs %d", k, what, len(want), len(got))
+	}
+	for asn, w := range want {
+		if !pointsEqual(w, got[asn]) {
+			t.Fatalf("k=%d: %s mag for AS%d differs\nwant %v\n got %v", k, what, asn, w, got[asn])
+		}
+	}
+}
+
+// pointsEqual compares point slices treating NaN == NaN (empty windows
+// yield NaN magnitudes) and nil == empty.
+func pointsEqual(a, b []timeseries.Point) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].T.Equal(b[i].T) {
+			return false
+		}
+		if a[i].V != b[i].V && !(math.IsNaN(a[i].V) && math.IsNaN(b[i].V)) {
+			return false
+		}
+	}
+	return true
+}

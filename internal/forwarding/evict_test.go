@@ -1,0 +1,128 @@
+package forwarding
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"pinpoint/internal/trace"
+)
+
+var (
+	rtrS = netip.MustParseAddr("10.0.9.1")
+	dst2 = netip.MustParseAddr("198.51.100.2")
+)
+
+// mkOn is mk generalized to an arbitrary (router, dst) flow.
+func mkOn(prb int, at time.Time, router, dst netip.Addr, far []trace.Reply) trace.Result {
+	return trace.Result{
+		MsmID: 5001, PrbID: prb, Time: at,
+		Src: netip.MustParseAddr("192.0.2.1"), Dst: dst,
+		Hops: []trace.Hop{
+			{Index: 1, Replies: []trace.Reply{{From: router, RTT: 1}, {From: router, RTT: 1.1}, {From: router, RTT: 0.9}}},
+			{Index: 2, Replies: far},
+		},
+	}
+}
+
+// feedOn sends a bin of n probes through one flow, all seeing next hop A.
+func feedOn(d *Detector, bin int, router, dst netip.Addr, n int) []Alarm {
+	var alarms []Alarm
+	at := t0.Add(time.Duration(bin) * time.Hour)
+	for p := 1; p <= n; p++ {
+		alarms = append(alarms, d.Observe(mkOn(p, at, router, dst, []trace.Reply{reply(hopA), reply(hopA), reply(hopA)}))...)
+	}
+	return alarms
+}
+
+// TestEvictIdleFlows drives one flow warm, lets it fall idle past the
+// threshold while a second flow keeps bins closing, and checks that the
+// sweep reclaims the slot and keeps the incremental reference statistics
+// (refModels/refNextHops behind AvgNextHops) exact.
+func TestEvictIdleFlows(t *testing.T) {
+	d := NewDetector(Config{EvictIdleBins: 2})
+
+	for bin := 0; bin < 4; bin++ {
+		feedOn(d, bin, rtrR, dst1, 5)
+		feedOn(d, bin, rtrS, dst2, 5)
+	}
+	if models, _ := d.RefStats(); models != 2 {
+		t.Fatalf("refModels = %d, want 2", models)
+	}
+
+	// Bins 4..8: only (rtrS, dst2) appears; the idle flow must be swept and
+	// its reference subtracted from the counters.
+	for bin := 4; bin <= 8; bin++ {
+		feedOn(d, bin, rtrS, dst2, 5)
+	}
+	if got := d.CloseStats().Evicted; got != 1 {
+		t.Fatalf("Evicted = %d, want 1", got)
+	}
+	models, hops := d.RefStats()
+	if models != 1 || hops != 1 {
+		t.Fatalf("RefStats = (%d, %d) after eviction, want (1, 1)", models, hops)
+	}
+	if _, ok := d.ReferenceFor(FlowKey{Router: rtrR, Dst: dst1}); ok {
+		t.Fatal("evicted flow still has a reference")
+	}
+	if len(d.freeSlots) != 1 {
+		t.Fatalf("free slots = %d, want 1", len(d.freeSlots))
+	}
+
+	// The flow returns: slot reused, reference reseeded, RoutersSeen exact.
+	feedOn(d, 9, rtrR, dst1, 5)
+	feedOn(d, 9, rtrS, dst2, 5)
+	feedOn(d, 10, rtrR, dst1, 5)
+	feedOn(d, 10, rtrS, dst2, 5)
+	if len(d.freeSlots) != 0 {
+		t.Fatalf("free slots = %d after reuse, want 0", len(d.freeSlots))
+	}
+	if models, _ := d.RefStats(); models != 2 {
+		t.Errorf("refModels = %d after return, want 2", models)
+	}
+	if d.RoutersSeen() != 2 {
+		t.Errorf("RoutersSeen = %d, want 2", d.RoutersSeen())
+	}
+	d.Flush()
+}
+
+// TestFlowTouchResetDropsStaleReference checks the touch-time path: a flow
+// returning after a gap the sweep never saw (no interleaved bin closes)
+// must reseed its reference rather than correlate against the stale one —
+// so a swapped next hop on the return bin cannot alarm.
+func TestFlowTouchResetDropsStaleReference(t *testing.T) {
+	d := NewDetector(Config{EvictIdleBins: 2})
+	for bin := 0; bin < 6; bin++ {
+		feed(d, bin, 10, 0)
+	}
+	// Jump to bin 10: 4 idle bins > threshold, then all traffic on hop B.
+	alarms := feed(d, 10, 0, 10)
+	alarms = append(alarms, feed(d, 11, 0, 10)...)
+	alarms = append(alarms, d.Flush()...)
+	if len(alarms) != 0 {
+		t.Fatalf("stale-reset flow alarmed: %+v", alarms[0])
+	}
+	if got := d.CloseStats().Evicted; got != 1 {
+		t.Errorf("Evicted = %d, want 1 (touch-time reset)", got)
+	}
+	if models, _ := d.RefStats(); models != 1 {
+		t.Errorf("refModels = %d, want 1 (reseeded)", models)
+	}
+}
+
+// TestFlowNoEvictionByDefault pins the paper behavior: with EvictIdleBins
+// unset the same gap keeps the reference and the swap alarms immediately.
+func TestFlowNoEvictionByDefault(t *testing.T) {
+	d := NewDetector(Config{})
+	for bin := 0; bin < 6; bin++ {
+		feed(d, bin, 10, 0)
+	}
+	alarms := feed(d, 10, 0, 10)
+	alarms = append(alarms, d.Flush()...)
+	if len(alarms) != 1 {
+		t.Fatalf("alarms = %d, want 1 (reference retained across the gap)", len(alarms))
+	}
+	if got := d.CloseStats().Evicted; got != 0 {
+		t.Errorf("Evicted = %d, want 0", got)
+	}
+}

@@ -1,0 +1,21 @@
+//go:build linux
+
+package segstore
+
+import "syscall"
+
+// mmap maps the first size bytes of the data file read-only and shared:
+// committed segments are immutable, so readers can alias the page cache
+// with zero copies.
+func (d *dirFile) mmap(size int64) ([]byte, error) {
+	if size <= 0 {
+		return nil, nil
+	}
+	return syscall.Mmap(int(d.f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func (d *dirFile) munmap(b []byte) {
+	if len(b) > 0 {
+		syscall.Munmap(b)
+	}
+}

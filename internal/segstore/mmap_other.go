@@ -1,0 +1,6 @@
+//go:build !linux
+
+package segstore
+
+// Non-Linux builds read through File.ReadAt; dirFile intentionally does
+// not implement mmapper here.

@@ -1,0 +1,376 @@
+package segstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"time"
+)
+
+const (
+	dataName = "segments.dat"
+	manName  = "manifest.log"
+
+	fileHeaderSize = 16
+	entrySize      = 32
+	entryMagic     = uint32(0x314E414D) // "MAN1"
+
+	formatVersion = uint32(1)
+)
+
+var (
+	dataMagic = [8]byte{'P', 'P', 'S', 'E', 'G', 'D', 'A', 'T'}
+	manMagic  = [8]byte{'P', 'P', 'S', 'E', 'G', 'M', 'A', 'N'}
+
+	castagnoli = crc32.MakeTable(crc32.Castagnoli)
+)
+
+// entry is one committed manifest record.
+type entry struct {
+	off    int64  // payload offset in segments.dat
+	length uint32 // payload length
+	crc    uint32 // CRC-32C of the payload
+	bin    int64  // bin unix seconds
+}
+
+// RecoveryInfo describes what Open found and repaired.
+type RecoveryInfo struct {
+	Bins             int   // committed segments recovered
+	TruncatedEntries int64 // manifest bytes dropped (torn/invalid tail)
+	TruncatedData    int64 // data bytes dropped (unreferenced tail)
+}
+
+// Store is an open segment store. It is not safe for concurrent use; the
+// publisher serializes commits on the analysis goroutine.
+type Store struct {
+	fsys    FS
+	data    File
+	man     File
+	entries []entry
+	dataEnd int64 // end offset of the committed data prefix
+	buf     []byte
+	scratch []byte
+	mm      []byte // read-only mmap of segments.dat, if available
+	rec     RecoveryInfo
+}
+
+// Open opens (creating if needed) a store rooted at an OS directory.
+func Open(dir string) (*Store, error) {
+	fsys, err := DirFS(dir)
+	if err != nil {
+		return nil, err
+	}
+	return OpenFS(fsys)
+}
+
+// OpenFS opens a store on an arbitrary filesystem, running recovery: the
+// committed prefix is whatever the manifest validates; any torn tail in
+// either file is truncated away.
+func OpenFS(fsys FS) (*Store, error) {
+	s := &Store{fsys: fsys}
+	var err error
+	if s.data, err = fsys.OpenFile(dataName); err != nil {
+		return nil, err
+	}
+	if s.man, err = fsys.OpenFile(manName); err != nil {
+		s.data.Close()
+		return nil, err
+	}
+	if err := s.recover(); err != nil {
+		s.data.Close()
+		s.man.Close()
+		return nil, err
+	}
+	s.remap()
+	return s, nil
+}
+
+// initHeader validates or (re)writes a 16-byte file header. A file shorter
+// than one header cannot hold any committed state (headers are synced at
+// creation before any commit), so a torn header resets the file.
+func initHeader(f File, magic [8]byte) (int64, error) {
+	size, err := f.Size()
+	if err != nil {
+		return 0, err
+	}
+	if size < fileHeaderSize {
+		var hdr [fileHeaderSize]byte
+		copy(hdr[:], magic[:])
+		binary.LittleEndian.PutUint32(hdr[8:], formatVersion)
+		if err := f.Truncate(0); err != nil {
+			return 0, err
+		}
+		if _, err := f.WriteAt(hdr[:], 0); err != nil {
+			return 0, err
+		}
+		if err := f.Sync(); err != nil {
+			return 0, err
+		}
+		return fileHeaderSize, nil
+	}
+	var hdr [fileHeaderSize]byte
+	if _, err := f.ReadAt(hdr[:], 0); err != nil {
+		return 0, err
+	}
+	if [8]byte(hdr[:8]) != magic {
+		return 0, fmt.Errorf("segstore: %q is not a segment store file", hdr[:8])
+	}
+	if v := binary.LittleEndian.Uint32(hdr[8:]); v != formatVersion {
+		return 0, fmt.Errorf("segstore: unsupported format version %d", v)
+	}
+	return size, nil
+}
+
+// recover scans the manifest, validates each entry against the data file,
+// and truncates both files to the committed prefix.
+func (s *Store) recover() error {
+	dataSize, err := initHeader(s.data, dataMagic)
+	if err != nil {
+		return err
+	}
+	manSize, err := initHeader(s.man, manMagic)
+	if err != nil {
+		return err
+	}
+
+	nEntries := (manSize - fileHeaderSize) / entrySize
+	raw := make([]byte, nEntries*entrySize)
+	if len(raw) > 0 {
+		if _, err := readFull(s.man, raw, fileHeaderSize); err != nil {
+			return fmt.Errorf("segstore: reading manifest: %w", err)
+		}
+	}
+
+	expectOff := int64(fileHeaderSize)
+	lastBin := int64(-1 << 62)
+	for i := int64(0); i < nEntries; i++ {
+		eb := raw[i*entrySize : (i+1)*entrySize]
+		e, ok := parseEntry(eb)
+		if !ok {
+			break
+		}
+		if e.off != expectOff || e.off+int64(e.length) > dataSize {
+			break
+		}
+		if e.bin <= lastBin {
+			break
+		}
+		payload, err := s.readPayload(e)
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				break
+			}
+			return err
+		}
+		if crc32.Checksum(payload, castagnoli) != e.crc {
+			break
+		}
+		s.entries = append(s.entries, e)
+		expectOff = e.off + int64(e.length)
+		lastBin = e.bin
+	}
+
+	s.dataEnd = expectOff
+	s.rec = RecoveryInfo{
+		Bins:             len(s.entries),
+		TruncatedEntries: manSize - (fileHeaderSize + int64(len(s.entries))*entrySize),
+		TruncatedData:    dataSize - s.dataEnd,
+	}
+	// Truncate the torn tails so appends resume on a clean prefix. This is
+	// idempotent: a crash mid-truncation leaves a (shorter) torn tail the
+	// next open truncates again.
+	if s.rec.TruncatedEntries > 0 {
+		if err := s.man.Truncate(fileHeaderSize + int64(len(s.entries))*entrySize); err != nil {
+			return err
+		}
+		if err := s.man.Sync(); err != nil {
+			return err
+		}
+	}
+	if s.rec.TruncatedData > 0 {
+		if err := s.data.Truncate(s.dataEnd); err != nil {
+			return err
+		}
+		if err := s.data.Sync(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// parseEntry validates the fixed 32-byte manifest entry layout:
+// off u64 | len u32 | payload crc u32 | bin i64 | magic u32 | entry crc u32.
+func parseEntry(b []byte) (entry, bool) {
+	if binary.LittleEndian.Uint32(b[24:]) != entryMagic {
+		return entry{}, false
+	}
+	if crc32.Checksum(b[:28], castagnoli) != binary.LittleEndian.Uint32(b[28:]) {
+		return entry{}, false
+	}
+	return entry{
+		off:    int64(binary.LittleEndian.Uint64(b[0:])),
+		length: binary.LittleEndian.Uint32(b[8:]),
+		crc:    binary.LittleEndian.Uint32(b[12:]),
+		bin:    int64(binary.LittleEndian.Uint64(b[16:])),
+	}, true
+}
+
+func appendEntry(dst []byte, e entry) []byte {
+	start := len(dst)
+	dst = le64(dst, uint64(e.off))
+	dst = le32(dst, e.length)
+	dst = le32(dst, e.crc)
+	dst = le64(dst, uint64(e.bin))
+	dst = le32(dst, entryMagic)
+	dst = le32(dst, crc32.Checksum(dst[start:start+28], castagnoli))
+	return dst
+}
+
+// Recovery reports what Open found and repaired.
+func (s *Store) Recovery() RecoveryInfo { return s.rec }
+
+// Len is the number of committed segments.
+func (s *Store) Len() int { return len(s.entries) }
+
+// BinAt returns the bin time of committed segment i.
+func (s *Store) BinAt(i int) time.Time { return unixUTC(s.entries[i].bin) }
+
+// LastBin returns the newest committed bin, if any.
+func (s *Store) LastBin() (time.Time, bool) {
+	if len(s.entries) == 0 {
+		return time.Time{}, false
+	}
+	return unixUTC(s.entries[len(s.entries)-1].bin), true
+}
+
+// Append commits one closed bin: payload write, data fsync, manifest entry
+// write, manifest fsync. On return the record is durable. Bins must be
+// strictly increasing.
+func (s *Store) Append(rec *BinRecord) error {
+	if len(s.entries) > 0 && rec.Bin.Unix() <= s.entries[len(s.entries)-1].bin {
+		return fmt.Errorf("segstore: bin %s not after last committed bin %s",
+			rec.Bin.UTC().Format(time.RFC3339), unixUTC(s.entries[len(s.entries)-1].bin).Format(time.RFC3339))
+	}
+	s.buf = AppendRecord(s.buf[:0], rec)
+	e := entry{
+		off:    s.dataEnd,
+		length: uint32(len(s.buf)),
+		crc:    crc32.Checksum(s.buf, castagnoli),
+		bin:    rec.Bin.Unix(),
+	}
+	if _, err := s.data.WriteAt(s.buf, e.off); err != nil {
+		return fmt.Errorf("segstore: writing segment: %w", err)
+	}
+	if err := s.data.Sync(); err != nil {
+		return fmt.Errorf("segstore: syncing segment: %w", err)
+	}
+	s.scratch = appendEntry(s.scratch[:0], e)
+	manOff := fileHeaderSize + int64(len(s.entries))*entrySize
+	if _, err := s.man.WriteAt(s.scratch, manOff); err != nil {
+		return fmt.Errorf("segstore: writing manifest entry: %w", err)
+	}
+	if err := s.man.Sync(); err != nil {
+		return fmt.Errorf("segstore: syncing manifest: %w", err)
+	}
+	s.entries = append(s.entries, e)
+	s.dataEnd = e.off + int64(e.length)
+	return nil
+}
+
+// Payload returns the raw committed payload bytes of segment i. The slice
+// aliases the mmap window when one is mapped — treat it as read-only and
+// do not retain it across Append calls.
+func (s *Store) Payload(i int) ([]byte, error) {
+	e := s.entries[i]
+	end := e.off + int64(e.length)
+	if end <= int64(len(s.mm)) {
+		return s.mm[e.off:end:end], nil
+	}
+	// Segment beyond the mapped window (appended since the last remap):
+	// try growing the map once, then fall back to a copying read.
+	s.remap()
+	if end <= int64(len(s.mm)) {
+		return s.mm[e.off:end:end], nil
+	}
+	if cap(s.scratch) < int(e.length) {
+		s.scratch = make([]byte, e.length)
+	}
+	s.scratch = s.scratch[:e.length]
+	if _, err := readFull(s.data, s.scratch, e.off); err != nil {
+		return nil, fmt.Errorf("segstore: reading segment %d: %w", i, err)
+	}
+	return s.scratch, nil
+}
+
+// readPayload reads a payload during recovery (no mmap yet).
+func (s *Store) readPayload(e entry) ([]byte, error) {
+	if cap(s.scratch) < int(e.length) {
+		s.scratch = make([]byte, e.length)
+	}
+	s.scratch = s.scratch[:e.length]
+	_, err := readFull(s.data, s.scratch, e.off)
+	return s.scratch, err
+}
+
+// Record decodes committed segment i into rec, reusing rec's slices.
+func (s *Store) Record(i int, rec *BinRecord) error {
+	b, err := s.Payload(i)
+	if err != nil {
+		return err
+	}
+	return DecodeRecord(b, rec)
+}
+
+// remap (re)maps the committed data prefix read-only when the backing file
+// supports it. Failure just leaves the ReadAt path in place.
+func (s *Store) remap() {
+	mp, ok := s.data.(mmapper)
+	if !ok {
+		return
+	}
+	if s.dataEnd <= int64(len(s.mm)) {
+		return
+	}
+	if s.mm != nil {
+		mp.munmap(s.mm)
+		s.mm = nil
+	}
+	if m, err := mp.mmap(s.dataEnd); err == nil {
+		s.mm = m
+	}
+}
+
+// Close releases the files. It does not sync: every Append already left
+// the store durable.
+func (s *Store) Close() error {
+	if s.mm != nil {
+		if mp, ok := s.data.(mmapper); ok {
+			mp.munmap(s.mm)
+		}
+		s.mm = nil
+	}
+	err := s.data.Close()
+	if err2 := s.man.Close(); err == nil {
+		err = err2
+	}
+	return err
+}
+
+// mmapper is the optional zero-copy read fast path a File may provide.
+type mmapper interface {
+	mmap(size int64) ([]byte, error)
+	munmap(b []byte)
+}
+
+func readFull(f File, p []byte, off int64) (int, error) {
+	n, err := f.ReadAt(p, off)
+	if n == len(p) {
+		return n, nil
+	}
+	if err == nil {
+		err = io.ErrUnexpectedEOF
+	}
+	return n, err
+}

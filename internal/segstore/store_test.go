@@ -1,0 +1,241 @@
+package segstore
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// synthRecord builds a deterministic record for bin index i with a mix of
+// populated and empty sections.
+func synthRecord(i int) *BinRecord {
+	bin := time.Date(2015, 5, 1, i, 0, 0, 0, time.UTC)
+	rec := &BinRecord{
+		Bin:      bin,
+		FirstBin: time.Date(2015, 5, 1, 0, 0, 0, 0, time.UTC),
+		Results:  int64(1000 * (i + 1)),
+	}
+	if i%3 != 0 {
+		for j := 0; j < i%4+1; j++ {
+			rec.Delay = append(rec.Delay, DelayRow{
+				Bin:       bin,
+				Link:      fmt.Sprintf("10.0.%d.1-10.0.%d.2", j, j+1),
+				MedianMS:  float64(i) + 0.25,
+				RefMS:     float64(i) + 0.125,
+				ShiftMS:   0.125,
+				Deviation: float64(j) * 1.5,
+				Probes:    int32(10 + j),
+				ASes:      int32(j),
+			})
+		}
+	}
+	if i%2 == 0 {
+		rec.Fwd = append(rec.Fwd, FwdRow{
+			Bin: bin, Router: fmt.Sprintf("192.0.2.%d", i), Dst: "198.51.100.0",
+			TopHop: "203.0.113.9", Rho: -0.5, TopR: 0.75,
+		})
+	}
+	if i%5 == 1 {
+		rec.Events = append(rec.Events, EventRow{Bin: bin, ASN: uint32(64500 + i), Type: 1, Magnitude: 12.5})
+	}
+	for j := 0; j < i%3; j++ {
+		rec.Mag = append(rec.Mag, SeriesRow{Bin: bin, ASN: uint32(64500 + j), Family: uint8(j % 2), V: float64(i) / 4})
+		rec.Raw = append(rec.Raw, SeriesRow{Bin: bin, ASN: uint32(64500 + j), Family: uint8(j % 2), V: float64(i) * 2})
+	}
+	return rec
+}
+
+func synthRecords(n int) []*BinRecord {
+	out := make([]*BinRecord, n)
+	for i := range out {
+		out[i] = synthRecord(i)
+	}
+	return out
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	for i, rec := range synthRecords(12) {
+		enc := AppendRecord(nil, rec)
+		var got BinRecord
+		if err := DecodeRecord(enc, &got); err != nil {
+			t.Fatalf("record %d: decode: %v", i, err)
+		}
+		if !reflect.DeepEqual(normalize(rec), normalize(&got)) {
+			t.Fatalf("record %d: round trip mismatch\n in: %+v\nout: %+v", i, rec, &got)
+		}
+		// Re-encoding the decoded record must reproduce the bytes.
+		if re := AppendRecord(nil, &got); !bytes.Equal(enc, re) {
+			t.Fatalf("record %d: re-encode differs", i)
+		}
+	}
+}
+
+// normalize maps a record to a DeepEqual-friendly form (nil and empty
+// slices compare equal; times collapse to unix seconds UTC).
+func normalize(r *BinRecord) *BinRecord {
+	c := *r
+	if len(c.Delay) == 0 {
+		c.Delay = nil
+	}
+	if len(c.Fwd) == 0 {
+		c.Fwd = nil
+	}
+	if len(c.Events) == 0 {
+		c.Events = nil
+	}
+	if len(c.Mag) == 0 {
+		c.Mag = nil
+	}
+	if len(c.Raw) == 0 {
+		c.Raw = nil
+	}
+	c.Bin = c.Bin.UTC()
+	c.FirstBin = c.FirstBin.UTC()
+	return &c
+}
+
+func TestRecordRoundTripNaN(t *testing.T) {
+	rec := &BinRecord{
+		Bin:      time.Unix(3600, 0).UTC(),
+		FirstBin: time.Unix(0, 0).UTC(),
+		Mag:      []SeriesRow{{Bin: time.Unix(3600, 0).UTC(), ASN: 1, Family: FamilyDelay, V: math.NaN()}},
+	}
+	enc := AppendRecord(nil, rec)
+	var got BinRecord
+	if err := DecodeRecord(enc, &got); err != nil {
+		t.Fatal(err)
+	}
+	// NaN payloads must survive bit-for-bit (magnitudes can be NaN).
+	if re := AppendRecord(nil, &got); !bytes.Equal(enc, re) {
+		t.Fatal("NaN payload did not round-trip bit-identically")
+	}
+}
+
+func TestStoreAppendReopen(t *testing.T) {
+	for _, backend := range []string{"mem", "dir"} {
+		t.Run(backend, func(t *testing.T) {
+			var open func() (*Store, error)
+			switch backend {
+			case "mem":
+				fs := NewMemFS()
+				open = func() (*Store, error) { return OpenFS(fs) }
+			case "dir":
+				dir := t.TempDir()
+				open = func() (*Store, error) { return Open(dir) }
+			}
+			recs := synthRecords(10)
+
+			st, err := open()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Len() != 0 {
+				t.Fatalf("fresh store has %d segments", st.Len())
+			}
+			for _, rec := range recs[:6] {
+				if err := st.Append(rec); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Out-of-order bins are rejected.
+			if err := st.Append(recs[2]); err == nil {
+				t.Fatal("append of non-increasing bin succeeded")
+			}
+			checkStore(t, st, recs[:6])
+			if err := st.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Reopen: committed prefix intact, appends resume.
+			st, err = open()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ri := st.Recovery(); ri.Bins != 6 || ri.TruncatedData != 0 || ri.TruncatedEntries != 0 {
+				t.Fatalf("clean reopen recovery = %+v", ri)
+			}
+			for _, rec := range recs[6:] {
+				if err := st.Append(rec); err != nil {
+					t.Fatal(err)
+				}
+			}
+			checkStore(t, st, recs)
+			if err := st.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func checkStore(t *testing.T, st *Store, want []*BinRecord) {
+	t.Helper()
+	if st.Len() != len(want) {
+		t.Fatalf("Len = %d, want %d", st.Len(), len(want))
+	}
+	last, ok := st.LastBin()
+	if len(want) == 0 {
+		if ok {
+			t.Fatal("LastBin ok on empty store")
+		}
+		return
+	}
+	if !ok || !last.Equal(want[len(want)-1].Bin) {
+		t.Fatalf("LastBin = %v %v, want %v", last, ok, want[len(want)-1].Bin)
+	}
+	var rec BinRecord
+	for i, w := range want {
+		if !st.BinAt(i).Equal(w.Bin) {
+			t.Fatalf("BinAt(%d) = %v, want %v", i, st.BinAt(i), w.Bin)
+		}
+		if err := st.Record(i, &rec); err != nil {
+			t.Fatalf("Record(%d): %v", i, err)
+		}
+		if !reflect.DeepEqual(normalize(w), normalize(&rec)) {
+			t.Fatalf("Record(%d) mismatch\nwant %+v\n got %+v", i, w, &rec)
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	enc := AppendRecord(nil, synthRecord(5))
+	cases := map[string][]byte{
+		"empty":      {},
+		"short":      enc[:3],
+		"bad magic":  append([]byte{1, 2, 3, 4}, enc[4:]...),
+		"truncated":  enc[:len(enc)-1],
+		"trailing":   append(append([]byte{}, enc...), 0),
+		// Counts start at byte 32 (after magic, flags, bin, firstBin, results).
+		"huge count": func() []byte { b := append([]byte{}, enc...); b[32] = 0xff; b[33] = 0xff; b[34] = 0xff; return b }(),
+	}
+	for name, b := range cases {
+		var rec BinRecord
+		err := DecodeRecord(b, &rec)
+		if err == nil {
+			t.Fatalf("%s: decode succeeded", name)
+		}
+		var ce *CorruptError
+		if !asCorrupt(err, &ce) {
+			t.Fatalf("%s: error %v is not a *CorruptError", name, err)
+		}
+	}
+}
+
+func asCorrupt(err error, target **CorruptError) bool {
+	ce, ok := err.(*CorruptError)
+	if ok {
+		*target = ce
+	}
+	return ok
+}
+
+func TestForeignFileRejected(t *testing.T) {
+	fs := NewMemFS()
+	f, _ := fs.OpenFile(dataName)
+	f.WriteAt([]byte("this is definitely not a segment store file"), 0)
+	if _, err := OpenFS(fs); err == nil {
+		t.Fatal("open of a foreign file succeeded")
+	}
+}

@@ -58,6 +58,7 @@ func (o Options) withDefaults() Options {
 //	GET /api/alarms/forwarding forwarding anomalies (filter + paginate)
 //	GET /api/events            major per-AS events (filter + paginate)
 //	GET /api/magnitude?asn=N   hourly magnitude series for one AS
+//	GET /api/bins              committed segment-store bins (time travel)
 //	GET /api/stream            SSE delta stream, one event per bin close
 //	GET /                      human-readable summary
 type Server struct {
@@ -74,6 +75,7 @@ func NewServer(pub *Publisher, opts Options) *Server {
 	s.mux.HandleFunc("/api/alarms/forwarding", s.handleFwdAlarms)
 	s.mux.HandleFunc("/api/events", s.handleEvents)
 	s.mux.HandleFunc("/api/magnitude", s.handleMagnitude)
+	s.mux.HandleFunc("/api/bins", s.handleBins)
 	s.mux.HandleFunc("/api/stream", s.handleStream)
 	s.mux.HandleFunc("/", s.handleIndex)
 	return s
@@ -474,6 +476,45 @@ func (s *Server) handleMagnitude(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.writeJSON(w, resp)
+}
+
+// handleBins serves the segment store's committed-bin index, or — with
+// ?bin=RFC3339 — the full decoded contribution of one committed bin. It
+// reads the durable segments, not the snapshot, so it answers for any
+// closed bin even after the in-memory history was evicted.
+func (s *Server) handleBins(w http.ResponseWriter, r *http.Request) {
+	if raw := r.URL.Query().Get("bin"); raw != "" {
+		t, err := time.Parse(time.RFC3339, raw)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("invalid bin: %v", err), http.StatusBadRequest)
+			return
+		}
+		pl, found, err := s.pub.StoreBin(t)
+		if err != nil {
+			s.opts.Logf("serve: reading segment: %v", err)
+			http.Error(w, "segment read failed", http.StatusInternalServerError)
+			return
+		}
+		if !found {
+			if s.pub.Store() == nil {
+				http.Error(w, "no segment store attached", http.StatusNotFound)
+			} else {
+				http.Error(w, "bin not committed", http.StatusNotFound)
+			}
+			return
+		}
+		s.writeJSON(w, pl)
+		return
+	}
+	bins, ok := s.pub.StoreBins()
+	if !ok {
+		http.Error(w, "no segment store attached", http.StatusNotFound)
+		return
+	}
+	if bins == nil {
+		bins = []BinSummary{}
+	}
+	s.writeJSON(w, bins)
 }
 
 // completeETagFor derives a strong ETag for parameterized reads of a

@@ -20,6 +20,7 @@
 package serve
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -29,6 +30,7 @@ import (
 	"pinpoint/internal/events"
 	"pinpoint/internal/forwarding"
 	"pinpoint/internal/ipmap"
+	"pinpoint/internal/segstore"
 	"pinpoint/internal/timeseries"
 )
 
@@ -188,6 +190,20 @@ type Publisher struct {
 	evGen    uint64  // aggregator rebuild generation the mirror tracks
 	finished bool
 
+	// Segment-store state (see store.go). storeMu serializes the analysis
+	// goroutine's commits with /api/bins reads; everything else is written
+	// only at construction or on the analysis goroutine.
+	store          *segstore.Store
+	storeMu        sync.Mutex
+	storeErr       error
+	committedDelay int // prefix of p.delay already committed to segments
+	committedFwd   int
+	binIndex       []BinSummary
+	storeRec       segstore.BinRecord // reused per-commit encode scratch
+	floorResults   int                // durable result count; floor during warmup replay
+	resumedAt      time.Time          // resume cursor, when booted from segments
+	resumed        bool
+
 	mu      sync.Mutex // guards subscribers only
 	subs    map[int]chan Delta
 	nextSub int
@@ -199,6 +215,16 @@ type Publisher struct {
 // one. Call it before ingesting; the analyzer's hook fields must not be
 // reassigned afterwards.
 func NewPublisher(a *core.Analyzer, meta Meta) *Publisher {
+	p := newPublisher(a, meta)
+	p.publish(time.Time{}, false, nil)
+	return p
+}
+
+// newPublisher builds the publisher and installs the analyzer hooks, but
+// does not publish the initial snapshot: the segment-store boot path
+// (NewPublisherWithStore) restores the read model first so the first
+// published snapshot already carries the durable history.
+func newPublisher(a *core.Analyzer, meta Meta) *Publisher {
 	p := &Publisher{
 		meta:    meta,
 		a:       a,
@@ -222,11 +248,17 @@ func NewPublisher(a *core.Analyzer, meta Meta) *Publisher {
 		})
 	}
 	a.OnBinClose = func(bin time.Time) {
-		p.agg.CloseBins(bin.Add(p.binSize))
-		p.syncEvents()
+		if p.store != nil {
+			var d events.CloseDelta
+			evs := p.agg.CloseBinsRecord(bin.Add(p.binSize), &d)
+			p.syncEvents()
+			p.commitBin(bin, &d, evs)
+		} else {
+			p.agg.CloseBins(bin.Add(p.binSize))
+			p.syncEvents()
+		}
 		p.publish(bin, false, nil)
 	}
-	p.publish(time.Time{}, false, nil)
 	return p
 }
 
@@ -258,6 +290,17 @@ func (p *Publisher) Finish(err error) {
 	}
 	p.finished = true
 	if err == nil {
+		if serr := p.StoreErr(); serr != nil {
+			// The analysis itself succeeded but its durable record did not: a
+			// monitoring client must not mistake a store with missing bins for
+			// a completed run.
+			err = fmt.Errorf("segment store commit failed: %w", serr)
+		}
+	}
+	if err == nil {
+		// The tail extension over empty bins is recomputed identically by any
+		// restart (its windows live inside the retained horizon), so it is
+		// not committed to the store.
 		p.agg.CloseBins(p.meta.End)
 		p.syncEvents()
 	}
@@ -288,12 +331,18 @@ func (p *Publisher) publish(closedBin time.Time, final bool, runErr error) {
 	prev := p.cur.Load()
 	p.seq++
 	reg := p.a.Registry()
+	res := p.a.Results()
+	if res < p.floorResults {
+		// Warmup replay after a segment-store boot recounts from zero; keep
+		// reporting the durable count until the replay catches up.
+		res = p.floorResults
+	}
 	snap := &Snapshot{
 		Seq:     p.seq,
 		Meta:    p.meta,
 		BinSize: p.binSize,
 		LastBin: closedBin,
-		Results: p.a.Results(),
+		Results: res,
 		Identities: Identities{
 			Addrs: reg.Addrs(), Links: reg.Links(),
 			Flows: reg.Flows(), Routers: reg.Routers(),

@@ -72,6 +72,39 @@ func (s *Series) Value(t time.Time) (v float64, ok bool) {
 // Len returns the number of non-empty bins.
 func (s *Series) Len() int { return len(s.points) }
 
+// EvictBefore drops every bin strictly before the bin containing t,
+// reclaiming their memory. Bounded-memory pipelines call this once a
+// bin's history is durable in the segment store and outside every window
+// the magnitude math can still reach; queries that would touch evicted
+// bins see zeros, exactly as if the bins were never written, so the
+// caller is responsible for choosing an eviction horizon no live window
+// crosses. Returns the number of bins dropped.
+func (s *Series) EvictBefore(t time.Time) int {
+	cut := Bin(t, s.binSize)
+	kept := s.points[:0]
+	for _, p := range s.points {
+		if !p.T.Before(cut) {
+			kept = append(kept, p)
+		}
+	}
+	dropped := len(s.points) - len(kept)
+	if dropped == 0 {
+		return 0
+	}
+	// Zero the tail so evicted points are collectable, then rebuild the
+	// bin index over the surviving prefix.
+	tail := s.points[len(kept):]
+	for i := range tail {
+		tail[i] = Point{}
+	}
+	s.points = kept
+	s.index = make(map[time.Time]int, len(kept))
+	for i, p := range kept {
+		s.index[p.T] = i
+	}
+	return dropped
+}
+
 // Points returns the series in chronological order. Bins that were never
 // written do not appear; callers who need dense series use Dense.
 func (s *Series) Points() []Point {
