@@ -8,6 +8,8 @@
 //	ihr -case ddos -scale quick -addr :8080
 //	ihr -case ddos -input ddos.ndjson.gz -decode-workers 4
 //	ihr -case ddos -store /var/lib/ihr/ddos
+//	ihr -follow http://writer:8080 -addr :8081
+//	ihr -follow http://writer:8080 -case ddos -store /var/lib/ihr/ddos
 //
 // With -input the server replays an NDJSON dump (e.g. from atlasgen)
 // through the parallel ingest pipeline instead of generating live; the
@@ -18,6 +20,17 @@
 // directory rebuilds the snapshot from the committed segments, replays the
 // deterministic input as warmup, and resumes committing at the first
 // uncovered bin — serving byte-identical payloads to an uninterrupted run.
+//
+// With -follow the process is a replica instead of a writer: it runs no
+// analysis, tails the writer's versioned replication feed (/api/stream),
+// rebuilds byte-identical snapshots and serves the same read API. Replicas
+// resync automatically across disconnects and writer restarts; N replicas
+// behind any load balancer form a horizontally scalable read tier. Adding
+// -store (plus -case for the run identity) bootstraps the replica from
+// local segment files — e.g. a writer directory on shared storage — so only
+// the bins missing from the files travel over the feed. -feed sizes the
+// writer's in-memory catch-up ring (deltas kept for ?since= replay before
+// falling back to the segment store or a full-state resync).
 //
 // Endpoints (see internal/serve for filters, pagination, ETag and SSE):
 //
@@ -91,6 +104,8 @@ func main() {
 	corroborate := flag.Int("corroborate", 0, "require this many distinct corroborating alarm sources per event (0 = off, paper behaviour)")
 	storeDir := flag.String("store", "", "segment store directory for crash-safe per-bin persistence; reopening resumes past committed bins and adds /api/bins time travel")
 	evictIdle := flag.Int("evict-idle-bins", 0, "evict detector state for links/flows idle this many bins (0 = off, paper behaviour)")
+	follow := flag.String("follow", "", "writer base URL to replicate (e.g. http://writer:8080): run as a read replica tailing its feed instead of analyzing locally")
+	feedWindow := flag.Int("feed", 0, "replication feed catch-up window in deltas (0 = default 256)")
 	flag.Parse()
 
 	// All flag validation happens before the listener opens: a bad flag must
@@ -108,6 +123,14 @@ func main() {
 		if inputPaths, err = parseInputs(*input); err != nil {
 			log.Fatal(err)
 		}
+	}
+
+	if *follow != "" {
+		if *input != "" {
+			log.Fatal("-follow and -input are mutually exclusive (a replica runs no analysis)")
+		}
+		runFollower(c, *follow, *addr, *storeDir, *feedWindow)
+		return
 	}
 
 	cfg := core.Config{Workers: *workers}
@@ -152,6 +175,9 @@ func main() {
 	} else {
 		pub = serve.NewPublisher(a, meta)
 	}
+	if *feedWindow > 0 {
+		pub.SetFeedWindow(*feedWindow)
+	}
 	srv := serve.NewServer(pub, serve.Options{Addr: *addr})
 
 	c.Platform.SetWorkers(*genWorkers)
@@ -160,6 +186,51 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 	log.Printf("case %s (%s); serving on %s", c.Name, c.Description, *addr)
+	if err := srv.ListenAndServe(ctx); err != nil {
+		log.Fatal(err)
+	}
+	log.Print("shut down")
+}
+
+// runFollower is the replica role: no analyzer, no ingest — tail the
+// writer's replication feed and serve the rebuilt snapshots. With a store
+// directory the replica bootstraps from the local segment files first and
+// only tails the bins they are missing.
+func runFollower(c *experiments.Case, url, addr, storeDir string, feedWindow int) {
+	opts := serve.FollowerOptions{
+		URL:        strings.TrimRight(url, "/"),
+		FeedWindow: feedWindow,
+		Logf:       log.Printf,
+	}
+	if storeDir != "" {
+		opts.StoreDir = storeDir
+		opts.Meta = serve.Meta{
+			Case:        c.Name,
+			Description: c.Description,
+			Start:       c.Start,
+			End:         c.End,
+		}
+		opts.BinSize = time.Hour
+	}
+	f, err := serve.NewFollower(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if storeDir != "" {
+		log.Printf("store %s: bootstrapped to snapshot seq %d", storeDir, f.Snapshot().Seq)
+	}
+	srv := serve.NewServer(f, serve.Options{Addr: addr})
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		if err := f.Run(ctx); err != nil && ctx.Err() == nil {
+			// Permanent feed failure (protocol or run-identity mismatch): keep
+			// serving whatever state was reached, but say why it froze.
+			log.Printf("replication stopped: %v", err)
+		}
+	}()
+	log.Printf("replica of %s; serving on %s", url, addr)
 	if err := srv.ListenAndServe(ctx); err != nil {
 		log.Fatal(err)
 	}

@@ -40,8 +40,9 @@ func main() {
 		Case: c.Name, Description: c.Description,
 		Start: c.Start, End: c.End,
 	})
-	deltas, cancel := pub.Subscribe()
-	defer cancel()
+	sub := pub.Subscribe()
+	defer sub.Cancel()
+	deltas := sub.C
 	done := make(chan struct{})
 	go func() {
 		defer close(done)

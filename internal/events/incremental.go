@@ -216,6 +216,12 @@ func (a *Aggregator) cachedMagnitude(pts []timeseries.Point, from, to time.Time)
 	return out, true
 }
 
+// Generation returns the incremental region's rebuild generation: bumped
+// by every staleness rebuild and by RestoreIncremental at boot. The
+// replication feed (serve) stamps it on every delta so mirrors — local or
+// remote — know when their append-only copy of the history is void.
+func (a *Aggregator) Generation() uint64 { return a.inc.gen }
+
 // IncrementalEvents returns the incrementally accumulated event list as a
 // fixed-length prefix safe to publish to concurrent readers, plus the
 // rebuild generation. The list is append-only within one generation; a

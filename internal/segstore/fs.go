@@ -39,10 +39,33 @@ func DirFS(dir string) (FS, error) {
 	return &dirFS{dir: dir}, nil
 }
 
-type dirFS struct{ dir string }
+// DirFSReadOnly roots an FS at an existing OS directory without creating
+// anything: files open O_RDONLY and a missing file or directory is an
+// error. Writes through the returned files fail at the OS level; the store
+// layer never attempts them on a read-only open.
+func DirFSReadOnly(dir string) (FS, error) {
+	if st, err := os.Stat(dir); err != nil {
+		return nil, err
+	} else if !st.IsDir() {
+		return nil, fmt.Errorf("segstore: %s is not a directory", dir)
+	}
+	return &dirFS{dir: dir, readonly: true}, nil
+}
+
+type dirFS struct {
+	dir      string
+	readonly bool
+}
 
 func (d *dirFS) OpenFile(name string) (File, error) {
 	path := filepath.Join(d.dir, name)
+	if d.readonly {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		return &dirFile{f: f}, nil
+	}
 	_, statErr := os.Stat(path)
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {

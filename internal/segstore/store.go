@@ -45,15 +45,16 @@ type RecoveryInfo struct {
 // Store is an open segment store. It is not safe for concurrent use; the
 // publisher serializes commits on the analysis goroutine.
 type Store struct {
-	fsys    FS
-	data    File
-	man     File
-	entries []entry
-	dataEnd int64 // end offset of the committed data prefix
-	buf     []byte
-	scratch []byte
-	mm      []byte // read-only mmap of segments.dat, if available
-	rec     RecoveryInfo
+	fsys     FS
+	data     File
+	man      File
+	entries  []entry
+	dataEnd  int64 // end offset of the committed data prefix
+	buf      []byte
+	scratch  []byte
+	mm       []byte // read-only mmap of segments.dat, if available
+	rec      RecoveryInfo
+	readonly bool
 }
 
 // Open opens (creating if needed) a store rooted at an OS directory.
@@ -65,11 +66,34 @@ func Open(dir string) (*Store, error) {
 	return OpenFS(fsys)
 }
 
+// OpenReadOnly opens an existing store without mutating it: recovery is
+// virtual (a torn tail is ignored, not truncated) and Append is rejected.
+// Because committed data is append-only, a read-only store is safe to open
+// on a directory another process is actively committing to — it serves the
+// prefix that was durable at open time. This is the follower bootstrap
+// entry point (serve.NewFollower with a local store directory).
+func OpenReadOnly(dir string) (*Store, error) {
+	fsys, err := DirFSReadOnly(dir)
+	if err != nil {
+		return nil, err
+	}
+	return openFS(fsys, true)
+}
+
 // OpenFS opens a store on an arbitrary filesystem, running recovery: the
 // committed prefix is whatever the manifest validates; any torn tail in
 // either file is truncated away.
 func OpenFS(fsys FS) (*Store, error) {
-	s := &Store{fsys: fsys}
+	return openFS(fsys, false)
+}
+
+// OpenFSReadOnly is OpenReadOnly on an arbitrary filesystem.
+func OpenFSReadOnly(fsys FS) (*Store, error) {
+	return openFS(fsys, true)
+}
+
+func openFS(fsys FS, readonly bool) (*Store, error) {
+	s := &Store{fsys: fsys, readonly: readonly}
 	var err error
 	if s.data, err = fsys.OpenFile(dataName); err != nil {
 		return nil, err
@@ -89,13 +113,17 @@ func OpenFS(fsys FS) (*Store, error) {
 
 // initHeader validates or (re)writes a 16-byte file header. A file shorter
 // than one header cannot hold any committed state (headers are synced at
-// creation before any commit), so a torn header resets the file.
-func initHeader(f File, magic [8]byte) (int64, error) {
+// creation before any commit), so a torn header resets the file — or, on a
+// read-only open, just means an empty committed prefix.
+func initHeader(f File, magic [8]byte, readonly bool) (int64, error) {
 	size, err := f.Size()
 	if err != nil {
 		return 0, err
 	}
 	if size < fileHeaderSize {
+		if readonly {
+			return fileHeaderSize, nil
+		}
 		var hdr [fileHeaderSize]byte
 		copy(hdr[:], magic[:])
 		binary.LittleEndian.PutUint32(hdr[8:], formatVersion)
@@ -126,11 +154,11 @@ func initHeader(f File, magic [8]byte) (int64, error) {
 // recover scans the manifest, validates each entry against the data file,
 // and truncates both files to the committed prefix.
 func (s *Store) recover() error {
-	dataSize, err := initHeader(s.data, dataMagic)
+	dataSize, err := initHeader(s.data, dataMagic, s.readonly)
 	if err != nil {
 		return err
 	}
-	manSize, err := initHeader(s.man, manMagic)
+	manSize, err := initHeader(s.man, manMagic, s.readonly)
 	if err != nil {
 		return err
 	}
@@ -180,7 +208,12 @@ func (s *Store) recover() error {
 	}
 	// Truncate the torn tails so appends resume on a clean prefix. This is
 	// idempotent: a crash mid-truncation leaves a (shorter) torn tail the
-	// next open truncates again.
+	// next open truncates again. A read-only open never truncates: the torn
+	// tail is simply outside the served prefix (and on a live writer's
+	// directory it is usually not torn at all, just newer than this open).
+	if s.readonly {
+		return nil
+	}
 	if s.rec.TruncatedEntries > 0 {
 		if err := s.man.Truncate(fileHeaderSize + int64(len(s.entries))*entrySize); err != nil {
 			return err
@@ -249,6 +282,9 @@ func (s *Store) LastBin() (time.Time, bool) {
 // write, manifest fsync. On return the record is durable. Bins must be
 // strictly increasing.
 func (s *Store) Append(rec *BinRecord) error {
+	if s.readonly {
+		return errors.New("segstore: store is open read-only")
+	}
 	if len(s.entries) > 0 && rec.Bin.Unix() <= s.entries[len(s.entries)-1].bin {
 		return fmt.Errorf("segstore: bin %s not after last committed bin %s",
 			rec.Bin.UTC().Format(time.RFC3339), unixUTC(s.entries[len(s.entries)-1].bin).Format(time.RFC3339))

@@ -2,6 +2,8 @@ package serve
 
 import (
 	"context"
+	"fmt"
+	"net/http"
 	"net/http/httptest"
 	"sort"
 	"sync"
@@ -153,6 +155,88 @@ func BenchmarkServeReads(b *testing.B) {
 				local := make([]time.Duration, 0, 1024)
 				for pb.Next() {
 					url := benchURLs[int(idx.Add(1))%len(benchURLs)]
+					req := httptest.NewRequest("GET", url, nil)
+					rec := httptest.NewRecorder()
+					t0 := time.Now()
+					h.ServeHTTP(rec, req)
+					local = append(local, time.Since(t0))
+					if rec.Code != 200 {
+						b.Errorf("%s: status %d", url, rec.Code)
+					}
+				}
+				mu.Lock()
+				lats = append(lats, local...)
+				mu.Unlock()
+			})
+			b.StopTimer()
+			if len(lats) > 0 {
+				sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+				p99 := lats[len(lats)*99/100]
+				b.ReportMetric(float64(p99.Nanoseconds()), "p99-ns")
+				b.ReportMetric(float64(len(lats))/b.Elapsed().Seconds(), "reads/s")
+			}
+		})
+	}
+}
+
+// BenchmarkReplicaReads measures the read tier the writer/replica split
+// buys: one writer completes a run, N followers converge on byte-identical
+// terminal snapshots over the replication feed, and the readers fan out
+// across the replica handlers round-robin. Reported are the fleet-wide
+// aggregate reads/s and the p99 of a single read. (On a single-core
+// container the replicas share that core, so aggregate throughput stays
+// flat with N; the numbers demonstrate per-replica read cost, while the
+// scaling claim needs one core per replica.)
+func BenchmarkReplicaReads(b *testing.B) {
+	wl := benchData(b)
+	for _, replicas := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("replicas=%d", replicas), func(b *testing.B) {
+			a := wl.table()
+			defer a.Close()
+			pub := NewPublisher(a, Meta{Case: "bench", Start: wl.start, End: wl.start.Add(wl.span)})
+			wsrv := NewServer(pub, Options{Logf: func(string, ...any) {}})
+			ts := httptest.NewServer(wsrv.Handler())
+			defer ts.Close()
+
+			const batch = 1024
+			for i := 0; i < len(wl.results); i += batch {
+				end := i + batch
+				if end > len(wl.results) {
+					end = len(wl.results)
+				}
+				a.ObserveBatch(wl.results[i:end])
+				pub.ObserveResults(end - i)
+			}
+			a.Flush()
+			pub.Finish(nil)
+
+			handlers := make([]http.Handler, replicas)
+			for r := 0; r < replicas; r++ {
+				f, err := NewFollower(FollowerOptions{URL: ts.URL})
+				if err != nil {
+					b.Fatal(err)
+				}
+				// The run is complete: Run returns once the follower has
+				// caught up through the terminal delta.
+				if err := f.Run(context.Background()); err != nil {
+					b.Fatal(err)
+				}
+				if !f.Snapshot().Complete() {
+					b.Fatal("follower did not reach the terminal snapshot")
+				}
+				handlers[r] = NewServer(f, Options{Logf: func(string, ...any) {}}).Handler()
+			}
+
+			var mu sync.Mutex
+			var lats []time.Duration
+			var idx atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				local := make([]time.Duration, 0, 1024)
+				for pb.Next() {
+					i := int(idx.Add(1))
+					url := benchURLs[i%len(benchURLs)]
+					h := handlers[i%replicas]
 					req := httptest.NewRequest("GET", url, nil)
 					rec := httptest.NewRecorder()
 					t0 := time.Now()

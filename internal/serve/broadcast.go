@@ -1,0 +1,155 @@
+package serve
+
+import "sync"
+
+// Subscription is one delta-stream consumer. Receive from C; call Cancel
+// when done. A subscriber that falls more than the channel buffer behind is
+// dropped — its channel is closed after the buffered deltas drain — and
+// Gap then reports the last seq that was enqueued for it, so the consumer
+// (the SSE handler, which forwards a terminal `gap` event) can tell a
+// resync-needed drop apart from an orderly shutdown.
+type Subscription struct {
+	C <-chan Delta
+
+	b       *broadcaster
+	ch      chan Delta
+	id      int
+	lastSeq uint64 // guarded by b.mu
+	gapped  bool   // guarded by b.mu
+}
+
+// Cancel deregisters the subscription. Idempotent.
+func (s *Subscription) Cancel() {
+	s.b.mu.Lock()
+	defer s.b.mu.Unlock()
+	if _, ok := s.b.subs[s.id]; ok {
+		delete(s.b.subs, s.id)
+		close(s.ch)
+	}
+}
+
+// Gap reports whether the subscription was dropped for falling behind, and
+// if so the last delta seq enqueued before the drop.
+func (s *Subscription) Gap() (lastSeq uint64, dropped bool) {
+	s.b.mu.Lock()
+	defer s.b.mu.Unlock()
+	return s.lastSeq, s.gapped
+}
+
+// broadcaster fans deltas out to subscriptions and keeps the recent-delta
+// ring the ?since= catch-up replays from. The ring holds deltas by value;
+// their slices are shared with the immutable snapshots, so retaining them
+// costs headers, not copies.
+type broadcaster struct {
+	mu     sync.Mutex
+	subs   map[int]*Subscription
+	nextID int
+	closed bool
+
+	ring    []Delta // consecutive seqs, oldest first
+	ringCap int
+}
+
+func newBroadcaster(window int) *broadcaster {
+	if window <= 0 {
+		window = defaultFeedWindow
+	}
+	return &broadcaster{subs: make(map[int]*Subscription), ringCap: window}
+}
+
+// setWindow resizes the catch-up ring (writer -feed flag). Call before
+// serving; shrinking drops the oldest deltas.
+func (b *broadcaster) setWindow(n int) {
+	if n <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.ringCap = n
+	if len(b.ring) > n {
+		b.ring = append([]Delta(nil), b.ring[len(b.ring)-n:]...)
+	}
+}
+
+// subscribe registers a consumer. On a closed broadcaster the returned
+// subscription's channel is already closed (and not gap-marked).
+func (b *broadcaster) subscribe() *Subscription {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ch := make(chan Delta, 64)
+	sub := &Subscription{C: ch, ch: ch, b: b, id: b.nextID}
+	b.nextID++
+	if b.closed {
+		close(ch)
+		return sub
+	}
+	b.subs[sub.id] = sub
+	return sub
+}
+
+// broadcast enqueues d for every subscription, dropping (and gap-marking)
+// any whose buffer is full rather than stalling the producer. keep controls
+// ring retention: the writer's restore-time publication is a degenerate
+// empty delta that must never satisfy a catch-up, so it stays out.
+func (b *broadcaster) broadcast(d Delta, keep bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if keep {
+		b.ring = append(b.ring, d)
+		if len(b.ring) > b.ringCap {
+			// Amortized trim: slide rather than reallocating per delta.
+			b.ring = append(b.ring[:0], b.ring[len(b.ring)-b.ringCap:]...)
+		}
+	}
+	for id, sub := range b.subs {
+		select {
+		case sub.ch <- d:
+			sub.lastSeq = d.Seq
+		default: // slow consumer: drop it rather than stall analysis
+			sub.gapped = true
+			delete(b.subs, id)
+			close(sub.ch)
+		}
+	}
+}
+
+// catchUp returns the deltas covering (since, upTo] when the ring still
+// holds that range contiguously; ok=false sends the caller to the next
+// catch-up source (segment store synthesis, then a full-state delta).
+func (b *broadcaster) catchUp(since, upTo uint64) ([]Delta, bool) {
+	if since >= upTo {
+		return nil, true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]Delta, 0, upTo-since)
+	for _, d := range b.ring {
+		if d.Seq <= since || d.Seq > upTo {
+			continue
+		}
+		if len(out) == 0 {
+			if d.Seq != since+1 {
+				return nil, false // ring no longer reaches back to since
+			}
+		} else if d.Seq != out[len(out)-1].Seq+1 {
+			return nil, false // hole (should not happen; be safe)
+		}
+		out = append(out, d)
+	}
+	if uint64(len(out)) != upTo-since {
+		return nil, false
+	}
+	return out, true
+}
+
+// closeAll terminates every subscription (server shutdown) without gap
+// marking. New subscribe calls return an already-closed channel.
+func (b *broadcaster) closeAll() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.closed = true
+	for id, sub := range b.subs {
+		delete(b.subs, id)
+		close(sub.ch)
+	}
+}

@@ -1,0 +1,339 @@
+package serve
+
+// Follower is the replica role: it dials a writer's replication feed,
+// rebuilds byte-identical snapshots by applying decoded deltas to the same
+// mirror the writer assembles from, and serves the full read API from them.
+// N followers behind any load balancer form a horizontally scalable read
+// tier over one writer.
+//
+// State machine:
+//
+//	bootstrap   — optionally rebuild the mirror from local segment-store
+//	              files (read-only open; safe against a live writer, whose
+//	              store is append-only), landing at seq n+1 for n records.
+//	connect     — GET {url}/api/stream?since={seq}. The hello validates the
+//	              protocol version and run identity and supplies Meta and
+//	              the bin size; a store-bootstrapped mirror adopts the
+//	              writer's generation here (durable history is valid under
+//	              any generation — segment-backed writers never rebuild it).
+//	tail        — apply each delta in seq order, publish a snapshot per
+//	              delta, re-broadcast on the follower's own feed (replicas
+//	              chain). Stale deltas (seq ≤ mirror's) are skipped.
+//	resync      — a seq gap, a `gap` event (dropped as too slow), or a
+//	              dropped connection returns to connect with since=seq; the
+//	              writer replays from its ring or store, or sends one Full
+//	              delta that replaces the whole mirror. Generation bumps
+//	              need no special casing: the bump delta carries the full
+//	              re-derived event/magnitude history by construction.
+//	terminal    — a Done/Failed delta ends the run; Run returns nil.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pinpoint/internal/segstore"
+)
+
+// FollowerOptions configures a Follower. URL is required; everything else
+// has serviceable defaults.
+type FollowerOptions struct {
+	// URL is the writer's base URL (e.g. "http://writer:8080").
+	URL string
+
+	// StoreDir, when set, bootstraps the mirror from local segment-store
+	// files before first connect, instead of replaying the whole feed.
+	// Requires Meta and BinSize (they cannot come from the hello yet).
+	StoreDir string
+
+	// Meta and BinSize describe the run when bootstrapping from files; when
+	// zero they are adopted from the writer's hello.
+	Meta    Meta
+	BinSize time.Duration
+
+	// Client is the HTTP client used to dial the feed. Default: a client
+	// without timeout (the stream is long-lived).
+	Client *http.Client
+
+	// ReconnectMin/Max bound the exponential backoff between connection
+	// attempts. Defaults 100ms / 5s.
+	ReconnectMin, ReconnectMax time.Duration
+
+	// FeedWindow sizes the follower's own downstream catch-up ring.
+	FeedWindow int
+
+	// Logf receives connection diagnostics. Default: discard.
+	Logf func(format string, args ...any)
+}
+
+// Follower tails a writer's replication feed and serves read-only
+// snapshots. It implements Source, so NewServer works on it unchanged.
+type Follower struct {
+	opts FollowerOptions
+
+	// m is owned by the Run goroutine (and by NewFollower before Run
+	// starts); readers only touch the published snapshot.
+	m   mirror
+	cur atomic.Pointer[Snapshot]
+
+	bc *broadcaster
+
+	store    *segstore.Store
+	storeMu  sync.Mutex // serializes /api/bins reads (shared decode scratch)
+	binIndex []BinSummary
+
+	adoptGen bool // first hello after a file bootstrap adopts the writer's gen
+}
+
+// NewFollower builds a follower and, when StoreDir is set, bootstraps its
+// mirror from the local segment files. The feed is not dialed until Run.
+func NewFollower(opts FollowerOptions) (*Follower, error) {
+	if opts.URL == "" {
+		return nil, errors.New("serve: follower needs a writer URL")
+	}
+	if opts.Client == nil {
+		opts.Client = &http.Client{}
+	}
+	if opts.ReconnectMin <= 0 {
+		opts.ReconnectMin = 100 * time.Millisecond
+	}
+	if opts.ReconnectMax <= 0 {
+		opts.ReconnectMax = 5 * time.Second
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	f := &Follower{opts: opts, bc: newBroadcaster(opts.FeedWindow)}
+	f.m.meta = opts.Meta
+	f.m.binSize = opts.BinSize
+	if opts.StoreDir != "" {
+		if opts.BinSize <= 0 {
+			return nil, errors.New("serve: follower store bootstrap needs BinSize")
+		}
+		st, err := segstore.OpenReadOnly(opts.StoreDir)
+		if err != nil {
+			return nil, fmt.Errorf("serve: follower store bootstrap: %w", err)
+		}
+		bins, err := f.m.restoreFromRecords(st)
+		if err != nil {
+			return nil, err
+		}
+		f.store = st
+		f.binIndex = bins
+		f.adoptGen = true
+	}
+	f.cur.Store(f.m.assemble())
+	return f, nil
+}
+
+// Snapshot returns the current rebuilt snapshot. Never nil; seq 0 before
+// the first delta (or file bootstrap) lands.
+func (f *Follower) Snapshot() *Snapshot { return f.cur.Load() }
+
+// Results returns the snapshot's result count (followers have no live
+// between-publish counter; the feed is the only result source).
+func (f *Follower) Results() int { return f.cur.Load().Results }
+
+// Subscribe registers a downstream feed subscriber (replicas chain: a
+// follower re-broadcasts every applied delta).
+func (f *Follower) Subscribe() *Subscription { return f.bc.subscribe() }
+
+// CloseSubscribers terminates the follower's downstream streams.
+func (f *Follower) CloseSubscribers() { f.bc.closeAll() }
+
+// CatchUp serves downstream ?since= requests from the follower's own ring.
+// Deeper history falls back to the handler's full-state delta.
+func (f *Follower) CatchUp(since, upTo uint64) ([]Delta, bool) {
+	return f.bc.catchUp(since, upTo)
+}
+
+// HasStore reports whether the follower bootstrapped from local segments.
+func (f *Follower) HasStore() bool { return f.store != nil }
+
+// StoreBins lists the bootstrap store's committed bins.
+func (f *Follower) StoreBins() ([]BinSummary, bool) {
+	if f.store == nil {
+		return nil, false
+	}
+	f.storeMu.Lock()
+	defer f.storeMu.Unlock()
+	return append([]BinSummary{}, f.binIndex...), true
+}
+
+// StoreBin decodes one committed bin from the bootstrap store.
+func (f *Follower) StoreBin(bin time.Time) (*BinPayload, bool, error) {
+	if f.store == nil {
+		return nil, false, nil
+	}
+	f.storeMu.Lock()
+	defer f.storeMu.Unlock()
+	return storeBinLookup(f.store, f.binIndex, bin, f.cur.Load().BinSize)
+}
+
+// errFeedGap asks the run loop to reconnect and resync via ?since=.
+var errFeedGap = errors.New("serve: feed gap")
+
+// Run tails the writer until the run completes, the context is canceled,
+// or a permanent protocol/identity mismatch is hit. Transient failures
+// (connection loss, slow-subscriber drops, seq gaps) reconnect with
+// backoff and resync through the catch-up protocol.
+func (f *Follower) Run(ctx context.Context) error {
+	defer f.bc.closeAll()
+	backoff := f.opts.ReconnectMin
+	for {
+		err := f.tail(ctx)
+		if snap := f.cur.Load(); snap.Complete() {
+			return nil
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		var perm *permanentError
+		if errors.As(err, &perm) {
+			return perm.err
+		}
+		if err != nil {
+			f.opts.Logf("serve: follower reconnecting after: %v", err)
+		}
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		if backoff *= 2; backoff > f.opts.ReconnectMax {
+			backoff = f.opts.ReconnectMax
+		}
+	}
+}
+
+// permanentError wraps failures no reconnect can fix (protocol version or
+// run identity mismatch).
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+
+// tail runs one feed connection: dial with since=seq, validate the hello,
+// apply deltas until the stream ends.
+func (f *Follower) tail(ctx context.Context) error {
+	url := f.opts.URL + "/api/stream?since=" + strconv.FormatUint(f.m.seq, 10)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return &permanentError{err}
+	}
+	resp, err := f.opts.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("serve: feed returned %s", resp.Status)
+	}
+
+	sawHello := false
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	var event string
+	var data []byte
+	for sc.Scan() {
+		line := sc.Bytes()
+		switch {
+		case len(line) == 0: // blank line: dispatch the accumulated event
+			if event == "" && data == nil {
+				continue
+			}
+			ev, payload := event, data
+			event, data = "", nil
+			if !sawHello {
+				if ev != "hello" {
+					return fmt.Errorf("serve: feed started with %q, want hello", ev)
+				}
+				if err := f.applyHello(payload); err != nil {
+					return err
+				}
+				sawHello = true
+				continue
+			}
+			switch ev {
+			case "delta":
+				done, err := f.applyDelta(payload)
+				if err != nil || done {
+					return err
+				}
+			case "gap":
+				// Dropped as too slow upstream: resync via since=.
+				return errFeedGap
+			}
+		case bytes.HasPrefix(line, []byte("event: ")):
+			event = string(line[len("event: "):])
+		case bytes.HasPrefix(line, []byte("data: ")):
+			data = append(data, line[len("data: "):]...)
+		}
+	}
+	if err := sc.Err(); err != nil && ctx.Err() == nil {
+		return err
+	}
+	// Clean EOF: the writer shut down or the complete run's stream ended.
+	return nil
+}
+
+// applyHello validates the feed identity and synchronizes run metadata.
+func (f *Follower) applyHello(payload []byte) error {
+	h, err := decodeHello(payload)
+	if err != nil {
+		return fmt.Errorf("serve: decoding hello: %w", err)
+	}
+	if h.Proto != FeedProto {
+		return &permanentError{fmt.Errorf("serve: writer speaks feed proto %d, follower %d", h.Proto, FeedProto)}
+	}
+	if h.BinNS <= 0 {
+		// A writer always knows its bin size; a zero one means the upstream
+		// is itself a follower that has not synchronized yet (replica chains
+		// boot in any order). Transient: back off and redial.
+		return errors.New("serve: upstream feed not synchronized yet")
+	}
+	if f.m.meta.Case != "" && h.Case != f.m.meta.Case {
+		return &permanentError{fmt.Errorf("serve: writer serves case %q, follower expects %q", h.Case, f.m.meta.Case)}
+	}
+	if f.m.binSize > 0 && h.BinNS != f.m.binSize {
+		return &permanentError{fmt.Errorf("serve: writer bin size %v, follower %v", h.BinNS, f.m.binSize)}
+	}
+	f.m.meta = Meta{Case: h.Case, Description: h.Description, Start: h.Start, End: h.End}
+	f.m.binSize = h.BinNS
+	if f.adoptGen {
+		// The file-bootstrapped history is durable and thus valid under the
+		// writer's current generation (segment-backed aggregators never
+		// rebuild committed history); adopt it so the next same-gen delta
+		// appends instead of resyncing.
+		f.m.gen = h.Gen
+		f.adoptGen = false
+	}
+	f.cur.Store(f.m.assemble())
+	return nil
+}
+
+// applyDelta advances the mirror by one decoded delta, publishes the
+// resulting snapshot and re-broadcasts downstream. done reports a terminal
+// delta.
+func (f *Follower) applyDelta(payload []byte) (done bool, err error) {
+	d, err := decodeDelta(payload)
+	if err != nil {
+		return false, fmt.Errorf("serve: decoding delta: %w", err)
+	}
+	if d.Seq <= f.m.seq {
+		return false, nil // already reflected (hello overlap on reconnect)
+	}
+	if !d.Full && d.Seq != f.m.seq+1 {
+		return false, errFeedGap
+	}
+	f.m.apply(&d)
+	f.cur.Store(f.m.assemble())
+	f.bc.broadcast(d, true)
+	return d.Done || d.Failed, nil
+}

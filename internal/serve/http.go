@@ -51,7 +51,32 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Server is the lock-free HTTP API over a Publisher's snapshots.
+// Source is what the HTTP API serves from: a snapshot producer with a
+// replication feed. Publisher (the writer role) and Follower (the replica
+// role) both implement it, so one Server works unchanged on either side of
+// the split.
+type Source interface {
+	// Snapshot returns the current immutable snapshot; never nil.
+	Snapshot() *Snapshot
+	// Results returns the live ingested-result count (snapshot count plus
+	// anything observed since the last publication).
+	Results() int
+	// Subscribe registers a feed subscriber.
+	Subscribe() *Subscription
+	// CloseSubscribers terminates every feed stream (server shutdown).
+	CloseSubscribers()
+	// CatchUp returns the feed deltas covering (since, upTo], or ok=false
+	// when no catch-up source reaches back that far (the stream handler
+	// then sends one full-state delta).
+	CatchUp(since, upTo uint64) ([]Delta, bool)
+	// StoreBins, StoreBin and HasStore expose the committed-segment index
+	// for /api/bins time travel.
+	StoreBins() ([]BinSummary, bool)
+	StoreBin(bin time.Time) (*BinPayload, bool, error)
+	HasStore() bool
+}
+
+// Server is the lock-free HTTP API over a Source's snapshots.
 //
 //	GET /api/status            analysis progress and run outcome
 //	GET /api/alarms/delay      delay-change alarms (filter + paginate)
@@ -59,17 +84,18 @@ func (o Options) withDefaults() Options {
 //	GET /api/events            major per-AS events (filter + paginate)
 //	GET /api/magnitude?asn=N   hourly magnitude series for one AS
 //	GET /api/bins              committed segment-store bins (time travel)
-//	GET /api/stream            SSE delta stream, one event per bin close
+//	GET /api/stream            versioned replication feed (SSE, ?since=)
 //	GET /                      human-readable summary
 type Server struct {
-	pub  *Publisher
+	src  Source
 	mux  *http.ServeMux
 	opts Options
 }
 
-// NewServer builds the API around a publisher.
-func NewServer(pub *Publisher, opts Options) *Server {
-	s := &Server{pub: pub, mux: http.NewServeMux(), opts: opts.withDefaults()}
+// NewServer builds the API around a snapshot source — the writer's
+// Publisher or a replica's Follower.
+func NewServer(src Source, opts Options) *Server {
+	s := &Server{src: src, mux: http.NewServeMux(), opts: opts.withDefaults()}
 	s.mux.HandleFunc("/api/status", s.handleStatus)
 	s.mux.HandleFunc("/api/alarms/delay", s.handleDelayAlarms)
 	s.mux.HandleFunc("/api/alarms/forwarding", s.handleFwdAlarms)
@@ -106,7 +132,7 @@ func (s *Server) ListenAndServe(ctx context.Context) error {
 		return err
 	case <-ctx.Done():
 	}
-	s.pub.CloseSubscribers() // unblock SSE handlers so Shutdown can drain
+	s.src.CloseSubscribers() // unblock SSE handlers so Shutdown can drain
 	grace, cancel := context.WithTimeout(context.Background(), s.opts.ShutdownGrace)
 	defer cancel()
 	if err := srv.Shutdown(grace); err != nil {
@@ -168,9 +194,10 @@ func (s *Server) writeJSON(w http.ResponseWriter, v any) {
 	}
 }
 
-// serveCached serves a snapshot's pre-encoded default payload, with strong
-// ETag revalidation once the run is complete (complete snapshots are
-// immutable, so the ETag is stable from then on).
+// serveCached serves a snapshot's pre-encoded default payload with strong
+// ETag revalidation. Snapshots are immutable, so the bytes-derived ETag is
+// valid mid-run too: it is stable across no-op polls of the same snapshot
+// and changes exactly when a bin close (or completion) publishes new bytes.
 func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, snap *Snapshot, c *payloadCache, build func() any) {
 	b, etag, err := c.get(build)
 	if err != nil {
@@ -178,12 +205,10 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, snap *Snaps
 		http.Error(w, "response encoding failed", http.StatusInternalServerError)
 		return
 	}
-	if snap.Complete() {
-		w.Header().Set("ETag", etag)
-		if match := r.Header.Get("If-None-Match"); match != "" && match == etag {
-			w.WriteHeader(http.StatusNotModified)
-			return
-		}
+	w.Header().Set("ETag", etag)
+	if match := r.Header.Get("If-None-Match"); match != "" && match == etag {
+		w.WriteHeader(http.StatusNotModified)
+		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	if _, err := w.Write(b); err != nil {
@@ -349,7 +374,7 @@ func serveList[T any](s *Server, w http.ResponseWriter, r *http.Request, snap *S
 }
 
 func (s *Server) handleDelayAlarms(w http.ResponseWriter, r *http.Request) {
-	snap := s.pub.Snapshot()
+	snap := s.src.Snapshot()
 	serveList(s, w, r, snap, &snap.encDelay, snap.DelayAlarms, func(q query, a DelayAlarm) bool {
 		if !q.binMatch(a.Bin) || (q.link != "" && a.Link != q.link) {
 			return false
@@ -359,7 +384,7 @@ func (s *Server) handleDelayAlarms(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleFwdAlarms(w http.ResponseWriter, r *http.Request) {
-	snap := s.pub.Snapshot()
+	snap := s.src.Snapshot()
 	serveList(s, w, r, snap, &snap.encFwd, snap.FwdAlarms, func(q query, a FwdAlarm) bool {
 		if !q.binMatch(a.Bin) || (q.router != "" && a.Router != q.router) || (q.dst != "" && a.Dst != q.dst) {
 			return false
@@ -370,7 +395,7 @@ func (s *Server) handleFwdAlarms(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
-	snap := s.pub.Snapshot()
+	snap := s.src.Snapshot()
 	serveList(s, w, r, snap, &snap.encEvents, snap.Events, func(q query, e Event) bool {
 		if !q.binMatch(e.Bin) || (q.asn != "" && e.ASN != q.asn) || (q.typ != "" && e.Type != q.typ) {
 			return false
@@ -427,15 +452,23 @@ func (s *Server) statusOf(snap *Snapshot) statusJSON {
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
-	snap := s.pub.Snapshot()
+	snap := s.src.Snapshot()
 	if snap.Complete() {
-		// Terminal state: immutable, so ETag revalidation applies.
+		// Terminal state: immutable, so the bytes-derived ETag applies.
 		s.serveCached(w, r, snap, &snap.encStatus, func() any { return s.statusOf(snap) })
 		return
 	}
 	st := s.statusOf(snap)
-	if live := s.pub.Results(); live > st.Results {
+	if live := s.src.Results(); live > st.Results {
 		st.Results = live
+	}
+	// Mid-run the payload is (generation, seq, live results); polling
+	// between publications revalidates to 304 until any of them moves.
+	etag := etagFor(snap, fmt.Sprintf("status|%d", st.Results))
+	w.Header().Set("ETag", etag)
+	if match := r.Header.Get("If-None-Match"); match != "" && match == etag {
+		w.WriteHeader(http.StatusNotModified)
+		return
 	}
 	s.writeJSON(w, st)
 }
@@ -458,7 +491,7 @@ func (s *Server) handleMagnitude(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	snap := s.pub.Snapshot()
+	snap := s.src.Snapshot()
 	from, to := snap.Meta.Start, snap.Meta.End
 	if q.haveFrom {
 		from = q.from
@@ -468,12 +501,13 @@ func (s *Server) handleMagnitude(w http.ResponseWriter, r *http.Request) {
 	}
 	var resp magnitudeJSON
 	resp.Delay, resp.Forwarding = snap.Magnitude(ipmap.ASN(asn), from, to)
-	if snap.Complete() {
-		w.Header().Set("ETag", completeETagFor(snap, r.URL.RawQuery))
-		if match := r.Header.Get("If-None-Match"); match != "" && match == w.Header().Get("ETag") {
-			w.WriteHeader(http.StatusNotModified)
-			return
-		}
+	// (generation, seq, query) identifies the bytes for any snapshot —
+	// complete or mid-run — because snapshots are immutable and a rebuild
+	// that re-derives history always bumps the generation.
+	w.Header().Set("ETag", etagFor(snap, r.URL.RawQuery))
+	if match := r.Header.Get("If-None-Match"); match != "" && match == w.Header().Get("ETag") {
+		w.WriteHeader(http.StatusNotModified)
+		return
 	}
 	s.writeJSON(w, resp)
 }
@@ -489,14 +523,14 @@ func (s *Server) handleBins(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, fmt.Sprintf("invalid bin: %v", err), http.StatusBadRequest)
 			return
 		}
-		pl, found, err := s.pub.StoreBin(t)
+		pl, found, err := s.src.StoreBin(t)
 		if err != nil {
 			s.opts.Logf("serve: reading segment: %v", err)
 			http.Error(w, "segment read failed", http.StatusInternalServerError)
 			return
 		}
 		if !found {
-			if s.pub.Store() == nil {
+			if !s.src.HasStore() {
 				http.Error(w, "no segment store attached", http.StatusNotFound)
 			} else {
 				http.Error(w, "bin not committed", http.StatusNotFound)
@@ -506,7 +540,7 @@ func (s *Server) handleBins(w http.ResponseWriter, r *http.Request) {
 		s.writeJSON(w, pl)
 		return
 	}
-	bins, ok := s.pub.StoreBins()
+	bins, ok := s.src.StoreBins()
 	if !ok {
 		http.Error(w, "no segment store attached", http.StatusNotFound)
 		return
@@ -517,12 +551,13 @@ func (s *Server) handleBins(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, bins)
 }
 
-// completeETagFor derives a strong ETag for parameterized reads of a
-// complete snapshot: the snapshot is immutable, so (seq, query) identifies
-// the bytes.
-func completeETagFor(snap *Snapshot, rawQuery string) string {
+// etagFor derives a strong ETag for parameterized reads: snapshots are
+// immutable, so (generation, seq, query) identifies the bytes — on the
+// writer and on every follower, whose mirrors carry the same generation and
+// seq by construction.
+func etagFor(snap *Snapshot, rawQuery string) string {
 	h := fnv.New64a()
-	fmt.Fprintf(h, "%d|%s", snap.Seq, rawQuery)
+	fmt.Fprintf(h, "%d|%d|%s", snap.evGen, snap.Seq, rawQuery)
 	return fmt.Sprintf("\"%x\"", h.Sum64())
 }
 
@@ -531,7 +566,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		http.NotFound(w, r)
 		return
 	}
-	snap := s.pub.Snapshot()
+	snap := s.src.Snapshot()
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintf(w, "Internet Health Report — %s\n%s\n\n", snap.Meta.Case, snap.Meta.Description)
 	state := "running"
@@ -541,7 +576,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	case snap.Failed:
 		state = "FAILED: " + snap.Err
 	}
-	fmt.Fprintf(w, "results processed: %d (%s)\n", s.pub.Results(), state)
+	fmt.Fprintf(w, "results processed: %d (%s)\n", s.src.Results(), state)
 	fmt.Fprintf(w, "delay alarms: %d, forwarding alarms: %d, events: %d\n\n",
 		len(snap.DelayAlarms), len(snap.FwdAlarms), len(snap.Events))
 	fmt.Fprintln(w, "API: /api/status /api/alarms/delay /api/alarms/forwarding /api/events /api/magnitude?asn=N /api/stream")

@@ -1,0 +1,189 @@
+package serve
+
+// mirror is the snapshot-assembly core: the pure append-only read-model
+// state out of which every Snapshot is built, with no knowledge of where
+// its increments come from. The writer drives it from the analyzer's hooks
+// (alarm appends, bin closes); a follower drives it by applying decoded
+// feed deltas; the segment-store boot path drives it from committed
+// records via the same deltas. All three share the invariants that make
+// lock-free publication sound: slices only ever grow (snapshots hold
+// fixed-length prefixes), and a generation change allocates fresh storage
+// instead of mutating what previous snapshots still reference.
+
+import (
+	"fmt"
+	"time"
+
+	"pinpoint/internal/ipmap"
+	"pinpoint/internal/segstore"
+	"pinpoint/internal/timeseries"
+)
+
+type mirror struct {
+	meta    Meta
+	binSize time.Duration
+
+	seq     uint64
+	gen     uint64 // aggregator rebuild generation the mirrors track
+	lastBin time.Time
+	results int
+	idents  Identities
+
+	delay []DelayAlarm // append-only; snapshots hold prefixes
+	fwd   []FwdAlarm
+	evs   []Event // wire-form mirror of the aggregator's event list
+
+	// Magnitude region: dense per-AS points over [magStart, magThrough).
+	// The writer swaps in the aggregator's own point-in-time maps; a
+	// follower appends feed rows into maps it owns. Either way assemble
+	// publishes fixed-length prefixes.
+	delayMag, fwdMag     map[ipmap.ASN][]timeseries.Point
+	magStart, magThrough time.Time
+
+	done, failed bool
+	errMsg       string
+}
+
+// assemble builds the immutable snapshot of the mirror's current state.
+func (m *mirror) assemble() *Snapshot {
+	snap := &Snapshot{
+		Seq:         m.seq,
+		Meta:        m.meta,
+		BinSize:     m.binSize,
+		LastBin:     m.lastBin,
+		Results:     m.results,
+		Done:        m.done,
+		Failed:      m.failed,
+		Err:         m.errMsg,
+		Identities:  m.idents,
+		DelayAlarms: m.delay[:len(m.delay):len(m.delay)],
+		FwdAlarms:   m.fwd[:len(m.fwd):len(m.fwd)],
+		Events:      m.evs[:len(m.evs):len(m.evs)],
+		evGen:       m.gen,
+	}
+	if m.delayMag != nil || m.fwdMag != nil {
+		snap.delayMag = clipMag(m.delayMag)
+		snap.fwdMag = clipMag(m.fwdMag)
+		snap.MagStart, snap.MagEnd = m.magStart, m.magThrough
+	}
+	return snap
+}
+
+func clipMag(src map[ipmap.ASN][]timeseries.Point) map[ipmap.ASN][]timeseries.Point {
+	out := make(map[ipmap.ASN][]timeseries.Point, len(src))
+	for asn, pts := range src {
+		out[asn] = pts[:len(pts):len(pts)]
+	}
+	return out
+}
+
+// apply advances the mirror by one decoded feed delta. The caller has
+// already handled sequencing (skipping stale deltas, detecting gaps); apply
+// only interprets content:
+//
+//   - Full replaces the entire state.
+//   - A generation change replaces the event list and magnitude history
+//     (the delta carries the full re-derivation) while alarms stay
+//     append-only — exactly how the writer's own mirrors resynchronize.
+//   - Otherwise everything appends.
+//   - A nil Identities means "keep the previous value" (store-synthesized
+//     deltas cannot carry it).
+func (m *mirror) apply(d *Delta) {
+	switch {
+	case d.Full:
+		m.delay = append([]DelayAlarm(nil), d.DelayAlarms...)
+		m.fwd = append([]FwdAlarm(nil), d.FwdAlarms...)
+		m.evs = append([]Event(nil), d.Events...)
+		m.gen = d.Gen
+		m.delayMag, m.fwdMag = nil, nil
+		m.magStart, m.magThrough = time.Time{}, time.Time{}
+		if !d.MagThrough.IsZero() {
+			m.delayMag = make(map[ipmap.ASN][]timeseries.Point)
+			m.fwdMag = make(map[ipmap.ASN][]timeseries.Point)
+			applyMagRows(m.delayMag, d.DelayMag)
+			applyMagRows(m.fwdMag, d.FwdMag)
+			m.magStart, m.magThrough = d.MagStart, d.MagThrough
+		}
+		m.lastBin = d.Bin
+	case d.Gen != m.gen:
+		// Staleness rebuild upstream: the event list and magnitude history
+		// were re-derived from scratch and this delta carries them whole.
+		// Fresh storage — published snapshots keep their old prefixes.
+		m.evs = append([]Event(nil), d.Events...)
+		m.gen = d.Gen
+		m.delayMag = make(map[ipmap.ASN][]timeseries.Point)
+		m.fwdMag = make(map[ipmap.ASN][]timeseries.Point)
+		applyMagRows(m.delayMag, d.DelayMag)
+		applyMagRows(m.fwdMag, d.FwdMag)
+		if !d.MagThrough.IsZero() {
+			m.magStart, m.magThrough = d.MagStart, d.MagThrough
+		} else {
+			m.magStart, m.magThrough = time.Time{}, time.Time{}
+			m.delayMag, m.fwdMag = nil, nil
+		}
+		m.delay = append(m.delay, d.DelayAlarms...)
+		m.fwd = append(m.fwd, d.FwdAlarms...)
+		if !d.Bin.IsZero() {
+			m.lastBin = d.Bin
+		}
+	default:
+		m.delay = append(m.delay, d.DelayAlarms...)
+		m.fwd = append(m.fwd, d.FwdAlarms...)
+		m.evs = append(m.evs, d.Events...)
+		if len(d.DelayMag) > 0 || len(d.FwdMag) > 0 || !d.MagThrough.IsZero() {
+			if m.delayMag == nil {
+				m.delayMag = make(map[ipmap.ASN][]timeseries.Point)
+				m.fwdMag = make(map[ipmap.ASN][]timeseries.Point)
+			}
+			applyMagRows(m.delayMag, d.DelayMag)
+			applyMagRows(m.fwdMag, d.FwdMag)
+			m.magStart, m.magThrough = d.MagStart, d.MagThrough
+		}
+		if !d.Bin.IsZero() {
+			m.lastBin = d.Bin
+		}
+	}
+	m.seq = d.Seq
+	m.results = d.Results
+	if d.Identities != nil {
+		m.idents = *d.Identities
+	}
+	if d.Done {
+		m.done = true
+	}
+	if d.Failed {
+		m.failed = true
+		m.errMsg = d.Err
+	}
+}
+
+func applyMagRows(dst map[ipmap.ASN][]timeseries.Point, rows []MagRow) {
+	for _, r := range rows {
+		asn := ipmap.ASN(r.ASN)
+		dst[asn] = append(dst[asn], timeseries.Point{T: r.T, V: r.V})
+	}
+}
+
+// restoreFromRecords rebuilds the mirror from a segment store's committed
+// records — the follower's local-file bootstrap, sharing the record→delta
+// conversion with the writer's catch-up synthesis. After n records the
+// mirror sits at seq n+1 (the same position the writer's own store boot
+// seeds), so a subsequent feed connection resumes with ?since=n+1. Returns
+// the /api/bins index alongside.
+func (m *mirror) restoreFromRecords(st *segstore.Store) ([]BinSummary, error) {
+	n := st.Len()
+	bins := make([]BinSummary, 0, n)
+	var rec segstore.BinRecord
+	for i := 0; i < n; i++ {
+		if err := st.Record(i, &rec); err != nil {
+			return nil, fmt.Errorf("serve: decoding committed segment %d: %w", i, err)
+		}
+		d := deltaFromRecord(&rec, uint64(i+2), m.gen, m.binSize)
+		m.apply(&d)
+		bins = append(bins, BinSummary{
+			Bin: rec.Bin, Results: int(rec.Results),
+			DelayAlarms: len(rec.Delay), FwdAlarms: len(rec.Fwd), Events: len(rec.Events),
+		})
+	}
+	return bins, nil
+}

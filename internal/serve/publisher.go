@@ -1,6 +1,7 @@
 // Package serve is the §8 serving layer of the Internet Health Report: a
 // snapshot-published read model plus HTTP API that decouples serving from
-// analysis.
+// analysis, now split into a writer role and a replica role sharing one
+// snapshot-assembly core.
 //
 // The analysis goroutine owns all mutable state. On every engine bin close
 // (core.Analyzer.OnBinClose) and at the end of the run, the Publisher
@@ -17,6 +18,11 @@
 // past the published lengths (and allocates fresh storage on the rare
 // staleness rebuild), so publishing is O(ASes) map copying, not a deep copy
 // of the accumulated history.
+//
+// Every publication also emits one Delta on the versioned replication feed
+// (see feed.go). A Follower (follower.go) rebuilds byte-identical snapshots
+// purely from that feed — the same mirror type (mirror.go) drives both
+// roles, so the writer's and a replica's payloads agree to the byte.
 package serve
 
 import (
@@ -119,9 +125,12 @@ type Snapshot struct {
 }
 
 // Complete reports whether analysis has finished (successfully or not); a
-// complete snapshot never changes again, which is what makes strong ETags
-// on it sound.
+// complete snapshot never changes again.
 func (s *Snapshot) Complete() bool { return s.Done || s.Failed }
+
+// Gen returns the aggregator rebuild generation this snapshot was assembled
+// under (the generation stamped on feed deltas).
+func (s *Snapshot) Gen() uint64 { return s.evGen }
 
 // Magnitude returns the AS's magnitude series clipped to the published
 // region ∩ [from, to). Nil-series ASes yield empty slices.
@@ -156,47 +165,34 @@ func (s *Snapshot) magPoints(pts []timeseries.Point, from, to time.Time) []Point
 	return out
 }
 
-// Delta is the per-publication increment pushed to /api/stream subscribers:
-// everything appended since the previous snapshot.
-type Delta struct {
-	Seq         uint64       `json:"seq"`
-	Bin         time.Time    `json:"bin,omitzero"`
-	Results     int          `json:"results"`
-	DelayAlarms []DelayAlarm `json:"delay_alarms"`
-	FwdAlarms   []FwdAlarm   `json:"fwd_alarms"`
-	Events      []Event      `json:"events"`
-	Done        bool         `json:"done"`
-	Failed      bool         `json:"failed,omitempty"`
-	Err         string       `json:"error,omitempty"`
-}
-
-// Publisher accumulates the wire-form read model on the analysis goroutine
-// and publishes immutable snapshots. All methods except Snapshot, Results
-// and the subscription API must run on the analysis goroutine (they do —
-// they are driven by the Analyzer's hooks and the ingest loop).
+// Publisher is the writer role: it accumulates the read model on the
+// analysis goroutine (via the shared mirror), publishes immutable snapshots
+// and emits the replication feed. All methods except Snapshot, Results,
+// CatchUp, the store readers and the subscription API must run on the
+// analysis goroutine (they do — they are driven by the Analyzer's hooks and
+// the ingest loop).
 type Publisher struct {
-	meta    Meta
-	a       *core.Analyzer
-	agg     *events.Aggregator
-	binSize time.Duration
+	m   mirror
+	a   *core.Analyzer
+	agg *events.Aggregator
 
 	cur     atomic.Pointer[Snapshot]
 	results atomic.Int64 // live between publishes, for /api/status freshness
 
-	seq      uint64
-	delay    []DelayAlarm // append-only; snapshots hold prefixes
-	fwd      []FwdAlarm
-	evs      []Event // wire-form mirror of the aggregator's event list
-	evGen    uint64  // aggregator rebuild generation the mirror tracks
-	finished bool
+	// sentDelay/sentFwd track the alarm prefixes already emitted on the
+	// feed. Deltas partition alarms by closing bin — the same rule commitBin
+	// uses — so live and store-synthesized deltas carry identical rows.
+	sentDelay, sentFwd int
+	closeDelta         events.CloseDelta // per-close capture scratch
+	finished           bool
 
 	// Segment-store state (see store.go). storeMu serializes the analysis
-	// goroutine's commits with /api/bins reads; everything else is written
-	// only at construction or on the analysis goroutine.
+	// goroutine's commits with /api/bins and catch-up reads; everything else
+	// is written only at construction or on the analysis goroutine.
 	store          *segstore.Store
 	storeMu        sync.Mutex
 	storeErr       error
-	committedDelay int // prefix of p.delay already committed to segments
+	committedDelay int // prefix of p.m.delay already committed to segments
 	committedFwd   int
 	binIndex       []BinSummary
 	storeRec       segstore.BinRecord // reused per-commit encode scratch
@@ -204,10 +200,7 @@ type Publisher struct {
 	resumedAt      time.Time          // resume cursor, when booted from segments
 	resumed        bool
 
-	mu      sync.Mutex // guards subscribers only
-	subs    map[int]chan Delta
-	nextSub int
-	closed  bool
+	bc *broadcaster
 }
 
 // NewPublisher wires a Publisher into the analyzer's alarm and bin-close
@@ -216,7 +209,7 @@ type Publisher struct {
 // reassigned afterwards.
 func NewPublisher(a *core.Analyzer, meta Meta) *Publisher {
 	p := newPublisher(a, meta)
-	p.publish(time.Time{}, false, nil)
+	p.publish(time.Time{}, false, nil, nil)
 	return p
 }
 
@@ -226,14 +219,14 @@ func NewPublisher(a *core.Analyzer, meta Meta) *Publisher {
 // published snapshot already carries the durable history.
 func newPublisher(a *core.Analyzer, meta Meta) *Publisher {
 	p := &Publisher{
-		meta:    meta,
-		a:       a,
-		agg:     a.Aggregator(),
-		binSize: a.Aggregator().Config().BinSize,
-		subs:    make(map[int]chan Delta),
+		a:   a,
+		agg: a.Aggregator(),
+		bc:  newBroadcaster(defaultFeedWindow),
 	}
+	p.m.meta = meta
+	p.m.binSize = a.Aggregator().Config().BinSize
 	a.OnDelayAlarm = func(al delay.Alarm) {
-		p.delay = append(p.delay, DelayAlarm{
+		p.m.delay = append(p.m.delay, DelayAlarm{
 			Bin: al.Bin, Link: al.Link.String(),
 			MedianMS: al.Observed.Median, RefMS: al.Reference.Median,
 			ShiftMS: al.DiffMS, Deviation: al.Deviation,
@@ -242,25 +235,25 @@ func newPublisher(a *core.Analyzer, meta Meta) *Publisher {
 	}
 	a.OnForwardingAlarm = func(al forwarding.Alarm) {
 		top, _ := al.MaxResponsibility()
-		p.fwd = append(p.fwd, FwdAlarm{
+		p.m.fwd = append(p.m.fwd, FwdAlarm{
 			Bin: al.Bin, Router: al.Router.String(), Dst: al.Dst.String(),
 			Rho: al.Rho, TopHop: top.Hop.String(), TopR: top.Responsibility,
 		})
 	}
 	a.OnBinClose = func(bin time.Time) {
+		evs := p.agg.CloseBinsRecord(bin.Add(p.m.binSize), &p.closeDelta)
+		p.syncEvents()
 		if p.store != nil {
-			var d events.CloseDelta
-			evs := p.agg.CloseBinsRecord(bin.Add(p.binSize), &d)
-			p.syncEvents()
-			p.commitBin(bin, &d, evs)
-		} else {
-			p.agg.CloseBins(bin.Add(p.binSize))
-			p.syncEvents()
+			p.commitBin(bin, &p.closeDelta, evs)
 		}
-		p.publish(bin, false, nil)
+		p.publish(bin, false, nil, &p.closeDelta)
 	}
 	return p
 }
+
+// SetFeedWindow sets how many recent deltas the catch-up ring retains
+// (cmd -feed). Call before serving.
+func (p *Publisher) SetFeedWindow(n int) { p.bc.setWindow(n) }
 
 // ObserveResults records ingested results between bin closes so
 // /api/status stays fresh while a bin is still open. Safe to call from the
@@ -297,14 +290,17 @@ func (p *Publisher) Finish(err error) {
 			err = fmt.Errorf("segment store commit failed: %w", serr)
 		}
 	}
+	var cd *events.CloseDelta
 	if err == nil {
 		// The tail extension over empty bins is recomputed identically by any
 		// restart (its windows live inside the retained horizon), so it is
-		// not committed to the store.
-		p.agg.CloseBins(p.meta.End)
+		// not committed to the store — but its magnitude points do travel on
+		// the feed, so a follower ends with the same region.
+		p.agg.CloseBinsRecord(p.m.meta.End, &p.closeDelta)
 		p.syncEvents()
+		cd = &p.closeDelta
 	}
-	p.publish(time.Time{}, true, err)
+	p.publish(time.Time{}, true, err, cd)
 }
 
 // syncEvents mirrors the aggregator's incremental event list into wire
@@ -314,22 +310,24 @@ func (p *Publisher) Finish(err error) {
 // of appending the re-derived history after the stale copy.
 func (p *Publisher) syncEvents() {
 	all, gen := p.agg.IncrementalEvents()
-	if gen != p.evGen {
-		p.evGen = gen
-		p.evs = nil
+	if gen != p.m.gen {
+		p.m.gen = gen
+		p.m.evs = nil
 	}
-	for _, e := range all[len(p.evs):] {
-		p.evs = append(p.evs, Event{
+	for _, e := range all[len(p.m.evs):] {
+		p.m.evs = append(p.m.evs, Event{
 			ASN: e.ASN.String(), Bin: e.Bin, Type: e.Type.String(), Magnitude: e.Magnitude,
 		})
 	}
 }
 
 // publish assembles and swaps in the next snapshot, then broadcasts the
-// delta against the previous one.
-func (p *Publisher) publish(closedBin time.Time, final bool, runErr error) {
+// feed delta against the previous one. cd is the close's capture (nil for
+// the initial/restore publication and failed finishes) supplying the
+// delta's magnitude rows.
+func (p *Publisher) publish(closedBin time.Time, final bool, runErr error, cd *events.CloseDelta) {
 	prev := p.cur.Load()
-	p.seq++
+	p.m.seq++
 	reg := p.a.Registry()
 	res := p.a.Results()
 	if res < p.floorResults {
@@ -337,104 +335,142 @@ func (p *Publisher) publish(closedBin time.Time, final bool, runErr error) {
 		// reporting the durable count until the replay catches up.
 		res = p.floorResults
 	}
-	snap := &Snapshot{
-		Seq:     p.seq,
-		Meta:    p.meta,
-		BinSize: p.binSize,
-		LastBin: closedBin,
-		Results: res,
-		Identities: Identities{
-			Addrs: reg.Addrs(), Links: reg.Links(),
-			Flows: reg.Flows(), Routers: reg.Routers(),
-		},
-		DelayAlarms: p.delay[:len(p.delay):len(p.delay)],
-		FwdAlarms:   p.fwd[:len(p.fwd):len(p.fwd)],
-		Events:      p.evs[:len(p.evs):len(p.evs)],
-		evGen:       p.evGen,
+	p.m.results = res
+	p.m.idents = Identities{
+		Addrs: reg.Addrs(), Links: reg.Links(),
+		Flows: reg.Flows(), Routers: reg.Routers(),
 	}
-	if prev != nil && closedBin.IsZero() {
-		snap.LastBin = prev.LastBin
+	if !closedBin.IsZero() {
+		p.m.lastBin = closedBin
 	}
 	if final {
 		if runErr != nil {
-			snap.Failed = true
-			snap.Err = runErr.Error()
+			p.m.failed = true
+			p.m.errMsg = runErr.Error()
 		} else {
-			snap.Done = true
+			p.m.done = true
 		}
 	}
 	if dm, fm, start, thru, ok := p.agg.MagnitudeSnapshot(); ok {
-		snap.delayMag, snap.fwdMag = dm, fm
-		snap.MagStart, snap.MagEnd = start, thru
+		p.m.delayMag, p.m.fwdMag = dm, fm
+		p.m.magStart, p.m.magThrough = start, thru
+	} else {
+		p.m.delayMag, p.m.fwdMag = nil, nil
+		p.m.magStart, p.m.magThrough = time.Time{}, time.Time{}
 	}
+	snap := p.m.assemble()
 	p.cur.Store(snap)
 	p.results.Store(int64(snap.Results))
 
 	d := Delta{
-		Seq: snap.Seq, Bin: closedBin, Results: snap.Results,
+		Seq: snap.Seq, Gen: snap.evGen, Bin: closedBin, Results: snap.Results,
 		Done: snap.Done, Failed: snap.Failed, Err: snap.Err,
 		DelayAlarms: []DelayAlarm{}, FwdAlarms: []FwdAlarm{}, Events: []Event{},
 	}
-	if prev != nil {
-		d.DelayAlarms = snap.DelayAlarms[len(prev.DelayAlarms):]
-		d.FwdAlarms = snap.FwdAlarms[len(prev.FwdAlarms):]
-		if prev.evGen == snap.evGen {
-			d.Events = snap.Events[len(prev.Events):]
-		} else {
-			// The event history was rebuilt (out-of-order mutation):
-			// resynchronize subscribers with the full re-derived list.
-			d.Events = snap.Events
+	if prev == nil {
+		// Degenerate first publication (fresh boot or store restore): no
+		// previous snapshot to diff against, so nothing travels; the feed's
+		// catch-up sources cover this state. Sent counters start at the
+		// published lengths so the next delta carries only newer rows.
+		p.sentDelay, p.sentFwd = len(snap.DelayAlarms), len(snap.FwdAlarms)
+		p.bc.broadcast(d, false)
+		return
+	}
+	// Alarms partition by closing bin (a batch spanning several closes
+	// appends all its alarms before the first close hook fires); the final
+	// delta flushes whatever is still unsent. This keeps each delta's rows a
+	// property of the input stream, not of batch boundaries, so a delta
+	// synthesized from the committed segment is identical to the live one.
+	nd, nf := len(snap.DelayAlarms), len(snap.FwdAlarms)
+	if !final {
+		nd = p.sentDelay
+		for nd < len(snap.DelayAlarms) && !snap.DelayAlarms[nd].Bin.After(closedBin) {
+			nd++
+		}
+		nf = p.sentFwd
+		for nf < len(snap.FwdAlarms) && !snap.FwdAlarms[nf].Bin.After(closedBin) {
+			nf++
 		}
 	}
-	p.broadcast(d)
+	d.DelayAlarms = snap.DelayAlarms[p.sentDelay:nd]
+	d.FwdAlarms = snap.FwdAlarms[p.sentFwd:nf]
+	p.sentDelay, p.sentFwd = nd, nf
+	if prev.evGen == snap.evGen {
+		d.Events = snap.Events[len(prev.Events):]
+	} else {
+		// The event history was rebuilt (out-of-order mutation):
+		// resynchronize subscribers with the full re-derived list. cd
+		// likewise carries the full re-derived magnitude history, so the
+		// delta is a complete events/magnitude resync on its own.
+		d.Events = snap.Events
+	}
+	if cd != nil {
+		d.DelayMag = magRows(cd.DelayMag)
+		d.FwdMag = magRows(cd.FwdMag)
+	}
+	d.MagStart, d.MagThrough = snap.MagStart, snap.MagEnd
+	ids := snap.Identities
+	d.Identities = &ids
+	p.bc.broadcast(d, true)
 }
 
-// Subscribe registers a delta subscriber. The returned cancel function must
-// be called when the subscriber goes away. A subscriber that falls more
-// than the buffer behind is dropped (its channel is closed); SSE clients
-// reconnect and resynchronize from the snapshot.
-func (p *Publisher) Subscribe() (<-chan Delta, func()) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	ch := make(chan Delta, 64)
-	if p.closed {
-		close(ch)
-		return ch, func() {}
-	}
-	id := p.nextSub
-	p.nextSub++
-	p.subs[id] = ch
-	return ch, func() {
-		p.mu.Lock()
-		defer p.mu.Unlock()
-		if _, ok := p.subs[id]; ok {
-			delete(p.subs, id)
-			close(ch)
-		}
-	}
-}
-
-func (p *Publisher) broadcast(d Delta) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for id, ch := range p.subs {
-		select {
-		case ch <- d:
-		default: // slow consumer: drop it rather than stall analysis
-			delete(p.subs, id)
-			close(ch)
-		}
-	}
-}
+// Subscribe registers a feed subscriber. Cancel the subscription when the
+// consumer goes away; a subscriber that falls more than the buffer behind
+// is dropped with a gap mark (see Subscription.Gap) and resynchronizes via
+// ?since= catch-up.
+func (p *Publisher) Subscribe() *Subscription { return p.bc.subscribe() }
 
 // CloseSubscribers terminates every delta stream (server shutdown). New
 // Subscribe calls return an already-closed channel.
-func (p *Publisher) CloseSubscribers() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.closed = true
-	for id, ch := range p.subs {
-		delete(p.subs, id)
-		close(ch)
+func (p *Publisher) CloseSubscribers() { p.bc.closeAll() }
+
+// CatchUp returns the feed deltas covering (since, upTo], trying each
+// catch-up source in order: the in-memory ring (exact recent deltas), then
+// per-bin deltas synthesized from the segment store (record i ↔ seq i+2,
+// stamped with the current generation, plus the synthetic empty seq-1
+// initial delta), with the newest seqs topped up from the ring again.
+// ok=false means neither source covers the range — the caller falls back to
+// a single full-state delta.
+func (p *Publisher) CatchUp(since, upTo uint64) ([]Delta, bool) {
+	if since >= upTo {
+		return nil, true
 	}
+	if ds, ok := p.bc.catchUp(since, upTo); ok {
+		return ds, true
+	}
+	if p.store == nil {
+		return nil, false
+	}
+	gen := p.cur.Load().evGen
+	p.storeMu.Lock()
+	n := uint64(len(p.binIndex))
+	storeHi := n + 1 // store covers seqs 1 (synthetic initial) .. n+1
+	if storeHi > upTo {
+		storeHi = upTo
+	}
+	out := make([]Delta, 0, storeHi-since)
+	var rec segstore.BinRecord
+	for s := since + 1; s <= storeHi; s++ {
+		if s == 1 {
+			out = append(out, Delta{
+				Seq: 1, Gen: gen,
+				DelayAlarms: []DelayAlarm{}, FwdAlarms: []FwdAlarm{}, Events: []Event{},
+			})
+			continue
+		}
+		if err := p.store.Record(int(s-2), &rec); err != nil {
+			p.storeMu.Unlock()
+			return nil, false
+		}
+		out = append(out, deltaFromRecord(&rec, s, gen, p.m.binSize))
+	}
+	p.storeMu.Unlock()
+	if storeHi == upTo {
+		return out, true
+	}
+	tail, ok := p.bc.catchUp(storeHi, upTo)
+	if !ok {
+		return nil, false
+	}
+	return append(out, tail...), true
 }

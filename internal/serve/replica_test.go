@@ -1,0 +1,319 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"pinpoint/internal/core"
+	"pinpoint/internal/delay"
+	"pinpoint/internal/trace"
+)
+
+// startTail runs f.Run in the background and returns a wait function that
+// fails the test if the follower does not finish cleanly in time.
+func startTail(t *testing.T, f *Follower) (wait func(t *testing.T)) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	done := make(chan error, 1)
+	go func() { done <- f.Run(ctx) }()
+	return func(t *testing.T) {
+		t.Helper()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("follower run: %v", err)
+			}
+		case <-time.After(2 * time.Minute):
+			t.Fatalf("follower never reached the terminal snapshot (stuck at seq %d)",
+				f.Snapshot().Seq)
+		}
+	}
+}
+
+// waitSeq polls until the follower's published snapshot reaches seq.
+func waitSeq(t *testing.T, f *Follower, seq uint64) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if f.Snapshot().Seq >= seq {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("follower stuck at seq %d, want >= %d", f.Snapshot().Seq, seq)
+}
+
+// apiURLs lists the completed-run read endpoints whose payloads the replica
+// equivalence tests compare byte for byte.
+func apiURLs(a *core.Analyzer) []string {
+	urls := []string{"/api/status", "/api/alarms/delay", "/api/alarms/forwarding", "/api/events"}
+	for _, asn := range a.Aggregator().ASes() {
+		urls = append(urls, fmt.Sprintf("/api/magnitude?asn=%d", uint32(asn)))
+	}
+	return urls
+}
+
+func compareReplica(t *testing.T, writer, follower *Server, urls []string) {
+	t.Helper()
+	want := capturePayloads(t, writer, urls)
+	got := capturePayloads(t, follower, urls)
+	for _, u := range urls {
+		if !bytes.Equal(got[u], want[u]) {
+			t.Errorf("%s differs on the follower (%d vs %d bytes)", u, len(got[u]), len(want[u]))
+		}
+	}
+}
+
+// TestReplicaLiveTailEquivalence is the tentpole acceptance test: a
+// follower tailing the feed live, from before the first result arrives,
+// ends with completed-run API payloads byte-identical to the writer's —
+// for both fixed-seed cases and regardless of the writer's worker count.
+func TestReplicaLiveTailEquivalence(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		workers int
+	}{
+		{"ddos", 1},
+		{"ddos", 4},
+		{"ixp", 2},
+	} {
+		t.Run(fmt.Sprintf("%s_workers=%d", tc.name, tc.workers), func(t *testing.T) {
+			w := openStoreRun(t, tc.name, tc.workers, t.TempDir())
+			ts := httptest.NewServer(w.srv.Handler())
+			defer ts.Close()
+
+			f, err := NewFollower(FollowerOptions{URL: ts.URL})
+			if err != nil {
+				t.Fatal(err)
+			}
+			fsrv := NewServer(f, Options{Logf: func(string, ...any) {}})
+			wait := startTail(t, f)
+
+			w.ingest(t, 0)
+			wait(t)
+
+			compareReplica(t, w.srv, fsrv, apiURLs(w.a))
+			w.close(t)
+		})
+	}
+}
+
+// TestReplicaResyncAfterDisconnect severs the feed connection twice
+// mid-run with a catch-up ring too small to cover the gap, so the
+// reconnects must resync through store-synthesized deltas — and still end
+// byte-identical.
+func TestReplicaResyncAfterDisconnect(t *testing.T) {
+	w := openStoreRun(t, "ddos", 2, t.TempDir())
+	w.pub.SetFeedWindow(2)
+	ts := httptest.NewServer(w.srv.Handler())
+	defer ts.Close()
+
+	f, err := NewFollower(FollowerOptions{URL: ts.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsrv := NewServer(f, Options{Logf: func(string, ...any) {}})
+	wait := startTail(t, f)
+
+	drops := 0
+	err = w.c.Platform.RunChunks(context.Background(), w.c.Start, w.c.End, 0, func(rs []trace.Result) error {
+		w.a.ObserveBatch(rs)
+		w.pub.ObserveResults(len(rs))
+		if n := w.st.Len(); (drops == 0 && n >= 3) || (drops == 1 && n >= 6) {
+			drops++
+			ts.CloseClientConnections()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drops != 2 {
+		t.Fatalf("forced %d disconnects, want 2 (case too short?)", drops)
+	}
+	w.a.Flush()
+	w.pub.Finish(nil)
+	if serr := w.pub.StoreErr(); serr != nil {
+		t.Fatalf("store error during run: %v", serr)
+	}
+	wait(t)
+
+	compareReplica(t, w.srv, fsrv, apiURLs(w.a))
+	w.close(t)
+}
+
+// TestReplicaResyncAcrossGenerationBump reconnects a follower whose
+// resume window straddles a staleness-fallback generation bump: the
+// catch-up (from the ring, or as a full-state delta when the ring cannot
+// reach back) must hand over the re-derived event history exactly once —
+// no duplicate, no missing events, payloads byte-identical.
+func TestReplicaResyncAcrossGenerationBump(t *testing.T) {
+	for _, tc := range []struct {
+		name       string
+		feedWindow int
+	}{
+		{"ring_catchup", 0},  // default window: replay the gen-bump delta itself
+		{"full_fallback", 1}, // window too small: resync via one full-state delta
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			a, pub, srv := newTestPipeline(t)
+			if tc.feedWindow > 0 {
+				pub.SetFeedWindow(tc.feedWindow)
+			}
+			ts := httptest.NewServer(srv.Handler())
+			defer ts.Close()
+
+			// Generous backoff: the generation bump below lands while the
+			// follower is still disconnected, so its resume straddles it.
+			f, err := NewFollower(FollowerOptions{
+				URL:          ts.URL,
+				ReconnectMin: 500 * time.Millisecond,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			fsrv := NewServer(f, Options{Logf: func(string, ...any) {}})
+			wait := startTail(t, f)
+
+			for h := 0; h <= 5; h++ {
+				bin := t0.Add(time.Duration(h) * time.Hour)
+				dev := 1.0
+				if h == 5 {
+					dev = 50 // event bin
+				}
+				closeBin(a, bin, []delay.Alarm{mkDelayAlarm(bin, "10.1.0.1", "10.2.0.1", dev)}, nil)
+			}
+			waitSeq(t, f, 7) // bins 0..5 applied live
+			if len(f.Snapshot().Events) == 0 {
+				t.Fatal("no events before the rebuild; test is vacuous")
+			}
+			ts.CloseClientConnections()
+
+			// An alarm landing in an already-processed bin forces the
+			// aggregator to rebuild — the next close bumps the generation and
+			// carries the full re-derived history.
+			lateBin := t0.Add(2 * time.Hour)
+			bin6 := t0.Add(6 * time.Hour)
+			closeBin(a, bin6, []delay.Alarm{
+				mkDelayAlarm(lateBin, "10.1.0.1", "10.2.0.1", 40),
+				mkDelayAlarm(bin6, "10.1.0.1", "10.2.0.1", 1),
+			}, nil)
+			pub.Finish(nil)
+			wait(t)
+
+			if got, want := f.Snapshot().Gen(), pub.Snapshot().Gen(); got != want {
+				t.Errorf("follower generation %d, writer %d", got, want)
+			}
+			urls := []string{"/api/status", "/api/alarms/delay", "/api/events",
+				"/api/magnitude?asn=100", "/api/magnitude?asn=200"}
+			compareReplica(t, srv, fsrv, urls)
+
+			var evs []Event
+			if err := json.Unmarshal(get(t, fsrv, "/api/events").Body.Bytes(), &evs); err != nil {
+				t.Fatal(err)
+			}
+			seen := make(map[string]bool)
+			for _, e := range evs {
+				key := e.ASN + e.Bin.String() + e.Type
+				if seen[key] {
+					t.Fatalf("duplicate event on follower after rebuild: %+v", e)
+				}
+				seen[key] = true
+			}
+			want := a.Aggregator().Events(t0, t0.Add(12*time.Hour))
+			if len(evs) != len(want) {
+				t.Fatalf("follower serves %d events after rebuild, recompute has %d", len(evs), len(want))
+			}
+		})
+	}
+}
+
+// TestReplicaStoreFileBootstrap boots a follower from the writer's own
+// segment files (read-only) instead of replaying the feed: the mirror must
+// land at seq n+1 for n records, adopt the writer's generation at the first
+// hello, catch up over the feed, and serve byte-identical payloads —
+// including /api/bins, which both sides read from the same segments.
+func TestReplicaStoreFileBootstrap(t *testing.T) {
+	dir := t.TempDir()
+	w := openStoreRun(t, "ddos", 2, dir)
+	w.ingest(t, 0)
+	ts := httptest.NewServer(w.srv.Handler())
+	defer ts.Close()
+
+	f, err := NewFollower(FollowerOptions{
+		URL:      ts.URL,
+		StoreDir: dir,
+		Meta: Meta{
+			Case: w.c.Name, Description: w.c.Description,
+			Start: w.c.Start, End: w.c.End,
+		},
+		BinSize: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := f.Snapshot().Seq, uint64(w.st.Len())+1; got != want {
+		t.Fatalf("file bootstrap landed at seq %d, want %d (%d records)", got, want, w.st.Len())
+	}
+	if !f.HasStore() {
+		t.Fatal("bootstrapped follower reports no store")
+	}
+	fsrv := NewServer(f, Options{Logf: func(string, ...any) {}})
+	wait := startTail(t, f)
+	wait(t)
+
+	urls := append(apiURLs(w.a), "/api/bins")
+	compareReplica(t, w.srv, fsrv, urls)
+
+	// The bootstrap store also serves single-bin time travel.
+	bins, ok := f.StoreBins()
+	if !ok || len(bins) != w.st.Len() {
+		t.Fatalf("follower StoreBins: ok=%v len=%d, store has %d", ok, len(bins), w.st.Len())
+	}
+	u := "/api/bins?bin=" + bins[len(bins)/2].Bin.Format(time.RFC3339)
+	wantRec, gotRec := get(t, w.srv, u), get(t, fsrv, u)
+	if gotRec.Code != 200 || !bytes.Equal(gotRec.Body.Bytes(), wantRec.Body.Bytes()) {
+		t.Fatalf("%s: follower status %d, byte-identical=%v", u, gotRec.Code,
+			bytes.Equal(gotRec.Body.Bytes(), wantRec.Body.Bytes()))
+	}
+	w.close(t)
+}
+
+// TestReplicaChaining pins that replicas chain: a second-tier follower
+// tailing a first-tier follower's own feed converges to the same bytes.
+func TestReplicaChaining(t *testing.T) {
+	w := openStoreRun(t, "ddos", 2, t.TempDir())
+	ts := httptest.NewServer(w.srv.Handler())
+	defer ts.Close()
+
+	f1, err := NewFollower(FollowerOptions{URL: ts.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1srv := NewServer(f1, Options{Logf: func(string, ...any) {}})
+	ts1 := httptest.NewServer(f1srv.Handler())
+	defer ts1.Close()
+	wait1 := startTail(t, f1)
+
+	f2, err := NewFollower(FollowerOptions{URL: ts1.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2srv := NewServer(f2, Options{Logf: func(string, ...any) {}})
+	wait2 := startTail(t, f2)
+
+	w.ingest(t, 0)
+	wait1(t)
+	wait2(t)
+
+	urls := apiURLs(w.a)
+	compareReplica(t, w.srv, f1srv, urls)
+	compareReplica(t, w.srv, f2srv, urls)
+	w.close(t)
+}

@@ -364,13 +364,53 @@ func TestETagRevalidation(t *testing.T) {
 	a, pub, srv := newTestPipeline(t)
 	closeBin(a, t0, []delay.Alarm{mkDelayAlarm(t0, "10.1.0.1", "10.2.0.1", 2)}, nil)
 
-	// Mid-run: mutable state, no validators.
-	if etag := get(t, srv, "/api/alarms/delay").Header().Get("ETag"); etag != "" {
-		t.Errorf("mid-run response carries ETag %q", etag)
+	// Mid-run: snapshots are immutable between publications, so polling gets
+	// a validator that is stable across no-op polls…
+	midETag := get(t, srv, "/api/alarms/delay").Header().Get("ETag")
+	if midETag == "" {
+		t.Fatal("mid-run response served no ETag")
+	}
+	if again := get(t, srv, "/api/alarms/delay").Header().Get("ETag"); again != midETag {
+		t.Errorf("mid-run ETag unstable across no-op polls: %q then %q", midETag, again)
+	}
+	if rec := get(t, srv, "/api/alarms/delay", "If-None-Match", midETag); rec.Code != 304 {
+		t.Errorf("mid-run revalidation status %d, want 304", rec.Code)
+	}
+	midMag := get(t, srv, "/api/magnitude?asn=100").Header().Get("ETag")
+	if midMag == "" {
+		t.Fatal("mid-run magnitude response served no ETag")
+	}
+	if rec := get(t, srv, "/api/magnitude?asn=100", "If-None-Match", midMag); rec.Code != 304 {
+		t.Errorf("mid-run magnitude revalidation status %d, want 304", rec.Code)
+	}
+	midStatus := get(t, srv, "/api/status").Header().Get("ETag")
+	if midStatus == "" {
+		t.Fatal("mid-run status served no ETag")
+	}
+	if rec := get(t, srv, "/api/status", "If-None-Match", midStatus); rec.Code != 304 {
+		t.Errorf("mid-run status revalidation status %d, want 304", rec.Code)
+	}
+
+	// …and that a bin close invalidates: the next snapshot's bytes differ,
+	// so a conditional GET with the stale validator gets a fresh 200.
+	bin1 := t0.Add(time.Hour)
+	closeBin(a, bin1, []delay.Alarm{mkDelayAlarm(bin1, "10.1.0.2", "10.2.0.2", 2)}, nil)
+	rec := get(t, srv, "/api/alarms/delay", "If-None-Match", midETag)
+	if rec.Code != 200 {
+		t.Errorf("post-close revalidation status %d, want 200", rec.Code)
+	}
+	if etag := rec.Header().Get("ETag"); etag == midETag {
+		t.Error("bin close did not rotate the alarms ETag")
+	}
+	if rec := get(t, srv, "/api/magnitude?asn=100", "If-None-Match", midMag); rec.Code != 200 {
+		t.Errorf("post-close magnitude revalidation status %d, want 200", rec.Code)
+	}
+	if rec := get(t, srv, "/api/status", "If-None-Match", midStatus); rec.Code != 200 {
+		t.Errorf("post-close status revalidation status %d, want 200", rec.Code)
 	}
 
 	pub.Finish(nil)
-	rec := get(t, srv, "/api/alarms/delay")
+	rec = get(t, srv, "/api/alarms/delay")
 	etag := rec.Header().Get("ETag")
 	if etag == "" {
 		t.Fatal("completed run served no ETag")

@@ -22,6 +22,11 @@ package serve
 //	resumed run serves byte-identical payloads, ETags included, to an
 //	uninterrupted one.
 //
+// The same record→wire conversions power the replication feed's catch-up
+// synthesis (Publisher.CatchUp) and a follower's local-file bootstrap
+// (mirror.restoreFromRecords): committed record i is exactly feed delta
+// seq i+2.
+//
 // A store commit failure is recorded, stops further commits (the manifest
 // must stay a prefix of the run), and surfaces through Finish as a failed
 // run. /api/bins reads decode committed segments directly, giving
@@ -79,7 +84,7 @@ func NewPublisherWithStore(a *core.Analyzer, meta Meta, st *segstore.Store) (*Pu
 	}
 	if st.Len() == 0 {
 		p.agg.SetSegmentBacked()
-		p.publish(time.Time{}, false, nil)
+		p.publish(time.Time{}, false, nil, nil)
 		return p, nil
 	}
 	if err := p.restoreFromStore(); err != nil {
@@ -99,6 +104,9 @@ func (p *Publisher) detachHooks() {
 
 // Store returns the attached segment store, if any.
 func (p *Publisher) Store() *segstore.Store { return p.store }
+
+// HasStore reports whether a segment store is attached (Source interface).
+func (p *Publisher) HasStore() bool { return p.store != nil }
 
 // Resumed reports whether this publisher booted from committed segments,
 // and if so the resume cursor: the first bin not covered by the store,
@@ -135,8 +143,8 @@ func (p *Publisher) commitBin(bin time.Time, d *events.CloseDelta, evs []events.
 	// contents a property of the input stream, not of batch boundaries.
 	nd := p.committedDelay
 	rec.Delay = rec.Delay[:0]
-	for ; nd < len(p.delay) && !p.delay[nd].Bin.After(bin); nd++ {
-		al := p.delay[nd]
+	for ; nd < len(p.m.delay) && !p.m.delay[nd].Bin.After(bin); nd++ {
+		al := p.m.delay[nd]
 		rec.Delay = append(rec.Delay, segstore.DelayRow{
 			Bin: al.Bin, Link: al.Link,
 			MedianMS: al.MedianMS, RefMS: al.RefMS,
@@ -146,8 +154,8 @@ func (p *Publisher) commitBin(bin time.Time, d *events.CloseDelta, evs []events.
 	}
 	nf := p.committedFwd
 	rec.Fwd = rec.Fwd[:0]
-	for ; nf < len(p.fwd) && !p.fwd[nf].Bin.After(bin); nf++ {
-		al := p.fwd[nf]
+	for ; nf < len(p.m.fwd) && !p.m.fwd[nf].Bin.After(bin); nf++ {
+		al := p.m.fwd[nf]
 		rec.Fwd = append(rec.Fwd, segstore.FwdRow{
 			Bin: al.Bin, Router: al.Router, Dst: al.Dst,
 			TopHop: al.TopHop, Rho: al.Rho, TopR: al.TopR,
@@ -197,7 +205,7 @@ func appendSeriesRows(dst []segstore.SeriesRow, delayPts, fwdPts []events.ASPoin
 func (p *Publisher) restoreFromStore() error {
 	n := p.store.Len()
 	lastBin, _ := p.store.LastBin()
-	validThrough := lastBin.Add(p.binSize)
+	validThrough := lastBin.Add(p.m.binSize)
 	// Raw series sums are only needed where a future window can still read
 	// them; older bins were evicted by the original run too.
 	keep := validThrough.Add(-p.agg.Config().Window)
@@ -212,20 +220,8 @@ func (p *Publisher) restoreFromStore() error {
 		if err := p.store.Record(i, &rec); err != nil {
 			return fmt.Errorf("serve: decoding committed segment %d: %w", i, err)
 		}
-		for _, r := range rec.Delay {
-			p.delay = append(p.delay, DelayAlarm{
-				Bin: r.Bin, Link: r.Link,
-				MedianMS: r.MedianMS, RefMS: r.RefMS,
-				ShiftMS: r.ShiftMS, Deviation: r.Deviation,
-				Probes: int(r.Probes), ASes: int(r.ASes),
-			})
-		}
-		for _, r := range rec.Fwd {
-			p.fwd = append(p.fwd, FwdAlarm{
-				Bin: r.Bin, Router: r.Router, Dst: r.Dst,
-				Rho: r.Rho, TopHop: r.TopHop, TopR: r.TopR,
-			})
-		}
+		p.m.delay = appendDelayAlarms(p.m.delay, rec.Delay)
+		p.m.fwd = appendFwdAlarms(p.m.fwd, rec.Fwd)
 		for _, r := range rec.Events {
 			rs.Events = append(rs.Events, events.Event{
 				ASN: ipmap.ASN(r.ASN), Bin: r.Bin, Type: events.Type(r.Type), Magnitude: r.Magnitude,
@@ -265,12 +261,12 @@ func (p *Publisher) restoreFromStore() error {
 	p.a.SetResumeCursor(validThrough)
 	p.resumedAt, p.resumed = validThrough, true
 	p.syncEvents() // mirrors the restored event list through the usual path
-	p.committedDelay, p.committedFwd = len(p.delay), len(p.fwd)
+	p.committedDelay, p.committedFwd = len(p.m.delay), len(p.m.fwd)
 	// One publication happened per committed bin in the original run; seed
 	// the sequence so a finished resumed run ends on the same Seq (and the
 	// same /api/status bytes and ETags) as an uninterrupted one.
-	p.seq = uint64(n)
-	p.publish(lastBin, false, nil)
+	p.m.seq = uint64(n)
+	p.publish(lastBin, false, nil, nil)
 	return nil
 }
 
@@ -291,43 +287,30 @@ func (p *Publisher) StoreBin(bin time.Time) (pl *BinPayload, found bool, err err
 	if p.store == nil {
 		return nil, false, nil
 	}
-	b := timeseries.Bin(bin, p.binSize)
 	p.storeMu.Lock()
 	defer p.storeMu.Unlock()
-	i := sort.Search(len(p.binIndex), func(i int) bool { return !p.binIndex[i].Bin.Before(b) })
-	if i == len(p.binIndex) || !p.binIndex[i].Bin.Equal(b) {
+	return storeBinLookup(p.store, p.binIndex, bin, p.m.binSize)
+}
+
+// storeBinLookup is the shared /api/bins?bin= body: locate the committed
+// record for a bin and decode it to the time-travel payload. The caller
+// holds whatever lock serializes access to the store's decode scratch.
+func storeBinLookup(st *segstore.Store, binIndex []BinSummary, bin time.Time, binSize time.Duration) (pl *BinPayload, found bool, err error) {
+	b := timeseries.Bin(bin, binSize)
+	i := sort.Search(len(binIndex), func(i int) bool { return !binIndex[i].Bin.Before(b) })
+	if i == len(binIndex) || !binIndex[i].Bin.Equal(b) {
 		return nil, false, nil
 	}
 	var rec segstore.BinRecord
-	if err := p.store.Record(i, &rec); err != nil {
+	if err := st.Record(i, &rec); err != nil {
 		return nil, true, fmt.Errorf("serve: decoding committed segment %d: %w", i, err)
 	}
 	pl = &BinPayload{
 		Bin:         rec.Bin,
 		Results:     int(rec.Results),
-		DelayAlarms: []DelayAlarm{},
-		FwdAlarms:   []FwdAlarm{},
-		Events:      []Event{},
-	}
-	for _, r := range rec.Delay {
-		pl.DelayAlarms = append(pl.DelayAlarms, DelayAlarm{
-			Bin: r.Bin, Link: r.Link,
-			MedianMS: r.MedianMS, RefMS: r.RefMS,
-			ShiftMS: r.ShiftMS, Deviation: r.Deviation,
-			Probes: int(r.Probes), ASes: int(r.ASes),
-		})
-	}
-	for _, r := range rec.Fwd {
-		pl.FwdAlarms = append(pl.FwdAlarms, FwdAlarm{
-			Bin: r.Bin, Router: r.Router, Dst: r.Dst,
-			Rho: r.Rho, TopHop: r.TopHop, TopR: r.TopR,
-		})
-	}
-	for _, r := range rec.Events {
-		pl.Events = append(pl.Events, Event{
-			ASN: ipmap.ASN(r.ASN).String(), Bin: r.Bin,
-			Type: events.Type(r.Type).String(), Magnitude: r.Magnitude,
-		})
+		DelayAlarms: appendDelayAlarms([]DelayAlarm{}, rec.Delay),
+		FwdAlarms:   appendFwdAlarms([]FwdAlarm{}, rec.Fwd),
+		Events:      appendWireEvents([]Event{}, rec.Events),
 	}
 	return pl, true, nil
 }

@@ -4,55 +4,69 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 )
 
 // sseHeartbeat is the comment-line keepalive cadence for /api/stream.
 const sseHeartbeat = 15 * time.Second
 
-// helloJSON is the first SSE event: the subscriber's synchronization point.
-// Counts double as cursors — a client that fetched the plain endpoints with
-// cursor pagination can verify it is exactly caught up before applying
-// deltas.
-type helloJSON struct {
-	Seq         uint64    `json:"seq"`
-	Bin         time.Time `json:"bin,omitzero"`
-	Results     int       `json:"results"`
-	DelayAlarms int       `json:"delay_alarms"`
-	FwdAlarms   int       `json:"fwd_alarms"`
-	Events      int       `json:"events"`
-	Done        bool      `json:"done"`
-	Failed      bool      `json:"failed,omitempty"`
-	Err         string    `json:"error,omitempty"`
-}
-
-// handleStream is the SSE endpoint: one `hello` event carrying the current
-// snapshot position, then one `delta` event per snapshot publication (bin
-// close or run completion). The subscription is registered before the
-// snapshot is read, so no delta can fall between the hello and the stream;
-// deltas at or below the hello's seq are skipped instead of replayed.
+// handleStream is the replication feed endpoint: one `hello` event carrying
+// the protocol version, run identity and current snapshot position, then
+// one `delta` event per snapshot publication (bin close or run completion).
+//
+// A client holding state from an earlier connection passes ?since=SEQ; the
+// deltas covering (since, current] are replayed first — from the in-memory
+// ring, synthesized from the segment store, or as a single full-state
+// delta when neither reaches back far enough. The subscription is
+// registered before the snapshot is read, so no delta can fall between the
+// replay and the live stream; live deltas at or below the snapshot's seq
+// are skipped instead of duplicated.
+//
+// A subscriber dropped for falling behind gets a terminal `gap` event with
+// the last delivered seq, so clients can tell "resync needed" (reconnect
+// with since=) from "run complete" (terminal delta) and "server shutdown"
+// (plain EOF).
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	fl, ok := w.(http.Flusher)
 	if !ok {
 		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
 		return
 	}
-	ch, cancel := s.pub.Subscribe()
-	defer cancel()
-	snap := s.pub.Snapshot()
+	var since uint64
+	haveSince := false
+	if raw := r.URL.Query().Get("since"); raw != "" {
+		n, err := strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("invalid since: %v", err), http.StatusBadRequest)
+			return
+		}
+		since, haveSince = n, true
+	}
+
+	sub := s.src.Subscribe()
+	defer sub.Cancel()
+	snap := s.src.Snapshot()
 
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.Header().Set("Connection", "keep-alive")
 
-	hello := helloJSON{
-		Seq: snap.Seq, Bin: snap.LastBin, Results: snap.Results,
-		DelayAlarms: len(snap.DelayAlarms), FwdAlarms: len(snap.FwdAlarms),
-		Events: len(snap.Events),
-		Done:   snap.Done, Failed: snap.Failed, Err: snap.Err,
-	}
-	if !s.sseEvent(w, fl, "hello", hello) {
+	if !s.sseEvent(w, fl, "hello", helloFor(snap)) {
 		return
+	}
+	if haveSince && since < snap.Seq {
+		ds, ok := s.src.CatchUp(since, snap.Seq)
+		if !ok {
+			// Nothing reaches back to since: one full-state delta resyncs
+			// the client from any starting point.
+			ds = []Delta{fullDelta(snap)}
+		}
+		for _, d := range ds {
+			if !s.sseEvent(w, fl, "delta", d) {
+				return
+			}
+		}
 	}
 	if snap.Complete() {
 		// Terminal snapshot already published: nothing further will come.
@@ -63,12 +77,17 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	defer hb.Stop()
 	for {
 		select {
-		case d, ok := <-ch:
+		case d, ok := <-sub.C:
 			if !ok {
-				return // publisher shut down or dropped us as too slow
+				if last, dropped := sub.Gap(); dropped {
+					// Dropped as too slow: tell the client where the feed
+					// left off so it can reconnect with ?since=.
+					s.sseEvent(w, fl, "gap", gapJSON{LastSeq: last})
+				}
+				return
 			}
 			if d.Seq <= snap.Seq {
-				continue // already reflected in the hello
+				continue // already reflected in the hello/catch-up
 			}
 			if !s.sseEvent(w, fl, "delta", d) {
 				return

@@ -142,8 +142,9 @@ func TestStreamOnCompletedRunSendsHelloAndCloses(t *testing.T) {
 
 func TestSlowSubscriberIsDroppedNotBlocking(t *testing.T) {
 	a, pub, _ := newTestPipeline(t)
-	ch, cancel := pub.Subscribe()
-	defer cancel()
+	sub := pub.Subscribe()
+	defer sub.Cancel()
+	ch := sub.C
 	// Never read from ch: once the buffer fills, the publisher must drop
 	// the subscriber instead of stalling the analysis goroutine.
 	done := make(chan struct{})
@@ -166,5 +167,10 @@ func TestSlowSubscriberIsDroppedNotBlocking(t *testing.T) {
 	}
 	if n == 0 || n > 100 {
 		t.Errorf("drained %d deltas from dropped subscriber", n)
+	}
+	// The drop must be gap-marked (versus an orderly CloseSubscribers) with
+	// the seq of the last delta that made it into the buffer.
+	if last, dropped := sub.Gap(); !dropped || last == 0 {
+		t.Errorf("Gap() = (%d, %v), want a marked drop with its last seq", last, dropped)
 	}
 }
