@@ -210,7 +210,10 @@ func runFollower(c *experiments.Case, url, addr, storeDir string, feedWindow int
 			Start:       c.Start,
 			End:         c.End,
 		}
-		opts.BinSize = time.Hour
+		// The writer's bin size comes from the engine config; resolve the
+		// same default here instead of hardcoding it, so a future non-hour
+		// case cannot make -follow -store fail the hello's bin-size check.
+		opts.BinSize = core.Config{}.BinSize()
 	}
 	f, err := serve.NewFollower(opts)
 	if err != nil {

@@ -62,6 +62,12 @@ type Config struct {
 // AutoWorkers sets Config.Workers to the number of usable CPUs.
 const AutoWorkers = -1
 
+// BinSize resolves the analysis bin size this configuration yields — the
+// shared Delay/Forwarding/Events bin after defaults apply. Roles that run
+// no analyzer (a serve.Follower bootstrapping from store files) use it to
+// agree with the writer's engine instead of hardcoding the default.
+func (c Config) BinSize() time.Duration { return c.withDefaults().Delay.BinSize }
+
 func (c Config) withDefaults() Config {
 	if c.Delay.BinSize == 0 {
 		c.Delay.BinSize = time.Hour

@@ -19,8 +19,12 @@ package serve
 // seq 1 and the close of the k-th analysis bin publishes seq k+2, so
 // committed store record i always maps to delta seq i+2 regardless of
 // restarts. The generation is the aggregator's rebuild generation
-// (events.Generation): a delta whose gen differs from the mirror's carries
-// the full re-derived event list and magnitude history, not an append.
+// (events.Generation), carried as bookkeeping; a delta that carries the
+// full re-derived event list and magnitude history (instead of an append)
+// says so explicitly with the Rebuild flag. Generation drift alone is NOT
+// a resync signal: a writer restart bumps the generation while the durable
+// history stays append-consistent, so a mirror that inferred "replace" from
+// a gen change would discard state that is still a valid prefix.
 //
 // Byte-identity across the feed rests on JSON float round-tripping: Go
 // marshals float64 with the shortest representation that parses back to
@@ -40,8 +44,10 @@ import (
 
 // FeedProto is the replication feed protocol version carried by every
 // hello event. A follower refuses to track a writer speaking a different
-// version.
-const FeedProto = 1
+// version. Version 2 made the "carries the full re-derived history"
+// property explicit (Delta.Rebuild) instead of inferred from generation
+// drift.
+const FeedProto = 2
 
 // defaultFeedWindow is how many recent deltas the in-memory catch-up ring
 // retains (the -feed flag overrides it on the writer).
@@ -87,6 +93,13 @@ type Delta struct {
 	// Full marks a whole-state resync: the alarm/event/magnitude lists are
 	// the complete current state, not an increment.
 	Full bool `json:"full,omitempty"`
+
+	// Rebuild marks a live staleness rebuild upstream: Events, DelayMag and
+	// FwdMag are the full re-derived history (alarms stay appends). Only the
+	// writer's own bin-close delta for a rebuild sets it; store-synthesized
+	// catch-up deltas never do — durable history is append-consistent across
+	// writer restarts even though a restart bumps Gen.
+	Rebuild bool `json:"rebuild,omitempty"`
 
 	Done   bool   `json:"done"`
 	Failed bool   `json:"failed,omitempty"`

@@ -22,9 +22,13 @@ package serve
 //	resync      — a seq gap, a `gap` event (dropped as too slow), or a
 //	              dropped connection returns to connect with since=seq; the
 //	              writer replays from its ring or store, or sends one Full
-//	              delta that replaces the whole mirror. Generation bumps
-//	              need no special casing: the bump delta carries the full
-//	              re-derived event/magnitude history by construction.
+//	              delta that replaces the whole mirror. Resync semantics
+//	              ride on the deltas themselves: a live staleness rebuild
+//	              arrives as a Rebuild delta carrying the full re-derived
+//	              event/magnitude history, while a writer restart merely
+//	              bumps the generation — its store-synthesized catch-up
+//	              deltas keep appending, because durable history survives
+//	              restarts as a valid prefix of the mirror's state.
 //	terminal    — a Done/Failed delta ends the run; Run returns nil.
 
 import (
@@ -180,6 +184,11 @@ func (f *Follower) StoreBin(bin time.Time) (*BinPayload, bool, error) {
 // errFeedGap asks the run loop to reconnect and resync via ?since=.
 var errFeedGap = errors.New("serve: feed gap")
 
+// maxSSELine caps one SSE line (one delta payload) on the feed. An event
+// beyond it is a permanent failure: reconnecting would refetch the same
+// oversized payload forever.
+const maxSSELine = 64 << 20
+
 // Run tails the writer until the run completes, the context is canceled,
 // or a permanent protocol/identity mismatch is hit. Transient failures
 // (connection loss, slow-subscriber drops, seq gaps) reconnect with
@@ -188,7 +197,14 @@ func (f *Follower) Run(ctx context.Context) error {
 	defer f.bc.closeAll()
 	backoff := f.opts.ReconnectMin
 	for {
+		seqBefore := f.m.seq
 		err := f.tail(ctx)
+		if f.m.seq > seqBefore {
+			// The connection applied at least one delta: the feed is healthy
+			// again, so later transient flaps start from a fresh backoff
+			// instead of inheriting the max from flaps hours ago.
+			backoff = f.opts.ReconnectMin
+		}
 		if snap := f.cur.Load(); snap.Complete() {
 			return nil
 		}
@@ -238,18 +254,19 @@ func (f *Follower) tail(ctx context.Context) error {
 
 	sawHello := false
 	sc := bufio.NewScanner(resp.Body)
-	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	sc.Buffer(make([]byte, 0, 64*1024), maxSSELine)
 	var event string
 	var data []byte
+	haveData := false
 	for sc.Scan() {
 		line := sc.Bytes()
 		switch {
 		case len(line) == 0: // blank line: dispatch the accumulated event
-			if event == "" && data == nil {
+			if event == "" && !haveData {
 				continue
 			}
 			ev, payload := event, data
-			event, data = "", nil
+			event, data, haveData = "", nil, false
 			if !sawHello {
 				if ev != "hello" {
 					return fmt.Errorf("serve: feed started with %q, want hello", ev)
@@ -273,10 +290,23 @@ func (f *Follower) tail(ctx context.Context) error {
 		case bytes.HasPrefix(line, []byte("event: ")):
 			event = string(line[len("event: "):])
 		case bytes.HasPrefix(line, []byte("data: ")):
+			// Successive data lines join with '\n' per the SSE spec (our
+			// writer emits single-line JSON, but a spec-correct decode must
+			// not silently concatenate a future multi-line payload).
+			if haveData {
+				data = append(data, '\n')
+			}
 			data = append(data, line[len("data: "):]...)
+			haveData = true
 		}
 	}
 	if err := sc.Err(); err != nil && ctx.Err() == nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			// Retrying cannot shrink the event: every reconnect would fetch
+			// the same oversized payload and fail again, so surface the
+			// failure instead of resyncing forever.
+			return &permanentError{fmt.Errorf("serve: feed event exceeds the %dMB limit: %w", maxSSELine>>20, err)}
+		}
 		return err
 	}
 	// Clean EOF: the writer shut down or the complete run's stream ended.
@@ -309,8 +339,8 @@ func (f *Follower) applyHello(payload []byte) error {
 	if f.adoptGen {
 		// The file-bootstrapped history is durable and thus valid under the
 		// writer's current generation (segment-backed aggregators never
-		// rebuild committed history); adopt it so the next same-gen delta
-		// appends instead of resyncing.
+		// rebuild committed history); adopt it so downstream hellos and
+		// ETags agree with the writer's before the first delta lands.
 		f.m.gen = h.Gen
 		f.adoptGen = false
 	}

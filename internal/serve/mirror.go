@@ -7,8 +7,9 @@ package serve
 // feed deltas; the segment-store boot path drives it from committed
 // records via the same deltas. All three share the invariants that make
 // lock-free publication sound: slices only ever grow (snapshots hold
-// fixed-length prefixes), and a generation change allocates fresh storage
-// instead of mutating what previous snapshots still reference.
+// fixed-length prefixes), and a rebuild (Full or Rebuild delta, staleness
+// resync) allocates fresh storage instead of mutating what previous
+// snapshots still reference.
 
 import (
 	"fmt"
@@ -82,10 +83,14 @@ func clipMag(src map[ipmap.ASN][]timeseries.Point) map[ipmap.ASN][]timeseries.Po
 // only interprets content:
 //
 //   - Full replaces the entire state.
-//   - A generation change replaces the event list and magnitude history
-//     (the delta carries the full re-derivation) while alarms stay
-//     append-only — exactly how the writer's own mirrors resynchronize.
-//   - Otherwise everything appends.
+//   - Rebuild replaces the event list and magnitude history (the delta
+//     carries the full re-derivation) while alarms stay append-only —
+//     exactly how the writer's own mirrors resynchronize on a staleness
+//     rebuild.
+//   - Otherwise everything appends. Gen is adopted as bookkeeping either
+//     way: a gen change WITHOUT Rebuild (writer restart, store-synthesized
+//     catch-up) means the history stayed append-consistent, so treating it
+//     as a resync would silently discard the mirror's valid prefix.
 //   - A nil Identities means "keep the previous value" (store-synthesized
 //     deltas cannot carry it).
 func (m *mirror) apply(d *Delta) {
@@ -94,7 +99,6 @@ func (m *mirror) apply(d *Delta) {
 		m.delay = append([]DelayAlarm(nil), d.DelayAlarms...)
 		m.fwd = append([]FwdAlarm(nil), d.FwdAlarms...)
 		m.evs = append([]Event(nil), d.Events...)
-		m.gen = d.Gen
 		m.delayMag, m.fwdMag = nil, nil
 		m.magStart, m.magThrough = time.Time{}, time.Time{}
 		if !d.MagThrough.IsZero() {
@@ -105,12 +109,11 @@ func (m *mirror) apply(d *Delta) {
 			m.magStart, m.magThrough = d.MagStart, d.MagThrough
 		}
 		m.lastBin = d.Bin
-	case d.Gen != m.gen:
+	case d.Rebuild:
 		// Staleness rebuild upstream: the event list and magnitude history
 		// were re-derived from scratch and this delta carries them whole.
 		// Fresh storage — published snapshots keep their old prefixes.
 		m.evs = append([]Event(nil), d.Events...)
-		m.gen = d.Gen
 		m.delayMag = make(map[ipmap.ASN][]timeseries.Point)
 		m.fwdMag = make(map[ipmap.ASN][]timeseries.Point)
 		applyMagRows(m.delayMag, d.DelayMag)
@@ -144,6 +147,7 @@ func (m *mirror) apply(d *Delta) {
 		}
 	}
 	m.seq = d.Seq
+	m.gen = d.Gen
 	m.results = d.Results
 	if d.Identities != nil {
 		m.idents = *d.Identities

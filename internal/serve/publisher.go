@@ -117,8 +117,10 @@ type Snapshot struct {
 	delayMag, fwdMag map[ipmap.ASN][]timeseries.Point
 
 	// evGen is the aggregator rebuild generation Events was mirrored
-	// under; a change between consecutive snapshots means the event
-	// history was re-derived, not appended to.
+	// under. On the writer a change between consecutive snapshots means the
+	// event history was re-derived; on a follower it can also mean the
+	// upstream writer restarted (the feed's Rebuild flag, not gen drift,
+	// distinguishes the two). Either way it keys ETag invalidation.
 	evGen uint64
 
 	encDelay, encFwd, encEvents, encStatus payloadCache
@@ -401,8 +403,12 @@ func (p *Publisher) publish(closedBin time.Time, final bool, runErr error, cd *e
 		// The event history was rebuilt (out-of-order mutation):
 		// resynchronize subscribers with the full re-derived list. cd
 		// likewise carries the full re-derived magnitude history, so the
-		// delta is a complete events/magnitude resync on its own.
+		// delta is a complete events/magnitude resync on its own — marked
+		// Rebuild so mirrors replace instead of appending. (Gen drift alone
+		// does not mean this: a writer restart bumps the generation while
+		// the history stays append-consistent.)
 		d.Events = snap.Events
+		d.Rebuild = true
 	}
 	if cd != nil {
 		d.DelayMag = magRows(cd.DelayMag)
@@ -427,10 +433,17 @@ func (p *Publisher) CloseSubscribers() { p.bc.closeAll() }
 // CatchUp returns the feed deltas covering (since, upTo], trying each
 // catch-up source in order: the in-memory ring (exact recent deltas), then
 // per-bin deltas synthesized from the segment store (record i ↔ seq i+2,
-// stamped with the current generation, plus the synthetic empty seq-1
-// initial delta), with the newest seqs topped up from the ring again.
-// ok=false means neither source covers the range — the caller falls back to
-// a single full-state delta.
+// plus the synthetic empty seq-1 initial delta), with the newest seqs
+// topped up from the ring again. ok=false means neither source covers the
+// range — the caller falls back to a single full-state delta.
+//
+// Synthesized deltas are pure appends (never Rebuild) stamped with the
+// current generation as bookkeeping. That is correct for any client whose
+// state is a prefix of the durable history at seq `since` — including a
+// follower that tracked a previous incarnation of this writer: a restart
+// bumps the generation but never rewrites committed history (segment-backed
+// aggregators reject out-of-order mutations), so the missing bins are
+// exactly an append.
 func (p *Publisher) CatchUp(since, upTo uint64) ([]Delta, bool) {
 	if since >= upTo {
 		return nil, true

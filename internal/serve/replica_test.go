@@ -4,8 +4,12 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"net/http"
 	"net/http/httptest"
+	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -283,6 +287,142 @@ func TestReplicaStoreFileBootstrap(t *testing.T) {
 			bytes.Equal(gotRec.Body.Bytes(), wantRec.Body.Bytes()))
 	}
 	w.close(t)
+}
+
+// TestFollowerSSEDataJoin pins the SSE decode rule that successive data
+// lines join with '\n' (the spec's framing): a payload split mid-token must
+// surface as a decode error, not silently concatenate into a different
+// value (here seq 12 from "1"+"2").
+func TestFollowerSSEDataJoin(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		h, err := json.Marshal(helloFor(&Snapshot{BinSize: time.Hour, Meta: Meta{Case: "ddos"}}))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		fmt.Fprintf(w, "event: hello\ndata: %s\n\n", h)
+		fmt.Fprint(w, "event: delta\ndata: {\"seq\":1\ndata: 2}\n\n")
+	}))
+	defer ts.Close()
+
+	f, err := NewFollower(FollowerOptions{URL: ts.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = f.tail(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "decoding delta") {
+		t.Fatalf("split-token delta: err=%v, want a delta decode error", err)
+	}
+	if got := f.Snapshot().Seq; got != 0 {
+		t.Fatalf("follower applied seq %d from a corrupt payload", got)
+	}
+}
+
+// TestReplicaResyncAcrossWriterRestart reconnects a follower across a
+// writer restart: the restarted writer boots from the segment store under a
+// bumped generation, and its fresh in-memory ring no longer reaches back to
+// the follower's resume point, so the catch-up must be synthesized from the
+// committed segments. Durable history survives a restart as a valid prefix
+// of the follower's state, so those deltas are appends — the generation
+// drift alone must NOT make the follower discard its event list and
+// magnitude history (it used to: gen change was read as "full re-derived
+// history", silently replacing everything with one bin's increment).
+func TestReplicaResyncAcrossWriterRestart(t *testing.T) {
+	dir := t.TempDir()
+
+	// A proxy with a swappable backend keeps the follower's URL stable
+	// across the restart; "down" rejects dials while the first incarnation
+	// is being killed, so the follower cannot slip back in and catch up
+	// before the gap has grown.
+	down := http.Handler(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "writer restarting", http.StatusServiceUnavailable)
+	}))
+	var backend atomic.Pointer[http.Handler]
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		(*backend.Load()).ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+
+	w1 := openStoreRun(t, "ddos", 2, dir)
+	h1 := w1.srv.Handler()
+	backend.Store(&h1)
+
+	f, err := NewFollower(FollowerOptions{
+		URL:          ts.URL,
+		ReconnectMin: 5 * time.Millisecond,
+		ReconnectMax: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsrv := NewServer(f, Options{Logf: func(string, ...any) {}})
+	wait := startTail(t, f)
+
+	// Let the follower tail live until the run has produced events (so a
+	// state-discarding resync would have something to lose), sever it, then
+	// keep the writer running until more bins are durable before killing
+	// it: the follower's resume point lands several bins behind the store.
+	severedAt := 0
+	err = w1.c.Platform.RunChunks(context.Background(), w1.c.Start, w1.c.End, 0, func(rs []trace.Result) error {
+		w1.a.ObserveBatch(rs)
+		w1.pub.ObserveResults(len(rs))
+		if severedAt == 0 && len(w1.pub.Snapshot().Events) > 0 {
+			waitSeq(t, f, w1.pub.Snapshot().Seq)
+			severedAt = w1.st.Len()
+			backend.Store(&down)
+			ts.CloseClientConnections()
+		}
+		if severedAt > 0 && w1.st.Len() >= severedAt+4 {
+			return errKill
+		}
+		return nil
+	})
+	if !errors.Is(err, errKill) {
+		t.Fatalf("simulated crash never triggered: %v", err)
+	}
+	if severedAt == 0 {
+		t.Fatal("follower was never severed (case produced no events?)")
+	}
+	w1.close(t)
+
+	frozen := f.Snapshot()
+	if len(frozen.Events) == 0 {
+		t.Fatal("follower holds no events at the restart; the loss scenario is vacuous")
+	}
+
+	w2 := openStoreRun(t, "ddos", 1, dir)
+	if got, had := w2.pub.Snapshot().Gen(), frozen.Gen(); got <= had {
+		t.Fatalf("restart did not bump the generation (writer %d, follower %d); test is vacuous", got, had)
+	}
+	if frozen.Seq >= w2.pub.Snapshot().Seq {
+		t.Fatalf("follower seq %d not behind the restored writer's %d; catch-up path not exercised", frozen.Seq, w2.pub.Snapshot().Seq)
+	}
+	// The restarted writer's ring is empty, so this catch-up is synthesized
+	// from segments: every delta must be a plain append, never a resync.
+	ds, ok := w2.pub.CatchUp(frozen.Seq, w2.pub.Snapshot().Seq)
+	if !ok {
+		t.Fatal("restored writer cannot serve store-synthesized catch-up")
+	}
+	for _, d := range ds {
+		if d.Rebuild || d.Full {
+			t.Fatalf("store-synthesized catch-up delta seq %d has Rebuild=%v Full=%v, want a plain append", d.Seq, d.Rebuild, d.Full)
+		}
+	}
+
+	h2 := w2.srv.Handler()
+	backend.Store(&h2)
+	w2.ingest(t, 0)
+	wait(t)
+
+	if got, want := f.Snapshot().Gen(), w2.pub.Snapshot().Gen(); got != want {
+		t.Errorf("follower generation %d, restarted writer %d", got, want)
+	}
+	if got := f.Snapshot(); len(got.Events) < len(frozen.Events) {
+		t.Errorf("follower lost events across the restart resync: %d before, %d after", len(frozen.Events), len(got.Events))
+	}
+	compareReplica(t, w2.srv, fsrv, apiURLs(w2.a))
+	w2.close(t)
 }
 
 // TestReplicaChaining pins that replicas chain: a second-tier follower
